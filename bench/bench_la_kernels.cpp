@@ -1,0 +1,135 @@
+// Micro-benchmarks (google-benchmark) for the structured kernels the
+// associated-transform method is built on: Schur factorisation, shifted
+// Kronecker-sum solves (the n^2 / n^3 resolvents of eq. 17), the Gt2
+// block solve, the G1 (+) Gt2 solve behind A3(H3), and the eq. 18 Pi solve.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "la/lu.hpp"
+#include "la/schur.hpp"
+#include "la/expm.hpp"
+#include "tensor/structured.hpp"
+#include "core/sylvester_decouple.hpp"
+#include "util/rng.hpp"
+#include "volterra/associated.hpp"
+#include "volterra/qldae.hpp"
+
+namespace {
+
+using namespace atmor;
+
+la::Matrix stable_matrix(int n, std::uint64_t seed) {
+    util::Rng rng(seed);
+    la::Matrix a(n, n);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j) a(i, j) = rng.gaussian();
+    const double alpha = la::spectral_abscissa(a);
+    for (int i = 0; i < n; ++i) a(i, i) -= alpha + 1.0;
+    return a;
+}
+
+volterra::Qldae random_qldae(int n, std::uint64_t seed) {
+    util::Rng rng(seed);
+    la::Matrix g1 = stable_matrix(n, seed);
+    sparse::SparseTensor3 g2(n, n, n);
+    for (int t = 0; t < 4 * n; ++t)
+        g2.add(rng.uniform_int(0, n - 1), rng.uniform_int(0, n - 1), rng.uniform_int(0, n - 1),
+               0.1 * rng.gaussian());
+    la::Matrix b(n, 1);
+    b(0, 0) = 1.0;
+    return volterra::Qldae(std::move(g1), std::move(g2), b, volterra::state_selector(n, n - 1));
+}
+
+la::ZVec random_zvec(int n, std::uint64_t seed) {
+    util::Rng rng(seed);
+    la::ZVec v(static_cast<std::size_t>(n));
+    for (auto& x : v) x = la::Complex(rng.gaussian(), rng.gaussian());
+    return v;
+}
+
+void BM_DenseLu(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    const la::Matrix a = stable_matrix(n, 1);
+    for (auto _ : state) benchmark::DoNotOptimize(la::Lu(a));
+    state.SetComplexityN(n);
+}
+BENCHMARK(BM_DenseLu)->Arg(50)->Arg(100)->Arg(200)->Complexity();
+
+void BM_RealSchur(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    const la::Matrix a = stable_matrix(n, 2);
+    for (auto _ : state) benchmark::DoNotOptimize(la::real_schur(a));
+    state.SetComplexityN(n);
+}
+BENCHMARK(BM_RealSchur)->Arg(50)->Arg(100)->Arg(200)->Complexity();
+
+void BM_Expm(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    const la::Matrix a = stable_matrix(n, 3);
+    for (auto _ : state) benchmark::DoNotOptimize(la::expm(a));
+}
+BENCHMARK(BM_Expm)->Arg(50)->Arg(100);
+
+void BM_SchurShiftedSolve(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    const la::ComplexSchur cs(stable_matrix(n, 4));
+    const la::ZVec b = random_zvec(n, 5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cs.solve_shifted(la::Complex(0.3, 0.7), b));
+}
+BENCHMARK(BM_SchurShiftedSolve)->Arg(50)->Arg(100)->Arg(200);
+
+/// (sigma I - G1 (+) G1)^{-1}: the n^2-dimensional eq. 17 resolvent.
+void BM_KronSum2Solve(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    auto schur = std::make_shared<const la::ComplexSchur>(stable_matrix(n, 6));
+    tensor::KronSum2Solver solver(schur);
+    const la::ZVec rhs = random_zvec(n * n, 7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(solver.solve(la::Complex(0.2, 0.0), rhs));
+    state.SetComplexityN(n);
+}
+BENCHMARK(BM_KronSum2Solve)->Arg(30)->Arg(60)->Arg(120)->Complexity();
+
+/// (sigma I - (+)^3 G1)^{-1}: the n^3-dimensional cubic resolvent.
+void BM_KronSum3Solve(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    auto schur = std::make_shared<const la::ComplexSchur>(stable_matrix(n, 8));
+    auto solver = tensor::make_kron_sum3(schur);
+    const la::ZVec rhs = random_zvec(n * n * n, 9);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(solver->solve(la::Complex(0.2, 0.0), rhs));
+}
+BENCHMARK(BM_KronSum3Solve)->Arg(20)->Arg(40);
+
+/// Full A2(H2) moment generation (Gt2 chains) on a random QLDAE.
+void BM_A2H2Moments(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    const volterra::AssociatedTransform at(random_qldae(n, 10));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(at.a2h2_moments(3, la::Complex(0, 0)));
+}
+BENCHMARK(BM_A2H2Moments)->Arg(30)->Arg(60)->Arg(120);
+
+/// One A3(H3) moment (the G1 (+) Gt2 solve dominating the proposed method's
+/// build time -- the "Arnoldi" rows of Table 1).
+void BM_A3H3Moments(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    const volterra::AssociatedTransform at(random_qldae(n, 11));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(at.a3h3_moments(1, la::Complex(0, 0)));
+}
+BENCHMARK(BM_A3H3Moments)->Arg(20)->Arg(40);
+
+/// Eq. 18 Pi solve.
+void BM_SolvePi(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    const volterra::Qldae sys = random_qldae(n, 12);
+    for (auto _ : state) benchmark::DoNotOptimize(core::solve_pi(sys));
+}
+BENCHMARK(BM_SolvePi)->Arg(20)->Arg(40);
+
+}  // namespace
+
+BENCHMARK_MAIN();

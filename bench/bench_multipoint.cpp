@@ -1,0 +1,87 @@
+// Paper Remark 3: "Non-DC or multipoint frequency expansion for moment
+// matching is particularly straightforward with this associated transform
+// approach" -- the associated transfer functions are single-s, so standard
+// linear multipoint Krylov practice carries over verbatim.
+//
+// Compares single-point vs multipoint reductions of the transmission line:
+// transfer-function error of the reduced H1/A2H2 over a frequency grid, and
+// a transient with a faster pulse whose spectrum reaches past the expansion
+// point.
+//
+//   usage: bench_multipoint [stages]
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "circuits/nltl.hpp"
+#include "circuits/waveforms.hpp"
+#include "core/atmor.hpp"
+#include "la/vector_ops.hpp"
+#include "ode/transient.hpp"
+#include "util/table.hpp"
+#include "volterra/associated.hpp"
+
+int main(int argc, char** argv) {
+    using namespace atmor;
+    const int stages = bench::arg_int(argc, argv, 1, 25);
+
+    std::printf("=== Remark 3: multipoint expansion of the associated TFs ===\n");
+    circuits::NltlOptions copt;
+    copt.stages = stages;
+    const auto sys = circuits::current_source_line(copt).to_qldae();
+    const volterra::AssociatedTransform full(sys);
+
+    struct Config {
+        const char* name;
+        std::vector<la::Complex> points;
+    };
+    const std::vector<Config> configs = {
+        {"single s0=1", {la::Complex(1.0, 0.0)}},
+        {"two-point {1, 1+2j}", {la::Complex(1.0, 0.0), la::Complex(1.0, 2.0)}},
+        {"three-point {0.5, 1, 1+4j}",
+         {la::Complex(0.5, 0.0), la::Complex(1.0, 0.0), la::Complex(1.0, 4.0)}},
+    };
+
+    util::Table table({"expansion", "order", "H1 err @ jw grid", "A2H2 err @ jw grid",
+                       "transient err"});
+    for (const auto& cfg : configs) {
+        core::AtMorOptions mor;
+        mor.k1 = 4;
+        mor.k2 = 2;
+        mor.k3 = 0;
+        mor.expansion_points = cfg.points;
+        const auto res = core::reduce_associated(sys, mor);
+        const volterra::AssociatedTransform rom(res.rom);
+
+        double err1 = 0.0, ref1 = 0.0, err2 = 0.0, ref2 = 0.0;
+        for (double w = 0.25; w <= 4.0; w += 0.75) {
+            const la::Complex s(0.0, w);
+            const la::ZVec h1f = la::matvec(la::complexify(sys.c()), full.h1(s).col(0));
+            const la::ZVec h1r = la::matvec(la::complexify(res.rom.c()), rom.h1(s).col(0));
+            err1 += la::dist2(h1f, h1r);
+            ref1 += la::norm2(h1f);
+            const la::ZVec h2f = la::matvec(la::complexify(sys.c()), full.a2h2(s).col(0));
+            const la::ZVec h2r = la::matvec(la::complexify(res.rom.c()), rom.a2h2(s).col(0));
+            err2 += la::dist2(h2f, h2r);
+            ref2 += la::norm2(h2f);
+        }
+
+        // A fast pulse with spectral content beyond s0 = 1.
+        const auto input = circuits::pulse_input(0.4, 0.5, 0.3, 2.0, 0.3);
+        ode::TransientOptions topt;
+        topt.t_end = 15.0;
+        topt.dt = 1e-3;
+        topt.method = ode::Method::trapezoidal;
+        topt.record_stride = 50;
+        const auto y_full = ode::simulate(sys, input, topt);
+        const auto y_rom = ode::simulate(res.rom, input, topt);
+
+        table.add_row({cfg.name, std::to_string(res.order),
+                       util::Table::num(err1 / ref1, 3), util::Table::num(err2 / ref2, 3),
+                       util::Table::num(ode::peak_relative_error(y_full, y_rom), 3)});
+    }
+    table.print(std::cout);
+    std::printf("\nmultipoint bases extend accuracy across the band at modest extra order.\n");
+    return 0;
+}

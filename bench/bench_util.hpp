@@ -1,0 +1,55 @@
+// Shared helpers for the figure/table reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "ode/transient.hpp"
+#include "util/table.hpp"
+
+namespace atmor::bench {
+
+/// Integer CLI override: first positional argument, else fallback.
+inline int arg_int(int argc, char** argv, int position, int fallback) {
+    if (argc > position) return std::atoi(argv[position]);
+    return fallback;
+}
+
+/// Print two transient traces plus the pointwise relative error, downsampled
+/// to roughly `max_rows` rows -- the series the paper's figures plot.
+inline void print_series(const std::string& title, const ode::TransientResult& full,
+                         const ode::TransientResult& rom, int max_rows = 40,
+                         double offset = 0.0, double scale = 1.0) {
+    const auto err = ode::relative_error_trace(full, rom);
+    util::Table table({"t", "y_full", "y_rom", "rel_err"});
+    const std::size_t stride = std::max<std::size_t>(1, full.t.size() / static_cast<std::size_t>(max_rows));
+    for (std::size_t r = 0; r < full.t.size(); r += stride)
+        table.add_row({util::Table::num(full.t[r], 4),
+                       util::Table::num(offset + scale * full.y[r][0], 6),
+                       util::Table::num(offset + scale * rom.y[r][0], 6),
+                       util::Table::num(err[r], 3)});
+    std::cout << "\n--- " << title << " ---\n";
+    table.print(std::cout);
+}
+
+/// Print three-way comparison series (full vs two ROMs), paper Fig. 3/4 style.
+inline void print_series3(const std::string& title, const ode::TransientResult& full,
+                          const ode::TransientResult& rom_a, const std::string& name_a,
+                          const ode::TransientResult& rom_b, const std::string& name_b,
+                          int max_rows = 40) {
+    const auto err_a = ode::relative_error_trace(full, rom_a);
+    const auto err_b = ode::relative_error_trace(full, rom_b);
+    util::Table table({"t", "y_full", "y_" + name_a, "y_" + name_b, "err_" + name_a,
+                       "err_" + name_b});
+    const std::size_t stride = std::max<std::size_t>(1, full.t.size() / static_cast<std::size_t>(max_rows));
+    for (std::size_t r = 0; r < full.t.size(); r += stride)
+        table.add_row({util::Table::num(full.t[r], 4), util::Table::num(full.y[r][0], 6),
+                       util::Table::num(rom_a.y[r][0], 6), util::Table::num(rom_b.y[r][0], 6),
+                       util::Table::num(err_a[r], 3), util::Table::num(err_b[r], 3)});
+    std::cout << "\n--- " << title << " ---\n";
+    table.print(std::cout);
+}
+
+}  // namespace atmor::bench

@@ -1,0 +1,196 @@
+#include "circuits/exp_system.hpp"
+
+#include <cmath>
+
+#include "la/lu.hpp"
+#include "la/vector_ops.hpp"
+#include "util/check.hpp"
+
+namespace atmor::circuits {
+
+using la::Matrix;
+using la::Vec;
+
+ExpNodalSystem::ExpNodalSystem(Vec c_diag, Matrix a, Matrix b, Matrix c_out,
+                               std::vector<ExpElement> diodes)
+    : c_diag_(std::move(c_diag)),
+      a_(std::move(a)),
+      b_(std::move(b)),
+      c_out_(std::move(c_out)),
+      diodes_(std::move(diodes)) {
+    const int n = nodes();
+    ATMOR_REQUIRE(n > 0, "ExpNodalSystem: empty system");
+    for (double c : c_diag_) ATMOR_REQUIRE(c > 0.0, "ExpNodalSystem: capacitances must be > 0");
+    ATMOR_REQUIRE(a_.rows() == n && a_.cols() == n, "ExpNodalSystem: A must be n x n");
+    ATMOR_REQUIRE(b_.rows() == n && b_.cols() >= 1, "ExpNodalSystem: B must be n x m");
+    ATMOR_REQUIRE(c_out_.cols() == n, "ExpNodalSystem: output map must have n columns");
+    for (const auto& d : diodes_) {
+        ATMOR_REQUIRE(d.node_a >= -1 && d.node_a < n && d.node_b >= -1 && d.node_b < n,
+                      "ExpNodalSystem: diode node out of range");
+        ATMOR_REQUIRE(d.node_a != d.node_b, "ExpNodalSystem: diode shorted to itself");
+    }
+}
+
+Vec ExpNodalSystem::eval_y(const Vec& v) const {
+    Vec y(diodes_.size());
+    for (std::size_t k = 0; k < diodes_.size(); ++k) {
+        const auto& d = diodes_[k];
+        const double va = d.node_a >= 0 ? v[static_cast<std::size_t>(d.node_a)] : 0.0;
+        const double vb = d.node_b >= 0 ? v[static_cast<std::size_t>(d.node_b)] : 0.0;
+        y[k] = std::exp(d.alpha * (va - vb));
+    }
+    return y;
+}
+
+Vec ExpNodalSystem::rhs_physical(const Vec& v, const Vec& u) const {
+    ATMOR_REQUIRE(static_cast<int>(v.size()) == nodes(), "rhs_physical: v size mismatch");
+    ATMOR_REQUIRE(static_cast<int>(u.size()) == inputs(), "rhs_physical: u size mismatch");
+    Vec f = la::matvec(a_, v);
+    const Vec y = eval_y(v);
+    for (std::size_t k = 0; k < diodes_.size(); ++k) {
+        const auto& d = diodes_[k];
+        const double i = d.saturation_current * (y[k] - 1.0);
+        if (d.node_a >= 0) f[static_cast<std::size_t>(d.node_a)] -= i;
+        if (d.node_b >= 0) f[static_cast<std::size_t>(d.node_b)] += i;
+    }
+    for (int c = 0; c < b_.cols(); ++c)
+        for (int r = 0; r < nodes(); ++r) f[static_cast<std::size_t>(r)] += b_(r, c) * u[static_cast<std::size_t>(c)];
+    for (int r = 0; r < nodes(); ++r) f[static_cast<std::size_t>(r)] /= c_diag_[static_cast<std::size_t>(r)];
+    return f;
+}
+
+Vec ExpNodalSystem::dc_solve(const Vec& u0, double tol, int max_iter) const {
+    const int n = nodes();
+    Vec v(static_cast<std::size_t>(n), 0.0);
+    for (int it = 0; it < max_iter; ++it) {
+        const Vec f = rhs_physical(v, u0);
+        if (la::norm_inf(f) < tol) return v;
+        // Jacobian of the physical rhs wrt v.
+        Matrix jac = a_;
+        const Vec y = eval_y(v);
+        for (std::size_t k = 0; k < diodes_.size(); ++k) {
+            const auto& d = diodes_[k];
+            const double g = d.saturation_current * d.alpha * y[k];
+            auto stamp = [&](int row, double sign) {
+                if (row < 0) return;
+                if (d.node_a >= 0) jac(row, d.node_a) -= sign * g;
+                if (d.node_b >= 0) jac(row, d.node_b) += sign * g;
+            };
+            stamp(d.node_a, 1.0);
+            stamp(d.node_b, -1.0);
+        }
+        for (int r = 0; r < n; ++r)
+            for (int c = 0; c < n; ++c) jac(r, c) /= c_diag_[static_cast<std::size_t>(r)];
+        const Vec dv = la::solve(jac, f);
+        la::axpy(-1.0, dv, v);
+    }
+    ATMOR_CHECK(false, "dc_solve: Newton did not converge");
+}
+
+Vec ExpNodalSystem::equilibrium_voltages() const {
+    return dc_solve(Vec(static_cast<std::size_t>(inputs()), 0.0));
+}
+
+Vec ExpNodalSystem::lift_state(const Vec& v) const {
+    const Vec vstar = equilibrium_voltages();
+    const Vec ystar = eval_y(vstar);
+    const Vec y = eval_y(v);
+    Vec z(static_cast<std::size_t>(nodes() + diodes()));
+    for (int i = 0; i < nodes(); ++i)
+        z[static_cast<std::size_t>(i)] = v[static_cast<std::size_t>(i)] - vstar[static_cast<std::size_t>(i)];
+    for (int k = 0; k < diodes(); ++k)
+        z[static_cast<std::size_t>(nodes() + k)] = y[static_cast<std::size_t>(k)] - ystar[static_cast<std::size_t>(k)];
+    return z;
+}
+
+Vec ExpNodalSystem::lifted_to_voltages(const Vec& z) const {
+    const Vec vstar = equilibrium_voltages();
+    Vec v(static_cast<std::size_t>(nodes()));
+    for (int i = 0; i < nodes(); ++i)
+        v[static_cast<std::size_t>(i)] = z[static_cast<std::size_t>(i)] + vstar[static_cast<std::size_t>(i)];
+    return v;
+}
+
+volterra::Qldae ExpNodalSystem::to_qldae() const {
+    const int n = nodes();
+    const int kk = diodes();
+    const int nz = n + kk;
+    const int m = inputs();
+
+    const Vec vstar = equilibrium_voltages();
+    const Vec ystar = eval_y(vstar);
+
+    // S stamp matrix (n x K): column k carries the KCL stamp of diode k.
+    Matrix s(n, kk);
+    for (int k = 0; k < kk; ++k) {
+        const auto& d = diodes_[static_cast<std::size_t>(k)];
+        if (d.node_a >= 0) s(d.node_a, k) -= d.saturation_current;
+        if (d.node_b >= 0) s(d.node_b, k) += d.saturation_current;
+    }
+
+    // N = C^{-1} [A, S] (n x nz) and Bc = C^{-1} B: the voltage-row dynamics.
+    Matrix nmat(n, nz);
+    for (int r = 0; r < n; ++r) {
+        const double ci = 1.0 / c_diag_[static_cast<std::size_t>(r)];
+        for (int c = 0; c < n; ++c) nmat(r, c) = ci * a_(r, c);
+        for (int k = 0; k < kk; ++k) nmat(r, n + k) = ci * s(r, k);
+    }
+    Matrix bc(n, m);
+    for (int r = 0; r < n; ++r)
+        for (int c = 0; c < m; ++c) bc(r, c) = b_(r, c) / c_diag_[static_cast<std::size_t>(r)];
+
+    // Assemble G1, G2, D1, b of the deviation system z = [dv, dy].
+    Matrix g1(nz, nz);
+    for (int r = 0; r < n; ++r)
+        for (int c = 0; c < nz; ++c) g1(r, c) = nmat(r, c);
+
+    sparse::SparseTensor3 g2(nz, nz, nz);
+    std::vector<Matrix> d1(static_cast<std::size_t>(m), Matrix(nz, nz));
+    Matrix bq(nz, m);
+    for (int r = 0; r < n; ++r)
+        for (int c = 0; c < m; ++c) bq(r, c) = bc(r, c);
+
+    bool any_bilinear = false;
+    for (int k = 0; k < kk; ++k) {
+        const auto& d = diodes_[static_cast<std::size_t>(k)];
+        const double ys = ystar[static_cast<std::size_t>(k)];
+        const int yrow = n + k;
+        // row_k = alpha_k * d_k^T C^{-1}[A, S];   row_kB = alpha_k * d_k^T C^{-1} B.
+        Vec row(static_cast<std::size_t>(nz), 0.0);
+        Vec row_b(static_cast<std::size_t>(m), 0.0);
+        auto accumulate = [&](int node, double sign) {
+            if (node < 0) return;
+            for (int c = 0; c < nz; ++c) row[static_cast<std::size_t>(c)] += sign * d.alpha * nmat(node, c);
+            for (int c = 0; c < m; ++c) row_b[static_cast<std::size_t>(c)] += sign * d.alpha * bc(node, c);
+        };
+        accumulate(d.node_a, 1.0);
+        accumulate(d.node_b, -1.0);
+
+        // dy_k' = (ystar + dy_k)(row . z + row_b . u)
+        //       = ystar*row.z  +  dy_k*(row.z)  +  ystar*row_b.u  +  dy_k*row_b.u.
+        for (int c = 0; c < nz; ++c) {
+            const double w = row[static_cast<std::size_t>(c)];
+            if (w == 0.0) continue;
+            g1(yrow, c) += ys * w;
+            g2.add(yrow, yrow, c, w);
+        }
+        for (int c = 0; c < m; ++c) {
+            const double wb = row_b[static_cast<std::size_t>(c)];
+            if (wb == 0.0) continue;
+            bq(yrow, c) += ys * wb;
+            d1[static_cast<std::size_t>(c)](yrow, yrow) += wb;
+            any_bilinear = true;
+        }
+    }
+
+    // Outputs read the voltage deviations.
+    Matrix cq(c_out_.rows(), nz);
+    for (int r = 0; r < c_out_.rows(); ++r)
+        for (int c = 0; c < n; ++c) cq(r, c) = c_out_(r, c);
+
+    if (!any_bilinear) d1.clear();
+    return volterra::Qldae(std::move(g1), std::move(g2), sparse::SparseTensor4(), std::move(d1),
+                           std::move(bq), std::move(cq));
+}
+
+}  // namespace atmor::circuits

@@ -1,0 +1,87 @@
+// Exponential-nonlinear nodal systems and their EXACT quadratic-linear
+// lifting (the QLMOR-style transformation the paper's experiments assume:
+// "the I-V characteristic of the diodes is iD = e^{40 vD} - 1, which has been
+// quadratic-linearized").
+//
+// The physical model is
+//     C v' = A v + sum_k s_k (y_k - 1) + B u,   y_k = exp(alpha_k d_k^T v),
+// with C diagonal invertible (every node carries a capacitor), s_k the KCL
+// stamp vector of diode k and d_k = e_{a_k} - e_{b_k} its controlling branch.
+//
+// Lifting: introduce states y_k. Since
+//     y_k' = alpha_k y_k d_k^T v' = alpha_k y_k d_k^T C^{-1}(A v + S (y-1) + B u),
+// the augmented state z = [v - v*, y - y*] obeys an exact QLDAE
+//     z' = G1 z + G2 (z (x) z) + sum_i D1_i z u_i + b u
+// about the DC equilibrium (v*, y*). D1 is nonzero exactly when some diode's
+// controlling nodes are directly driven by an input (d_k^T C^{-1} B != 0) --
+// this is how the paper's "voltage source => D1 term" arises.
+//
+// NOTE (documented library behaviour): the lifted G1 has rank <= n_nodes, so
+// it is singular -- the y-dynamics are slaved to v. Moment expansions must
+// therefore use a nonzero expansion point sigma0 (the library rejects
+// sigma0 = 0 with a clear error in that case). This applies equally to the
+// proposed method and to NORM, so comparisons stay fair.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "volterra/qldae.hpp"
+
+namespace atmor::circuits {
+
+/// One exponential element y = exp(alpha * (v_a - v_b)); node index -1 means
+/// ground (v = 0).
+struct ExpElement {
+    int node_a = -1;
+    int node_b = -1;
+    double alpha = 1.0;
+    /// KCL stamp: current Is*(y - 1) flows from node_a to node_b.
+    double saturation_current = 1.0;
+};
+
+class ExpNodalSystem {
+public:
+    /// @param c_diag   per-node capacitance (diagonal C), all > 0
+    /// @param a        linear conductance part (n x n)
+    /// @param b        input map (n x m)
+    /// @param c_out    output map (l x n), applied to the node voltages
+    ExpNodalSystem(la::Vec c_diag, la::Matrix a, la::Matrix b, la::Matrix c_out,
+                   std::vector<ExpElement> diodes);
+
+    [[nodiscard]] int nodes() const { return static_cast<int>(c_diag_.size()); }
+    [[nodiscard]] int diodes() const { return static_cast<int>(diodes_.size()); }
+    [[nodiscard]] int inputs() const { return b_.cols(); }
+
+    /// Physical (unlifted) right-hand side v' = C^{-1}(A v + S(y(v)-1) + B u).
+    [[nodiscard]] la::Vec rhs_physical(const la::Vec& v, const la::Vec& u) const;
+
+    /// DC operating point for constant input u0 (Newton on the physical model).
+    [[nodiscard]] la::Vec dc_solve(const la::Vec& u0, double tol = 1e-12,
+                                   int max_iter = 100) const;
+
+    /// Exact QLDAE lifting about the equilibrium for u = 0 (states are the
+    /// DEVIATIONS [v - v*, y - y*]; outputs are the deviation voltages).
+    [[nodiscard]] volterra::Qldae to_qldae() const;
+
+    /// Equilibrium used by to_qldae().
+    [[nodiscard]] la::Vec equilibrium_voltages() const;
+
+    /// Map a lifted trajectory state back to physical node voltages.
+    [[nodiscard]] la::Vec lifted_to_voltages(const la::Vec& z) const;
+
+    /// Consistent lifted initial condition for physical voltages v:
+    /// z = [v - v*, y(v) - y*].
+    [[nodiscard]] la::Vec lift_state(const la::Vec& v) const;
+
+private:
+    [[nodiscard]] la::Vec eval_y(const la::Vec& v) const;
+
+    la::Vec c_diag_;
+    la::Matrix a_;
+    la::Matrix b_;
+    la::Matrix c_out_;
+    std::vector<ExpElement> diodes_;
+};
+
+}  // namespace atmor::circuits

@@ -1,0 +1,87 @@
+#include "circuits/nltl.hpp"
+
+#include "util/check.hpp"
+#include "volterra/qldae.hpp"
+
+namespace atmor::circuits {
+
+using la::Matrix;
+using la::Vec;
+
+namespace {
+
+/// Common RC ladder skeleton: series resistors between consecutive nodes,
+/// grounded capacitor per node, and a terminating resistor to ground at the
+/// last node (so the DC operating point is well defined).
+Matrix ladder_conductances(const NltlOptions& opt) {
+    const int n = opt.stages;
+    const double g = 1.0 / opt.resistance;
+    Matrix a(n, n);
+    for (int k = 0; k < n - 1; ++k) {
+        a(k, k) -= g;
+        a(k, k + 1) += g;
+        a(k + 1, k + 1) -= g;
+        a(k + 1, k) += g;
+    }
+    // Termination to ground.
+    a(n - 1, n - 1) -= g;
+    return a;
+}
+
+Matrix output_map(const NltlOptions& opt) {
+    const int n = opt.stages;
+    const int node = opt.output_node >= 0 ? opt.output_node : 0;
+    ATMOR_REQUIRE(node < n, "nltl: output node out of range");
+    Matrix c(1, n);
+    c(0, node) = 1.0;
+    return c;
+}
+
+}  // namespace
+
+ExpNodalSystem voltage_source_line(const NltlOptions& opt) {
+    ATMOR_REQUIRE(opt.stages >= 3, "voltage_source_line: need >= 3 stages");
+    const int n = opt.stages;
+    const double g = 1.0 / opt.resistance;
+
+    Matrix a = ladder_conductances(opt);
+    // Norton-equivalent voltage source at node 0: series resistance to the
+    // source adds a conductance to ground and an input current g * u.
+    a(0, 0) -= g;
+    Matrix b(n, 1);
+    b(0, 0) = g;
+
+    // Diodes: grounded diode at the driven node (this is what creates the D1
+    // term after lifting) plus the usual chain diodes along the ladder.
+    std::vector<ExpElement> diodes;
+    diodes.push_back({0, -1, opt.diode_alpha, opt.diode_is});
+    for (int k = 0; k < n - 1; ++k)
+        diodes.push_back({k, k + 1, opt.diode_alpha, opt.diode_is});
+
+    return ExpNodalSystem(Vec(static_cast<std::size_t>(n), opt.capacitance), a, b,
+                          output_map(opt), std::move(diodes));
+}
+
+ExpNodalSystem current_source_line(const NltlOptions& opt) {
+    ATMOR_REQUIRE(opt.stages >= 3, "current_source_line: need >= 3 stages");
+    const int n = opt.stages;
+
+    Matrix a = ladder_conductances(opt);
+    Matrix b(n, 1);
+    b(0, 0) = 1.0;  // unit current injection into node 0
+
+    // No diode touches node 0, so d_k^T C^{-1} B = 0 for every diode and the
+    // lifted system has no bilinear D1 term. Grounded diodes at node 1 and at
+    // the output node round the lifted state count to 2*stages (x in R^70 for
+    // 35 stages, matching Sec. 3.2).
+    std::vector<ExpElement> diodes;
+    diodes.push_back({1, -1, opt.diode_alpha, opt.diode_is});
+    for (int k = 1; k < n - 1; ++k)
+        diodes.push_back({k, k + 1, opt.diode_alpha, opt.diode_is});
+    diodes.push_back({n - 1, -1, opt.diode_alpha, opt.diode_is});
+
+    return ExpNodalSystem(Vec(static_cast<std::size_t>(n), opt.capacitance), a, b,
+                          output_map(opt), std::move(diodes));
+}
+
+}  // namespace atmor::circuits

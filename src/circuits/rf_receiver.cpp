@@ -1,0 +1,99 @@
+#include "circuits/rf_receiver.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace atmor::circuits {
+
+using la::Matrix;
+
+namespace {
+
+/// State layout per block: [v~_0..v~_{nb-1}, j~_1..j~_{nb-1}, j~_out, v~_out]
+/// in ENERGY coordinates (v~ = sqrt(C) v, j~ = sqrt(L) j). In these
+/// coordinates the RLC part is skew-symmetric minus a nonnegative diagonal,
+/// i.e. G1 + G1^T <= 0, so one-sided Galerkin projection provably preserves
+/// dissipativity of the linear part -- without this the lightly damped LC
+/// chains produce unstable ROMs.
+struct BlockLayout {
+    int first_node;
+    int first_branch;   // j~_1
+    int out_branch;     // j~_out
+    int out_node;
+    int sections;
+};
+
+}  // namespace
+
+int rf_receiver_order(const RfReceiverOptions& opt) {
+    return 2 * (opt.lna_sections + opt.if_sections + opt.pa_sections) + 3;
+}
+
+volterra::Qldae rf_receiver(const RfReceiverOptions& opt) {
+    ATMOR_REQUIRE(opt.lna_sections >= 2 && opt.if_sections >= 2 && opt.pa_sections >= 2,
+                  "rf_receiver: each block needs >= 2 sections");
+    const int n = rf_receiver_order(opt);
+
+    const int counts[3] = {opt.lna_sections, opt.if_sections, opt.pa_sections};
+    BlockLayout blocks[3];
+    int cursor = 0;
+    for (int b = 0; b < 3; ++b) {
+        const int nb = counts[b];
+        blocks[b].sections = nb;
+        blocks[b].first_node = cursor;
+        blocks[b].first_branch = cursor + nb;
+        blocks[b].out_branch = cursor + 2 * nb - 1;
+        blocks[b].out_node = cursor + 2 * nb;
+        cursor += 2 * nb + 1;
+    }
+    ATMOR_CHECK(cursor == n, "rf_receiver: layout mismatch");
+
+    Matrix g1(n, n);
+    sparse::SparseTensor3 g2(n, n, n);
+    Matrix b_in(n, 2);
+    Matrix c_out(1, n);
+
+    const double sc = std::sqrt(opt.c);
+    const double w = 1.0 / std::sqrt(opt.l * opt.c);  // skew coupling strength
+
+    for (int b = 0; b < 3; ++b) {
+        const auto& bl = blocks[b];
+        const int nb = bl.sections;
+        // Series LR branch: j~' = w (v~_from - v~_to) - (R/L) j~;
+        // nodes: v~' -= w j~ (from side), += w j~ (to side). Skew by design.
+        auto stamp_branch = [&](int branch, int from_node, int to_node) {
+            g1(branch, from_node) += w;
+            g1(branch, to_node) -= w;
+            g1(branch, branch) -= opt.r / opt.l;
+            g1(from_node, branch) -= w;
+            g1(to_node, branch) += w;
+        };
+        for (int k = 1; k < nb; ++k)
+            stamp_branch(bl.first_branch + (k - 1), bl.first_node + k - 1, bl.first_node + k);
+        stamp_branch(bl.out_branch, bl.first_node + nb - 1, bl.out_node);
+        // Termination near the characteristic impedance (diagonal damping).
+        g1(bl.out_node, bl.out_node) -= 1.0 / (opt.r_load * opt.c);
+
+        // Transconductance into the next block: i = gm1 v + gm2 v^2 in
+        // physical volts; v = v~ / sqrt(C).
+        if (b + 1 < 3) {
+            const int src = bl.out_node;
+            const int dst = blocks[b + 1].first_node;
+            g1(dst, src) += opt.gm1 / opt.c;
+            g2.add(dst, src, src, opt.gm2 / (opt.c * sc));
+        }
+    }
+
+    // Inputs: signal current into the LNA front node, interferer coupled into
+    // the IF chain front node.
+    b_in(blocks[0].first_node, 0) = 1.0 / sc;
+    b_in(blocks[1].first_node, 1) = opt.coupling / sc;
+
+    // Output: PA output node voltage in volts.
+    c_out(0, blocks[2].out_node) = 1.0 / sc;
+
+    return volterra::Qldae(std::move(g1), std::move(g2), b_in, c_out);
+}
+
+}  // namespace atmor::circuits

@@ -1,0 +1,38 @@
+// Synthetic MISO RF receiver chain (paper Sec. 3.3): a desired signal u1
+// enters an LNA, passes an IF filter, and is amplified by a PA; an interferer
+// u2 couples into the chain mid-way. The amplifying stages use weakly
+// nonlinear transconductances i = gm1 v + gm2 v^2, so the model is directly a
+// QLDAE with D1 = 0 (the paper's configuration) and 173 voltage/current
+// unknowns at the default sizing.
+#pragma once
+
+#include "volterra/qldae.hpp"
+
+namespace atmor::circuits {
+
+struct RfReceiverOptions {
+    int lna_sections = 28;   ///< LC sections in the LNA input filter
+    int if_sections = 29;    ///< sections in the IF (inter-stage) filter
+    int pa_sections = 28;    ///< sections in the PA output filter
+    double gm1 = 1.0;        ///< linear transconductance of each stage
+    double gm2 = 0.3;        ///< quadratic transconductance (weak nonlinearity)
+    double coupling = 0.25;  ///< interferer coupling strength into the IF chain
+    double r = 0.05;         ///< series loss per LC section (light)
+    double c = 0.04;         ///< section capacitance
+    double l = 0.02;         ///< section inductance (adds current states)
+    /// Block termination, near the line's characteristic impedance
+    /// sqrt(l/c) so the passband rides through with |H| ~ 1 per section;
+    /// per-section delay sqrt(l*c) ~ 0.03 keeps the 85-section chain's
+    /// transport delay ~2.4 time units (fast RF line on a ns axis).
+    double r_load = 0.7;
+};
+
+/// Build the receiver QLDAE. State count with defaults: every section carries
+/// a node voltage, and every other section an inductor current, totalling 173
+/// unknowns; 2 inputs (signal, interferer), 1 output (PA output node).
+volterra::Qldae rf_receiver(const RfReceiverOptions& opt = {});
+
+/// Number of states the option set will produce (for sizing checks).
+int rf_receiver_order(const RfReceiverOptions& opt);
+
+}  // namespace atmor::circuits

@@ -1,0 +1,101 @@
+#include "circuits/varistor.hpp"
+
+#include "la/lu.hpp"
+#include "la/vector_ops.hpp"
+#include "util/check.hpp"
+
+namespace atmor::circuits {
+
+using la::Matrix;
+using la::Vec;
+
+VaristorCircuit varistor_circuit(const VaristorOptions& opt) {
+    ATMOR_REQUIRE(opt.sections >= 2, "varistor_circuit: need >= 2 sections");
+    ATMOR_REQUIRE(opt.varistor_every >= 0, "varistor_circuit: varistor_every >= 0");
+    const int ns = opt.sections;
+    const int n = 2 * ns;  // [v_0..v_{ns-1}, iL_0..iL_{ns-1}]
+    const double inv_c = 1.0 / opt.c;
+    const double inv_l = 1.0 / opt.l;
+
+    Matrix g1(n, n);
+    sparse::SparseTensor4 g3(n);
+    Matrix b(n, 2);  // column 0: surge source; column 1: DC bias supply
+    Matrix c_out(1, n);
+
+    auto vi = [](int k) { return k; };
+    auto li = [&](int k) { return ns + k; };
+
+    // Resolve varistor placement (see VaristorOptions).
+    std::vector<bool> has_varistor(static_cast<std::size_t>(ns), false);
+    if (!opt.varistor_nodes.empty()) {
+        for (int node : opt.varistor_nodes) {
+            ATMOR_REQUIRE(node >= 0 && node < ns, "varistor_circuit: varistor node out of range");
+            has_varistor[static_cast<std::size_t>(node)] = true;
+        }
+    } else if (opt.varistor_every > 0) {
+        for (int k = 0; k < ns; ++k)
+            if (k % opt.varistor_every == opt.varistor_every - 1)
+                has_varistor[static_cast<std::size_t>(k)] = true;
+        has_varistor[static_cast<std::size_t>(ns - 1)] = true;
+    } else {
+        has_varistor[static_cast<std::size_t>(3 * ns / 4)] = true;  // V1
+        has_varistor[static_cast<std::size_t>(ns - 1)] = true;      // V2 at the load
+    }
+
+    for (int k = 0; k < ns; ++k) {
+        // Inductor k: L iL' = v_{k-1} - v_k - r iL  (v_{-1} = source u; the
+        // entry branch carries the source impedance r_input in addition).
+        if (k == 0) {
+            b(li(0), 0) = inv_l;
+            g1(li(0), li(0)) -= opt.r_input * inv_l;
+        } else {
+            g1(li(k), vi(k - 1)) += inv_l;
+        }
+        g1(li(k), vi(k)) -= inv_l;
+        g1(li(k), li(k)) -= opt.r_series * inv_l;
+
+        // Node k: C v' = iL_k - iL_{k+1} - shunt currents.
+        g1(vi(k), li(k)) += inv_c;
+        if (k + 1 < ns) g1(vi(k), li(k + 1)) -= inv_c;
+
+        if (has_varistor[static_cast<std::size_t>(k)]) {
+            g1(vi(k), vi(k)) -= opt.g1_shunt * inv_c;
+            g3.add(vi(k), vi(k), vi(k), vi(k), -opt.g3_shunt * inv_c);
+        }
+    }
+    // Protected load at the output node, plus the consumer bias supply UB
+    // through its own source resistance (DC-only port).
+    g1(vi(ns - 1), vi(ns - 1)) -= inv_c / opt.r_load;
+    g1(vi(ns - 1), vi(ns - 1)) -= inv_c / opt.r_bias;
+    b(vi(ns - 1), 1) = inv_c / opt.r_bias;
+    c_out(0, vi(ns - 1)) = 1.0;
+
+    volterra::Qldae raw(g1, sparse::SparseTensor3(n, n, n), g3, {}, b, c_out);
+
+    // DC operating point with the bias supply on and the surge port at rest:
+    // G1 x + G3 x^3 + b*(0, UB) = 0 (Newton).
+    Vec x0(static_cast<std::size_t>(n), 0.0);
+    const Vec u0{0.0, opt.bias_kv};
+    for (int it = 0; it < 100; ++it) {
+        const Vec f = raw.rhs(x0, u0);
+        if (la::norm_inf(f) < 1e-13) break;
+        const Vec dx = la::solve(raw.jacobian(x0, u0), f);
+        la::axpy(-1.0, dx, x0);
+        ATMOR_CHECK(it < 99, "varistor_circuit: DC Newton did not converge");
+    }
+
+    // Shift to deviation coordinates: the cubic at x0 induces linear and
+    // quadratic corrections (exact Taylor expansion of the polynomial). Only
+    // the surge column remains as the input of the deviation system.
+    Matrix g1s = raw.g1() + g3.contract_twice(x0);
+    sparse::SparseTensor3 g2s = g3.contract_once(x0);
+    Matrix b_surge(n, 1);
+    for (int r = 0; r < n; ++r) b_surge(r, 0) = b(r, 0);
+
+    VaristorCircuit out{volterra::Qldae(std::move(g1s), std::move(g2s), g3, {}, b_surge, c_out),
+                        x0, opt.bias_kv, 0.0};
+    out.output_bias_kv = raw.output(x0)[0];
+    return out;
+}
+
+}  // namespace atmor::circuits

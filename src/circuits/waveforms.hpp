@@ -1,0 +1,28 @@
+// Input waveform factories for the transient experiments.
+#pragma once
+
+#include "ode/transient.hpp"
+
+namespace atmor::circuits {
+
+/// u(t) = amplitude for t >= t_on, else 0.
+ode::InputFn step_input(double amplitude, double t_on = 0.0);
+
+/// Trapezoidal pulse: rises over [t_on, t_on+rise], holds until t_off, falls
+/// over [t_off, t_off+fall].
+ode::InputFn pulse_input(double amplitude, double t_on, double rise, double t_off, double fall);
+
+/// u(t) = amplitude * sin(2 pi f t).
+ode::InputFn sine_input(double amplitude, double frequency_hz);
+
+/// Standard double-exponential surge amplitude*(e^{-t/tau_decay} - e^{-t/tau_rise}),
+/// peak-normalised so max_t u(t) = amplitude (the 9.8 kV surge of Fig. 5).
+ode::InputFn surge_input(double amplitude, double tau_rise, double tau_decay);
+
+/// Multi-input wrapper: each component from its own scalar waveform.
+ode::InputFn combine_inputs(std::vector<ode::InputFn> components);
+
+/// Zero input of the given arity.
+ode::InputFn zero_input(int arity);
+
+}  // namespace atmor::circuits

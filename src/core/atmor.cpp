@@ -1,0 +1,112 @@
+#include "core/atmor.hpp"
+
+#include "core/projection.hpp"
+#include "la/orth.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace atmor::core {
+
+MorResult reduce_associated(const volterra::AssociatedTransform& at, const AtMorOptions& opt) {
+    ATMOR_REQUIRE(opt.k1 >= 1, "reduce_associated: need k1 >= 1");
+    ATMOR_REQUIRE(opt.k2 >= 0 && opt.k3 >= 0, "reduce_associated: negative moment count");
+    ATMOR_REQUIRE(!opt.expansion_points.empty(),
+                  "reduce_associated: need at least one expansion point");
+    const volterra::Qldae& sys = at.system();
+
+    // Guard against (near-)singular expansion points. Exactly-lifted
+    // quadratic systems (e.g. e^{40v} diodes) have a rank-deficient G1 whose
+    // zero eigenvalues make the customary sigma0 = 0 expansion ill-posed --
+    // use a nonzero sigma0 for such systems (see circuits/exp_system.hpp).
+    const la::ZVec eigs = at.schur_g1()->eigenvalues();
+    double scale = 1.0;
+    for (const auto& ev : eigs) scale = std::max(scale, std::abs(ev));
+    for (const la::Complex s0 : opt.expansion_points) {
+        for (const auto& ev : eigs) {
+            ATMOR_REQUIRE(std::abs(s0 - ev) > 1e-10 * scale,
+                          "reduce_associated: expansion point "
+                              << s0 << " coincides with an eigenvalue of G1 (" << ev
+                              << "); pick a shifted expansion point");
+            // Kronecker-sum resolvents are singular at eigenvalue pair sums.
+            for (const auto& ev2 : eigs) {
+                if (opt.k2 > 0 || opt.k3 > 0) {
+                    ATMOR_REQUIRE(std::abs(s0 - ev - ev2) > 1e-12 * scale,
+                                  "reduce_associated: expansion point hits an eigenvalue "
+                                  "pair sum of G1 (+) G1");
+                }
+            }
+        }
+    }
+    util::Timer timer;
+
+    la::BasisBuilder basis(sys.order(), opt.deflation_tol);
+    int raw = 0;
+    // Markov parameters (s = infinity expansion): plain powers G1^j b.
+    if (opt.markov_moments > 0) {
+        for (int input = 0; input < sys.inputs(); ++input) {
+            la::Vec v = sys.b_col(input);
+            for (int j = 0; j < opt.markov_moments; ++j) {
+                basis.add(v);
+                ++raw;
+                v = la::matvec(sys.g1(), v);
+            }
+        }
+    }
+    for (const la::Complex sigma0 : opt.expansion_points) {
+        for (const auto& mom : at.h1_moments(opt.k1, sigma0)) {
+            for (int col = 0; col < mom.cols(); ++col) {
+                basis.add_complex(mom.col(col));
+                ++raw;
+            }
+        }
+        if (opt.k2 > 0) {
+            for (const auto& mom : at.a2h2_moments(opt.k2, sigma0)) {
+                // Input pairs (i, j) and (j, i) share a column; add i <= j only.
+                const int m = sys.inputs();
+                for (int i = 0; i < m; ++i)
+                    for (int j = i; j < m; ++j) {
+                        basis.add_complex(mom.col(i * m + j));
+                        ++raw;
+                    }
+            }
+        }
+        if (opt.k3 > 0) {
+            for (const auto& mom : at.a3h3_moments(opt.k3, sigma0)) {
+                const int m = sys.inputs();
+                for (int i = 0; i < m; ++i)
+                    for (int j = i; j < m; ++j)
+                        for (int k = j; k < m; ++k) {
+                            basis.add_complex(mom.col((i * m + j) * m + k));
+                            ++raw;
+                        }
+            }
+        }
+    }
+    ATMOR_CHECK(basis.size() >= 1, "reduce_associated: basis collapsed to zero vectors");
+
+    const la::Matrix v = basis.matrix();
+    MorResult result{galerkin_reduce(sys, v), v, 0.0, raw, v.cols()};
+    result.build_seconds = timer.seconds();
+    return result;
+}
+
+MorResult reduce_associated(const volterra::Qldae& sys, const AtMorOptions& opt) {
+    util::Timer timer;
+    const volterra::AssociatedTransform at(sys);
+    MorResult result = reduce_associated(at, opt);
+    result.build_seconds = timer.seconds();  // include factorisation time
+    return result;
+}
+
+MorResult reduce_linear(const volterra::Qldae& sys, int k1,
+                        const std::vector<la::Complex>& expansion_points, double deflation_tol) {
+    AtMorOptions opt;
+    opt.k1 = k1;
+    opt.k2 = 0;
+    opt.k3 = 0;
+    opt.expansion_points = expansion_points;
+    opt.deflation_tol = deflation_tol;
+    return reduce_associated(sys, opt);
+}
+
+}  // namespace atmor::core

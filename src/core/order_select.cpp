@@ -1,0 +1,99 @@
+#include "core/order_select.hpp"
+
+#include <cmath>
+
+#include "la/eig_sym.hpp"
+#include "la/svd.hpp"
+#include "la/sylvester.hpp"
+#include "la/vector_ops.hpp"
+#include "util/check.hpp"
+
+namespace atmor::core {
+
+namespace {
+
+/// Stack the (real/imag-split, column-normalised) moment vectors as columns.
+la::Matrix stack_normalised(const std::vector<la::ZMatrix>& moments, int n) {
+    std::vector<la::Vec> cols;
+    for (const auto& m : moments) {
+        for (int c = 0; c < m.cols(); ++c) {
+            const la::ZVec z = m.col(c);
+            la::Vec re = la::real_part(z);
+            const double nre = la::norm2(re);
+            if (nre > 0.0) {
+                la::scale(1.0 / nre, re);
+                cols.push_back(std::move(re));
+            }
+            la::Vec im = la::imag_part(z);
+            const double nim = la::norm2(im);
+            if (nim > 1e-14) {
+                la::scale(1.0 / nim, im);
+                cols.push_back(std::move(im));
+            }
+        }
+    }
+    la::Matrix out(n, static_cast<int>(cols.size()));
+    for (int c = 0; c < out.cols(); ++c) out.set_col(c, cols[static_cast<std::size_t>(c)]);
+    return out;
+}
+
+int count_above(const la::Vec& sv, double rel_tol) {
+    if (sv.empty() || sv[0] <= 0.0) return 0;
+    int k = 0;
+    for (double s : sv)
+        if (s > rel_tol * sv[0]) ++k;
+    return k;
+}
+
+}  // namespace
+
+OrderSelection select_orders(const volterra::AssociatedTransform& at, int kmax1, int kmax2,
+                             int kmax3, double rel_tol, la::Complex sigma0) {
+    ATMOR_REQUIRE(kmax1 >= 1 && kmax2 >= 0 && kmax3 >= 0, "select_orders: bad kmax");
+    ATMOR_REQUIRE(rel_tol > 0.0 && rel_tol < 1.0, "select_orders: rel_tol in (0,1)");
+    const int n = at.system().order();
+    OrderSelection sel;
+
+    const la::Matrix b1 = stack_normalised(at.h1_moments(kmax1, sigma0), n);
+    if (b1.cols() > 0) sel.sv1 = la::singular_values(b1);
+    sel.k1 = std::max(1, std::min(kmax1, count_above(sel.sv1, rel_tol)));
+
+    if (kmax2 > 0) {
+        const la::Matrix b2 = stack_normalised(at.a2h2_moments(kmax2, sigma0), n);
+        if (b2.cols() > 0) sel.sv2 = la::singular_values(b2);
+        sel.k2 = std::min(kmax2, count_above(sel.sv2, rel_tol));
+    }
+    if (kmax3 > 0) {
+        const la::Matrix b3 = stack_normalised(at.a3h3_moments(kmax3, sigma0), n);
+        if (b3.cols() > 0) sel.sv3 = la::singular_values(b3);
+        sel.k3 = std::min(kmax3, count_above(sel.sv3, rel_tol));
+    }
+    return sel;
+}
+
+la::Vec hankel_singular_values(const volterra::Qldae& sys) {
+    ATMOR_REQUIRE(la::is_hurwitz(sys.g1()), "hankel_singular_values: G1 must be Hurwitz");
+    const la::Matrix p = la::controllability_gramian(sys.g1(), sys.b());
+    // Observability gramian: A^T Q + Q A + C^T C = 0.
+    const la::Matrix q =
+        la::controllability_gramian(la::transpose(sys.g1()), la::transpose(sys.c()));
+    // HSV = sqrt(eig(P Q)) = sqrt(eig(P^{1/2} Q P^{1/2})), the latter symmetric.
+    const int n = p.rows();
+    const auto [pv, pw] = la::eigh(p);
+    la::Matrix psqrt(n, n);
+    for (int k = 0; k < n; ++k) {
+        const double s = pv[static_cast<std::size_t>(k)] > 0.0
+                             ? std::sqrt(pv[static_cast<std::size_t>(k)])
+                             : 0.0;
+        for (int i = 0; i < n; ++i)
+            for (int j = 0; j < n; ++j) psqrt(i, j) += s * pw(i, k) * pw(j, k);
+    }
+    const auto [values, vectors] = la::eigh(la::matmul(psqrt, la::matmul(q, psqrt)));
+    (void)vectors;
+    la::Vec hsv;
+    hsv.reserve(values.size());
+    for (double v : values) hsv.push_back(v > 0.0 ? std::sqrt(v) : 0.0);
+    return hsv;
+}
+
+}  // namespace atmor::core

@@ -1,0 +1,35 @@
+// Automatic moment-count selection (paper Remark 1, second bullet): because
+// the associated transfer functions are ordinary single-s LTI systems, order
+// selection can reuse linear-MOR machinery instead of NORM's ad-hoc choices.
+//
+// Two measures are provided:
+//  * true Hankel singular values of the H1 realisation (G1, B, C) via
+//    controllability/observability gramians;
+//  * singular-value decay of the (normalised) moment blocks of H1, A2(H2),
+//    A3(H3) -- a cheap proxy usable at any n, from which per-order moment
+//    counts are suggested by a relative threshold.
+#pragma once
+
+#include "la/matrix.hpp"
+#include "volterra/associated.hpp"
+
+namespace atmor::core {
+
+struct OrderSelection {
+    int k1 = 0;
+    int k2 = 0;
+    int k3 = 0;
+    la::Vec sv1;  ///< singular values of the H1 moment block
+    la::Vec sv2;  ///< ... of the A2(H2) moment block
+    la::Vec sv3;  ///< ... of the A3(H3) moment block
+};
+
+/// Suggest (k1, k2, k3) by thresholding the singular-value decay of the
+/// moment blocks generated up to (kmax1, kmax2, kmax3) about sigma0.
+OrderSelection select_orders(const volterra::AssociatedTransform& at, int kmax1, int kmax2,
+                             int kmax3, double rel_tol, la::Complex sigma0);
+
+/// Hankel singular values of the linear part (G1, B, C); requires Hurwitz G1.
+la::Vec hankel_singular_values(const volterra::Qldae& sys);
+
+}  // namespace atmor::core

@@ -1,0 +1,98 @@
+#include "core/projection.hpp"
+
+#include "la/vector_ops.hpp"
+#include "util/check.hpp"
+
+namespace atmor::core {
+
+la::Matrix reduce_matrix(const la::Matrix& a, const la::Matrix& v) {
+    ATMOR_REQUIRE(a.rows() == v.rows() && a.cols() == v.rows(),
+                  "reduce_matrix: shape mismatch");
+    return la::matmul(la::transpose(v), la::matmul(a, v));
+}
+
+sparse::SparseTensor3 reduce_tensor3(const sparse::SparseTensor3& t, const la::Matrix& v) {
+    ATMOR_REQUIRE(t.rows() == v.rows() && t.n1() == v.rows() && t.n2() == v.rows(),
+                  "reduce_tensor3: shape mismatch");
+    const int q = v.cols();
+    // The reduced QUADRATIC FORM is all the ROM evaluates, so store its
+    // symmetric part only (a <= b with a multiplicity weight): halves the
+    // entry count and hence the per-step rhs/Jacobian cost of the ROM.
+    const sparse::SparseTensor3 ts = t.symmetrized();
+    sparse::SparseTensor3 out(q, q, q);
+    for (int a = 0; a < q; ++a) {
+        const la::Vec va = v.col(a);
+        for (int b = a; b < q; ++b) {
+            const la::Vec w = ts.apply(va, v.col(b));
+            const la::Vec r = la::matvec_transposed(v, w);
+            const double mult = (a == b) ? 1.0 : 2.0;
+            for (int row = 0; row < q; ++row) {
+                const double val = mult * r[static_cast<std::size_t>(row)];
+                if (std::abs(val) > 1e-300) out.add(row, a, b, val);
+            }
+        }
+    }
+    return out;
+}
+
+sparse::SparseTensor4 reduce_tensor4(const sparse::SparseTensor4& t, const la::Matrix& v) {
+    ATMOR_REQUIRE(t.n() == v.rows(), "reduce_tensor4: shape mismatch");
+    const int q = v.cols();
+    sparse::SparseTensor4 out(q);
+    // Symmetric storage (a <= b <= c with multinomial weights): the reduced
+    // cubic form then costs ~q^3/6 entries per output row instead of q^3,
+    // which keeps ROM transients cheap (the q^4 dense alternative can cost
+    // more than simulating the full sparse model).
+    for (int a = 0; a < q; ++a) {
+        const la::Vec va = v.col(a);
+        for (int b = a; b < q; ++b) {
+            const la::Vec vb = v.col(b);
+            for (int c = b; c < q; ++c) {
+                const la::Vec vc = v.col(c);
+                // Symmetric coefficient: average over the 6 slot orderings.
+                la::Vec w = t.apply(va, vb, vc);
+                la::axpy(1.0, t.apply(va, vc, vb), w);
+                la::axpy(1.0, t.apply(vb, va, vc), w);
+                la::axpy(1.0, t.apply(vb, vc, va), w);
+                la::axpy(1.0, t.apply(vc, va, vb), w);
+                la::axpy(1.0, t.apply(vc, vb, va), w);
+                const la::Vec r = la::matvec_transposed(v, w);
+                // Multiplicity of (a,b,c) among ordered index triples divided
+                // by the 6 orderings already summed above.
+                double mult = 1.0;
+                if (a == b && b == c)
+                    mult = 1.0 / 6.0;
+                else if (a == b || b == c)
+                    mult = 3.0 / 6.0;
+                for (int row = 0; row < q; ++row) {
+                    const double val = mult * r[static_cast<std::size_t>(row)];
+                    if (std::abs(val) > 1e-300) out.add(row, a, b, c, val);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+volterra::Qldae galerkin_reduce(const volterra::Qldae& sys, const la::Matrix& v) {
+    ATMOR_REQUIRE(v.rows() == sys.order(), "galerkin_reduce: basis row count mismatch");
+    ATMOR_REQUIRE(v.cols() >= 1 && v.cols() <= sys.order(),
+                  "galerkin_reduce: basis must have 1..n columns");
+    const la::Matrix g1r = reduce_matrix(sys.g1(), v);
+    sparse::SparseTensor3 g2r = sys.has_quadratic()
+                                    ? reduce_tensor3(sys.g2(), v)
+                                    : sparse::SparseTensor3(v.cols(), v.cols(), v.cols());
+    sparse::SparseTensor4 g3r;
+    if (sys.has_cubic()) g3r = reduce_tensor4(sys.g3(), v);
+
+    std::vector<la::Matrix> d1r;
+    if (sys.has_bilinear()) {
+        d1r.reserve(static_cast<std::size_t>(sys.inputs()));
+        for (int i = 0; i < sys.inputs(); ++i) d1r.push_back(reduce_matrix(sys.d1(i), v));
+    }
+    const la::Matrix br = la::matmul(la::transpose(v), sys.b());
+    const la::Matrix cr = la::matmul(sys.c(), v);
+    return volterra::Qldae(g1r, std::move(g2r), std::move(g3r), std::move(d1r), br, cr);
+}
+
+}  // namespace atmor::core

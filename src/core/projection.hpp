@@ -1,0 +1,26 @@
+// Galerkin projection of QLDAE systems: given an orthonormal basis V, the
+// reduced system is
+//   xr' = V^T G1 V xr + V^T G2 (V xr (x) V xr) + ... + V^T B u,  y = C V xr.
+// Reduced tensors V^T G2 (V (x) V) / V^T G3 (V (x) V (x) V) are assembled
+// column-by-column through the sparse tensor applies; nothing of size n^2 is
+// formed.
+#pragma once
+
+#include "la/matrix.hpp"
+#include "volterra/qldae.hpp"
+
+namespace atmor::core {
+
+/// V^T A V.
+la::Matrix reduce_matrix(const la::Matrix& a, const la::Matrix& v);
+
+/// Reduced quadratic tensor V^T G2 (V (x) V) as a (dense-content) tensor.
+sparse::SparseTensor3 reduce_tensor3(const sparse::SparseTensor3& t, const la::Matrix& v);
+
+/// Reduced cubic tensor V^T G3 (V (x) V (x) V).
+sparse::SparseTensor4 reduce_tensor4(const sparse::SparseTensor4& t, const la::Matrix& v);
+
+/// Full Galerkin reduction of a QLDAE onto span(V) (V orthonormal, n x q).
+volterra::Qldae galerkin_reduce(const volterra::Qldae& sys, const la::Matrix& v);
+
+}  // namespace atmor::core

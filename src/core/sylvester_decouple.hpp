@@ -1,0 +1,38 @@
+// Eq. (18) of the paper: decoupling the block-triangular realisation of
+// A2(H2)(s) through the Sylvester equation
+//
+//     G1 Pi + G2 = Pi (G1 (+) G1),        Pi in R^{n x n^2},
+//
+// which block-diagonalises Gt2 by the similarity [[I, Pi], [0, I]]:
+//
+//     H2(s) = (sI - G1)^{-1} (D1 b - Pi b(x)b) + Pi (sI - G1 (+) G1)^{-1} b(x)b.
+//
+// The two subsystems can then be treated independently (the paper notes this
+// enables parallel Krylov generation across subsystems). The equation is
+// solved in O(n^4) flops through the complex Schur form of G1 -- no n^2-sized
+// factorisation. `a2h2_moments_decoupled` must span the same subspace as the
+// coupled (eq. 17) path; the ablation bench compares their wall times.
+#pragma once
+
+#include "la/matrix.hpp"
+#include "volterra/associated.hpp"
+#include "volterra/qldae.hpp"
+
+namespace atmor::core {
+
+/// Solve G1 Pi + G2 = Pi (G1 (+) G1). Solvable whenever no eigenvalue
+/// identity lambda_i = lambda_j + lambda_k holds (always true for Hurwitz G1).
+la::Matrix solve_pi(const volterra::Qldae& sys);
+
+/// Residual check ||G1 Pi x + G2 x - Pi (G1 (+) G1) x|| on probe vectors
+/// (avoids forming the Kronecker sum); returns the max relative residual.
+double pi_residual(const volterra::Qldae& sys, const la::Matrix& pi, int probes = 5,
+                   unsigned seed = 0);
+
+/// Moments of A2(H2)(s) about sigma0 via the decoupled form (input pair
+/// columns as in AssociatedTransform::a2h2_moments).
+std::vector<la::ZMatrix> a2h2_moments_decoupled(const volterra::AssociatedTransform& at,
+                                                const la::Matrix& pi, int count,
+                                                la::Complex sigma0);
+
+}  // namespace atmor::core

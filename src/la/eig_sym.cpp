@@ -1,0 +1,69 @@
+#include "la/eig_sym.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace atmor::la {
+
+SymEigResult eigh(const Matrix& a_in) {
+    ATMOR_REQUIRE(a_in.square(), "eigh: matrix must be square");
+    const int n = a_in.rows();
+    Matrix a(n, n);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j) a(i, j) = 0.5 * (a_in(i, j) + a_in(j, i));
+    Matrix v = Matrix::identity(n);
+
+    const int max_sweeps = 60;
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        double off = 0.0;
+        for (int i = 0; i < n; ++i)
+            for (int j = i + 1; j < n; ++j) off += a(i, j) * a(i, j);
+        if (std::sqrt(off) < 1e-14 * (frobenius_norm(a) + 1e-300)) break;
+
+        for (int p = 0; p < n - 1; ++p) {
+            for (int q = p + 1; q < n; ++q) {
+                if (a(p, q) == 0.0) continue;
+                const double theta = (a(q, q) - a(p, p)) / (2.0 * a(p, q));
+                const double t = ((theta >= 0.0) ? 1.0 : -1.0) /
+                                 (std::abs(theta) + std::sqrt(1.0 + theta * theta));
+                const double c = 1.0 / std::sqrt(1.0 + t * t);
+                const double s = c * t;
+                for (int k = 0; k < n; ++k) {  // rotate rows/cols p, q
+                    const double akp = a(k, p), akq = a(k, q);
+                    a(k, p) = c * akp - s * akq;
+                    a(k, q) = s * akp + c * akq;
+                }
+                for (int k = 0; k < n; ++k) {
+                    const double apk = a(p, k), aqk = a(q, k);
+                    a(p, k) = c * apk - s * aqk;
+                    a(q, k) = s * apk + c * aqk;
+                }
+                for (int k = 0; k < n; ++k) {
+                    const double vkp = v(k, p), vkq = v(k, q);
+                    v(k, p) = c * vkp - s * vkq;
+                    v(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    Vec values(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) values[static_cast<std::size_t>(i)] = a(i, i);
+    std::vector<int> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int x, int y) {
+        return values[static_cast<std::size_t>(x)] > values[static_cast<std::size_t>(y)];
+    });
+    SymEigResult out{Vec(static_cast<std::size_t>(n)), Matrix(n, n)};
+    for (int j = 0; j < n; ++j) {
+        const int src = order[static_cast<std::size_t>(j)];
+        out.values[static_cast<std::size_t>(j)] = values[static_cast<std::size_t>(src)];
+        for (int i = 0; i < n; ++i) out.vectors(i, j) = v(i, src);
+    }
+    return out;
+}
+
+}  // namespace atmor::la

@@ -1,0 +1,17 @@
+// Cyclic Jacobi eigensolver for symmetric matrices. Used for gramian-based
+// order selection (Hankel-type singular values, paper Remark 1).
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace atmor::la {
+
+struct SymEigResult {
+    Vec values;   ///< eigenvalues, descending
+    Matrix vectors;  ///< corresponding orthonormal eigenvectors (columns)
+};
+
+/// Eigendecomposition of a symmetric matrix (symmetrised internally).
+SymEigResult eigh(const Matrix& a);
+
+}  // namespace atmor::la

@@ -1,0 +1,64 @@
+#include "la/expm.hpp"
+
+#include <cmath>
+
+#include "la/lu.hpp"
+#include "util/check.hpp"
+
+namespace atmor::la {
+
+namespace {
+
+double norm1(const Matrix& a) {
+    double best = 0.0;
+    for (int j = 0; j < a.cols(); ++j) {
+        double s = 0.0;
+        for (int i = 0; i < a.rows(); ++i) s += std::abs(a(i, j));
+        best = std::max(best, s);
+    }
+    return best;
+}
+
+}  // namespace
+
+Matrix expm(const Matrix& a) {
+    ATMOR_REQUIRE(a.square(), "expm: matrix must be square");
+    const int n = a.rows();
+    if (n == 0) return a;
+
+    // Scale so ||B||_1 <= 1/2, apply [6/6] Pade, then square back.
+    const double nrm = norm1(a);
+    int s = 0;
+    if (nrm > 0.5) s = static_cast<int>(std::ceil(std::log2(nrm / 0.5)));
+    Matrix b = a;
+    b *= std::ldexp(1.0, -s);
+
+    // Pade [6/6] coefficients c_k = ((2m-k)! m!) / ((2m)! k! (m-k)!), m = 6.
+    constexpr int m = 6;
+    double c[m + 1];
+    c[0] = 1.0;
+    for (int k = 0; k < m; ++k)
+        c[k + 1] = c[k] * static_cast<double>(m - k) /
+                   (static_cast<double>(2 * m - k) * static_cast<double>(k + 1));
+
+    Matrix power = Matrix::identity(n);
+    Matrix num = Matrix::identity(n);  // N = sum c_k B^k
+    Matrix den = Matrix::identity(n);  // D = sum (-1)^k c_k B^k
+    num *= c[0];
+    den *= c[0];
+    for (int k = 1; k <= m; ++k) {
+        power = matmul(power, b);
+        Matrix term = power;
+        term *= c[k];
+        num += term;
+        if (k % 2 == 0)
+            den += term;
+        else
+            den -= term;
+    }
+    Matrix e = Lu(den).solve(num);
+    for (int i = 0; i < s; ++i) e = matmul(e, e);
+    return e;
+}
+
+}  // namespace atmor::la

@@ -1,0 +1,14 @@
+// Dense matrix exponential via scaling-and-squaring with diagonal Pade
+// approximation. Used by the property-test suite to validate the paper's
+// Theorem 1/2 time-domain identities (e^{A t} (x) e^{B t} = e^{(A(+)B) t})
+// and by the variational-ODE cross-checks of the associated realisations.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace atmor::la {
+
+/// e^A for a real square matrix ([6/6] Pade + scaling and squaring).
+Matrix expm(const Matrix& a);
+
+}  // namespace atmor::la

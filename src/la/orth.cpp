@@ -1,0 +1,70 @@
+#include "la/orth.hpp"
+
+#include <cmath>
+
+#include "la/vector_ops.hpp"
+#include "util/check.hpp"
+
+namespace atmor::la {
+
+BasisBuilder::BasisBuilder(int dim, double deflation_tol) : dim_(dim), tol_(deflation_tol) {
+    ATMOR_REQUIRE(dim > 0, "BasisBuilder: dimension must be positive");
+    ATMOR_REQUIRE(deflation_tol > 0.0 && deflation_tol < 1.0,
+                  "BasisBuilder: tolerance must be in (0,1)");
+}
+
+bool BasisBuilder::add(const Vec& v) {
+    ATMOR_REQUIRE(static_cast<int>(v.size()) == dim_, "BasisBuilder::add: dimension mismatch");
+    const double original = norm2(v);
+    if (original == 0.0 || !std::isfinite(original)) return false;
+
+    Vec w = v;
+    // Two passes of modified Gram-Schmidt ("twice is enough").
+    for (int pass = 0; pass < 2; ++pass) {
+        for (const Vec& q : basis_) {
+            const double h = dot(q, w);
+            if (h != 0.0) axpy(-h, q, w);
+        }
+    }
+    const double residual = norm2(w);
+    if (residual <= tol_ * original) return false;  // deflated
+    scale(1.0 / residual, w);
+    basis_.push_back(std::move(w));
+    return true;
+}
+
+int BasisBuilder::add_columns(const Matrix& m) {
+    ATMOR_REQUIRE(m.rows() == dim_, "BasisBuilder::add_columns: dimension mismatch");
+    int added = 0;
+    for (int j = 0; j < m.cols(); ++j)
+        if (add(m.col(j))) ++added;
+    return added;
+}
+
+int BasisBuilder::add_complex(const ZVec& v) {
+    ATMOR_REQUIRE(static_cast<int>(v.size()) == dim_,
+                  "BasisBuilder::add_complex: dimension mismatch");
+    int added = 0;
+    if (add(real_part(v))) ++added;
+    // Skip a numerically-zero imaginary part: at real expansion points the
+    // solves leave O(eps)-relative imaginary round-off that must not inject
+    // noise directions into the basis.
+    const Vec im = imag_part(v);
+    if (norm2(im) > 1e-8 * (norm2(v) + 1e-300) && add(im)) ++added;
+    return added;
+}
+
+Matrix BasisBuilder::matrix() const {
+    Matrix m(dim_, size());
+    for (int j = 0; j < size(); ++j)
+        for (int i = 0; i < dim_; ++i) m(i, j) = basis_[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)];
+    return m;
+}
+
+Matrix orthonormalize_columns(const Matrix& m, double deflation_tol) {
+    BasisBuilder b(m.rows(), deflation_tol);
+    b.add_columns(m);
+    return b.matrix();
+}
+
+}  // namespace atmor::la

@@ -1,0 +1,158 @@
+#include "la/qr.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace atmor::la {
+
+namespace {
+
+/// Compute a Householder reflector for x (length len): returns beta and
+/// overwrites x with v (v[0] = 1 implicitly stored from index 1).
+/// After application, H x = (norm, 0, ..., 0) with H = I - beta v v^T.
+double make_householder(double* x, int len) {
+    if (len <= 1) return 0.0;
+    double sigma = 0.0;
+    for (int i = 1; i < len; ++i) sigma += x[i] * x[i];
+    if (sigma == 0.0) {
+        return 0.0;  // already in e1 direction
+    }
+    const double alpha = x[0];
+    const double mu = std::sqrt(alpha * alpha + sigma);
+    double v0 = (alpha <= 0.0) ? alpha - mu : -sigma / (alpha + mu);
+    const double beta = 2.0 * v0 * v0 / (sigma + v0 * v0);
+    // Normalise so v[0] = 1.
+    for (int i = 1; i < len; ++i) x[i] /= v0;
+    x[0] = mu;  // H x = +||x|| e1 with this construction, so R_kk = mu > 0
+    return beta;
+}
+
+}  // namespace
+
+QrFactorization::QrFactorization(Matrix a) : qr_(std::move(a)) {
+    const int m = qr_.rows(), n = qr_.cols();
+    ATMOR_REQUIRE(m >= n, "QR requires rows >= cols, got " << m << "x" << n);
+    beta_.assign(static_cast<std::size_t>(n), 0.0);
+
+    Vec col(static_cast<std::size_t>(m));
+    for (int k = 0; k < n; ++k) {
+        const int len = m - k;
+        for (int i = 0; i < len; ++i) col[static_cast<std::size_t>(i)] = qr_(k + i, k);
+        const double beta = make_householder(col.data(), len);
+        beta_[static_cast<std::size_t>(k)] = beta;
+        // Store v (excluding implicit 1) below the diagonal, R entry on it.
+        qr_(k, k) = col[0];
+        for (int i = 1; i < len; ++i) qr_(k + i, k) = col[static_cast<std::size_t>(i)];
+        if (beta == 0.0) continue;
+        // Apply reflector to remaining columns.
+        for (int j = k + 1; j < n; ++j) {
+            double w = qr_(k, j);
+            for (int i = 1; i < len; ++i) w += qr_(k + i, k) * qr_(k + i, j);
+            w *= beta;
+            qr_(k, j) -= w;
+            for (int i = 1; i < len; ++i) qr_(k + i, j) -= w * qr_(k + i, k);
+        }
+    }
+}
+
+Matrix QrFactorization::thin_q() const {
+    const int m = qr_.rows(), n = qr_.cols();
+    // Start from the first n columns of I and apply reflectors in reverse.
+    Matrix q(m, n);
+    for (int j = 0; j < n; ++j) q(j, j) = 1.0;
+    for (int k = n - 1; k >= 0; --k) {
+        const double beta = beta_[static_cast<std::size_t>(k)];
+        if (beta == 0.0) continue;
+        for (int j = 0; j < n; ++j) {
+            double w = q(k, j);
+            for (int i = k + 1; i < m; ++i) w += qr_(i, k) * q(i, j);
+            w *= beta;
+            q(k, j) -= w;
+            for (int i = k + 1; i < m; ++i) q(i, j) -= w * qr_(i, k);
+        }
+    }
+    return q;
+}
+
+Matrix QrFactorization::r() const {
+    const int n = qr_.cols();
+    Matrix r(n, n);
+    for (int i = 0; i < n; ++i)
+        for (int j = i; j < n; ++j) r(i, j) = qr_(i, j);
+    return r;
+}
+
+void QrFactorization::apply_qt(Vec& v) const {
+    const int m = qr_.rows(), n = qr_.cols();
+    ATMOR_REQUIRE(static_cast<int>(v.size()) == m, "apply_qt: size mismatch");
+    for (int k = 0; k < n; ++k) {
+        const double beta = beta_[static_cast<std::size_t>(k)];
+        if (beta == 0.0) continue;
+        double w = v[static_cast<std::size_t>(k)];
+        for (int i = k + 1; i < m; ++i) w += qr_(i, k) * v[static_cast<std::size_t>(i)];
+        w *= beta;
+        v[static_cast<std::size_t>(k)] -= w;
+        for (int i = k + 1; i < m; ++i) v[static_cast<std::size_t>(i)] -= w * qr_(i, k);
+    }
+}
+
+Vec QrFactorization::solve_least_squares(Vec b) const {
+    const int n = qr_.cols();
+    apply_qt(b);
+    Vec x(static_cast<std::size_t>(n));
+    for (int i = n - 1; i >= 0; --i) {
+        double acc = b[static_cast<std::size_t>(i)];
+        for (int j = i + 1; j < n; ++j) acc -= qr_(i, j) * x[static_cast<std::size_t>(j)];
+        const double d = qr_(i, i);
+        ATMOR_CHECK(d != 0.0, "rank-deficient least squares");
+        x[static_cast<std::size_t>(i)] = acc / d;
+    }
+    return x;
+}
+
+int numerical_rank(Matrix a, double rel_tol) {
+    const int m = a.rows(), n = a.cols();
+    const int kmax = std::min(m, n);
+    std::vector<double> colnorm(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+        double s = 0.0;
+        for (int i = 0; i < m; ++i) s += a(i, j) * a(i, j);
+        colnorm[static_cast<std::size_t>(j)] = s;
+    }
+    double r00 = 0.0;
+    int rank = 0;
+    Vec col(static_cast<std::size_t>(m));
+    for (int k = 0; k < kmax; ++k) {
+        // Pivot: column with largest remaining norm.
+        int piv = k;
+        for (int j = k + 1; j < n; ++j)
+            if (colnorm[static_cast<std::size_t>(j)] > colnorm[static_cast<std::size_t>(piv)])
+                piv = j;
+        if (piv != k) {
+            for (int i = 0; i < m; ++i) std::swap(a(i, k), a(i, piv));
+            std::swap(colnorm[static_cast<std::size_t>(k)], colnorm[static_cast<std::size_t>(piv)]);
+        }
+        const int len = m - k;
+        for (int i = 0; i < len; ++i) col[static_cast<std::size_t>(i)] = a(k + i, k);
+        const double beta = make_householder(col.data(), len);
+        const double rkk = std::abs(col[0]);
+        if (k == 0) r00 = rkk;
+        if (rkk <= rel_tol * (r00 > 0.0 ? r00 : 1.0)) break;
+        ++rank;
+        a(k, k) = col[0];
+        for (int i = 1; i < len; ++i) a(k + i, k) = col[static_cast<std::size_t>(i)];
+        for (int j = k + 1; j < n; ++j) {
+            double w = a(k, j);
+            for (int i = 1; i < len; ++i) w += a(k + i, k) * a(k + i, j);
+            w *= beta;
+            a(k, j) -= w;
+            for (int i = 1; i < len; ++i) a(k + i, j) -= w * a(k + i, k);
+            colnorm[static_cast<std::size_t>(j)] -= a(k, j) * a(k, j);
+            if (colnorm[static_cast<std::size_t>(j)] < 0.0) colnorm[static_cast<std::size_t>(j)] = 0.0;
+        }
+    }
+    return rank;
+}
+
+}  // namespace atmor::la

@@ -1,0 +1,38 @@
+// Householder QR factorisation (real), thin-Q extraction, least squares and
+// rank-revealing column-pivoted variant used for basis deflation diagnostics.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace atmor::la {
+
+/// Householder QR of an m x n matrix (m >= n): A = Q R.
+class QrFactorization {
+public:
+    explicit QrFactorization(Matrix a);
+
+    /// Thin Q (m x n) with orthonormal columns.
+    [[nodiscard]] Matrix thin_q() const;
+
+    /// Upper-triangular R (n x n).
+    [[nodiscard]] Matrix r() const;
+
+    /// Least-squares solution of min ||A x - b||_2.
+    [[nodiscard]] Vec solve_least_squares(Vec b) const;
+
+    [[nodiscard]] int rows() const { return qr_.rows(); }
+    [[nodiscard]] int cols() const { return qr_.cols(); }
+
+private:
+    void apply_qt(Vec& v) const;  // v <- Q^T v
+
+    Matrix qr_;        // Householder vectors below diagonal, R on/above
+    Vec beta_;         // Householder scalars
+};
+
+/// Column-pivoted QR rank estimate: number of diagonal |R_ii| > tol * |R_00|.
+int numerical_rank(Matrix a, double rel_tol);
+
+}  // namespace atmor::la

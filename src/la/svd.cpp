@@ -1,0 +1,93 @@
+#include "la/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace atmor::la {
+
+namespace {
+
+/// One-sided Jacobi on a tall matrix (m >= n): returns U (columns), sigma, V.
+SvdResult jacobi_svd_tall(Matrix a) {
+    const int m = a.rows(), n = a.cols();
+    Matrix v = Matrix::identity(n);
+
+    const double eps = 1e-15;
+    const int max_sweeps = 60;
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        bool rotated = false;
+        for (int p = 0; p < n - 1; ++p) {
+            for (int q = p + 1; q < n; ++q) {
+                double app = 0.0, aqq = 0.0, apq = 0.0;
+                for (int i = 0; i < m; ++i) {
+                    app += a(i, p) * a(i, p);
+                    aqq += a(i, q) * a(i, q);
+                    apq += a(i, p) * a(i, q);
+                }
+                if (std::abs(apq) <= eps * std::sqrt(app * aqq) || apq == 0.0) continue;
+                rotated = true;
+                // Jacobi rotation diagonalising [[app, apq], [apq, aqq]].
+                const double tau = (aqq - app) / (2.0 * apq);
+                const double t = ((tau >= 0.0) ? 1.0 : -1.0) /
+                                 (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+                const double c = 1.0 / std::sqrt(1.0 + t * t);
+                const double s = c * t;
+                for (int i = 0; i < m; ++i) {
+                    const double x = a(i, p), y = a(i, q);
+                    a(i, p) = c * x - s * y;
+                    a(i, q) = s * x + c * y;
+                }
+                for (int i = 0; i < n; ++i) {
+                    const double x = v(i, p), y = v(i, q);
+                    v(i, p) = c * x - s * y;
+                    v(i, q) = s * x + c * y;
+                }
+            }
+        }
+        if (!rotated) break;
+    }
+
+    // Column norms are the singular values.
+    Vec sigma(static_cast<std::size_t>(n));
+    Matrix u(m, n);
+    for (int j = 0; j < n; ++j) {
+        double s = 0.0;
+        for (int i = 0; i < m; ++i) s += a(i, j) * a(i, j);
+        s = std::sqrt(s);
+        sigma[static_cast<std::size_t>(j)] = s;
+        if (s > 0.0)
+            for (int i = 0; i < m; ++i) u(i, j) = a(i, j) / s;
+    }
+
+    // Sort descending.
+    std::vector<int> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int x, int y) {
+        return sigma[static_cast<std::size_t>(x)] > sigma[static_cast<std::size_t>(y)];
+    });
+    SvdResult out{Matrix(m, n), Vec(static_cast<std::size_t>(n)), Matrix(n, n)};
+    for (int j = 0; j < n; ++j) {
+        const int src = order[static_cast<std::size_t>(j)];
+        out.sigma[static_cast<std::size_t>(j)] = sigma[static_cast<std::size_t>(src)];
+        for (int i = 0; i < m; ++i) out.u(i, j) = u(i, src);
+        for (int i = 0; i < n; ++i) out.v(i, j) = v(i, src);
+    }
+    return out;
+}
+
+}  // namespace
+
+SvdResult svd(const Matrix& a) {
+    ATMOR_REQUIRE(!a.empty(), "svd: empty matrix");
+    if (a.rows() >= a.cols()) return jacobi_svd_tall(a);
+    // A = U S V^T  <=>  A^T = V S U^T.
+    SvdResult t = jacobi_svd_tall(transpose(a));
+    return SvdResult{t.v, t.sigma, t.u};
+}
+
+Vec singular_values(const Matrix& a) { return svd(a).sigma; }
+
+}  // namespace atmor::la

@@ -1,0 +1,26 @@
+// One-sided Jacobi SVD. Small/medium dense matrices only -- used for
+// deflation diagnostics, gramian-based order selection (paper Remark 1:
+// "automatic selection of moment numbers ... can utilize the Hankel singular
+// values"), and test oracles.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace atmor::la {
+
+struct SvdResult {
+    Matrix u;        ///< m x r left singular vectors (r = min(m, n))
+    Vec sigma;       ///< singular values, descending
+    Matrix v;        ///< n x r right singular vectors
+};
+
+/// Full thin SVD A = U diag(sigma) V^T via one-sided Jacobi (m >= n is
+/// handled internally by transposing when needed).
+SvdResult svd(const Matrix& a);
+
+/// Singular values only (descending).
+Vec singular_values(const Matrix& a);
+
+}  // namespace atmor::la

@@ -1,0 +1,92 @@
+// Free-function vector arithmetic on std::vector<double> / std::vector<complex>.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace atmor::la {
+
+template <class T>
+std::vector<T>& axpy(T alpha, const std::vector<T>& x, std::vector<T>& y) {
+    ATMOR_REQUIRE(x.size() == y.size(), "axpy: size mismatch");
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+    return y;
+}
+
+template <class T>
+std::vector<T>& scale(T alpha, std::vector<T>& x) {
+    for (auto& v : x) v *= alpha;
+    return x;
+}
+
+template <class T>
+std::vector<T> scaled(T alpha, std::vector<T> x) {
+    scale(alpha, x);
+    return x;
+}
+
+inline double dot(const std::vector<double>& a, const std::vector<double>& b) {
+    ATMOR_REQUIRE(a.size() == b.size(), "dot: size mismatch");
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+    return s;
+}
+
+/// Hermitian inner product <a, b> = sum conj(a_i) b_i.
+inline std::complex<double> dot(const std::vector<std::complex<double>>& a,
+                                const std::vector<std::complex<double>>& b) {
+    ATMOR_REQUIRE(a.size() == b.size(), "dot: size mismatch");
+    std::complex<double> s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += std::conj(a[i]) * b[i];
+    return s;
+}
+
+template <class T>
+double norm2(const std::vector<T>& a) {
+    double s = 0.0;
+    for (const auto& v : a) s += std::norm(std::complex<double>(v));
+    return std::sqrt(s);
+}
+
+template <class T>
+double norm_inf(const std::vector<T>& a) {
+    double m = 0.0;
+    for (const auto& v : a) m = std::max(m, std::abs(v));
+    return m;
+}
+
+template <class T>
+std::vector<T> add(std::vector<T> a, const std::vector<T>& b) {
+    ATMOR_REQUIRE(a.size() == b.size(), "add: size mismatch");
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+    return a;
+}
+
+template <class T>
+std::vector<T> sub(std::vector<T> a, const std::vector<T>& b) {
+    ATMOR_REQUIRE(a.size() == b.size(), "sub: size mismatch");
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] -= b[i];
+    return a;
+}
+
+/// Euclidean distance ||a - b||_2.
+template <class T>
+double dist2(const std::vector<T>& a, const std::vector<T>& b) {
+    ATMOR_REQUIRE(a.size() == b.size(), "dist2: size mismatch");
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += std::norm(std::complex<double>(a[i] - b[i]));
+    return std::sqrt(s);
+}
+
+/// Unit basis vector e_i of length n.
+inline std::vector<double> unit_vector(int n, int i) {
+    ATMOR_REQUIRE(i >= 0 && i < n, "unit_vector: index out of range");
+    std::vector<double> e(static_cast<std::size_t>(n), 0.0);
+    e[static_cast<std::size_t>(i)] = 1.0;
+    return e;
+}
+
+}  // namespace atmor::la

@@ -1,0 +1,259 @@
+#include "ode/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "la/lu.hpp"
+#include "la/vector_ops.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace atmor::ode {
+
+using la::Matrix;
+using la::Vec;
+using volterra::Qldae;
+
+namespace {
+
+void record(TransientResult& res, const Qldae& sys, double t, const Vec& x) {
+    res.t.push_back(t);
+    res.y.push_back(sys.output(x));
+}
+
+Vec rk4_step(const Qldae& sys, const InputFn& u, double t, double h, const Vec& x) {
+    const Vec k1 = sys.rhs(x, u(t));
+    Vec x2 = x;
+    la::axpy(0.5 * h, k1, x2);
+    const Vec k2 = sys.rhs(x2, u(t + 0.5 * h));
+    Vec x3 = x;
+    la::axpy(0.5 * h, k2, x3);
+    const Vec k3 = sys.rhs(x3, u(t + 0.5 * h));
+    Vec x4 = x;
+    la::axpy(h, k3, x4);
+    const Vec k4 = sys.rhs(x4, u(t + h));
+    Vec out = x;
+    for (std::size_t i = 0; i < x.size(); ++i)
+        out[i] += (h / 6.0) * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    return out;
+}
+
+TransientResult run_rk4(const Qldae& sys, const InputFn& u, const TransientOptions& opt,
+                        Vec x) {
+    TransientResult res;
+    const long nsteps = std::lround(std::ceil(opt.t_end / opt.dt));
+    const double h = opt.t_end / static_cast<double>(nsteps);
+    record(res, sys, 0.0, x);
+    for (long s = 0; s < nsteps; ++s) {
+        const double t = h * static_cast<double>(s);
+        x = rk4_step(sys, u, t, h, x);
+        ++res.steps;
+        if ((s + 1) % opt.record_stride == 0 || s + 1 == nsteps)
+            record(res, sys, t + h, x);
+    }
+    res.x_final = std::move(x);
+    return res;
+}
+
+TransientResult run_rkf45(const Qldae& sys, const InputFn& u, const TransientOptions& opt,
+                          Vec x) {
+    // Fehlberg 4(5) pair.
+    static constexpr double a2 = 0.25, a3 = 3.0 / 8.0, a4 = 12.0 / 13.0, a5 = 1.0,
+                            a6 = 0.5;
+    static constexpr double b21 = 0.25;
+    static constexpr double b31 = 3.0 / 32.0, b32 = 9.0 / 32.0;
+    static constexpr double b41 = 1932.0 / 2197.0, b42 = -7200.0 / 2197.0,
+                            b43 = 7296.0 / 2197.0;
+    static constexpr double b51 = 439.0 / 216.0, b52 = -8.0, b53 = 3680.0 / 513.0,
+                            b54 = -845.0 / 4104.0;
+    static constexpr double b61 = -8.0 / 27.0, b62 = 2.0, b63 = -3544.0 / 2565.0,
+                            b64 = 1859.0 / 4104.0, b65 = -11.0 / 40.0;
+    static constexpr double c41 = 25.0 / 216.0, c43 = 1408.0 / 2565.0, c44 = 2197.0 / 4104.0,
+                            c45 = -0.2;
+    static constexpr double c51 = 16.0 / 135.0, c53 = 6656.0 / 12825.0,
+                            c54 = 28561.0 / 56430.0, c55 = -9.0 / 50.0, c56 = 2.0 / 55.0;
+
+    TransientResult res;
+    record(res, sys, 0.0, x);
+    double t = 0.0;
+    double h = opt.dt;
+    const double h_max = opt.dt_max > 0.0 ? opt.dt_max : 100.0 * opt.dt;
+    long since_record = 0;
+    const std::size_t n = x.size();
+    while (t < opt.t_end) {
+        h = std::min(h, opt.t_end - t);
+        const Vec k1 = sys.rhs(x, u(t));
+        Vec xs = x;
+        la::axpy(h * b21, k1, xs);
+        const Vec k2 = sys.rhs(xs, u(t + a2 * h));
+        xs = x;
+        la::axpy(h * b31, k1, xs);
+        la::axpy(h * b32, k2, xs);
+        const Vec k3 = sys.rhs(xs, u(t + a3 * h));
+        xs = x;
+        la::axpy(h * b41, k1, xs);
+        la::axpy(h * b42, k2, xs);
+        la::axpy(h * b43, k3, xs);
+        const Vec k4 = sys.rhs(xs, u(t + a4 * h));
+        xs = x;
+        la::axpy(h * b51, k1, xs);
+        la::axpy(h * b52, k2, xs);
+        la::axpy(h * b53, k3, xs);
+        la::axpy(h * b54, k4, xs);
+        const Vec k5 = sys.rhs(xs, u(t + a5 * h));
+        xs = x;
+        la::axpy(h * b61, k1, xs);
+        la::axpy(h * b62, k2, xs);
+        la::axpy(h * b63, k3, xs);
+        la::axpy(h * b64, k4, xs);
+        la::axpy(h * b65, k5, xs);
+        const Vec k6 = sys.rhs(xs, u(t + a6 * h));
+
+        double err = 0.0, scale = 0.0;
+        Vec x5(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const double y4 = x[i] + h * (c41 * k1[i] + c43 * k3[i] + c44 * k4[i] + c45 * k5[i]);
+            const double y5 = x[i] + h * (c51 * k1[i] + c53 * k3[i] + c54 * k4[i] +
+                                          c55 * k5[i] + c56 * k6[i]);
+            x5[i] = y5;
+            err = std::max(err, std::abs(y5 - y4));
+            scale = std::max(scale, std::abs(y5));
+        }
+        const double tol = opt.rkf_tol * (1.0 + scale);
+        if (err <= tol || h <= opt.dt_min) {
+            t += h;
+            x = std::move(x5);
+            ++res.steps;
+            if (++since_record >= opt.record_stride || t >= opt.t_end) {
+                record(res, sys, t, x);
+                since_record = 0;
+            }
+        }
+        const double factor = (err > 0.0) ? 0.9 * std::pow(tol / err, 0.2) : 2.0;
+        h = std::clamp(h * std::clamp(factor, 0.1, 4.0), opt.dt_min, h_max);
+        ATMOR_CHECK(res.steps < 100000000L, "rkf45: step explosion");
+    }
+    res.x_final = std::move(x);
+    return res;
+}
+
+/// Implicit one-step methods (trapezoidal / backward Euler) with a modified
+/// Newton corrector. theta = 1/2 gives trapezoidal, theta = 1 backward Euler.
+TransientResult run_implicit(const Qldae& sys, const InputFn& u, const TransientOptions& opt,
+                             Vec x, double theta) {
+    TransientResult res;
+    const long nsteps = std::lround(std::ceil(opt.t_end / opt.dt));
+    const double h = opt.t_end / static_cast<double>(nsteps);
+    const int n = sys.order();
+    record(res, sys, 0.0, x);
+
+    std::unique_ptr<la::Lu> jac_lu;
+    auto refactor = [&](const Vec& x_lin, const Vec& u_lin) {
+        // J = I - theta*h*df/dx.
+        Matrix j = sys.jacobian(x_lin, u_lin);
+        j *= -theta * h;
+        for (int i = 0; i < n; ++i) j(i, i) += 1.0;
+        jac_lu = std::make_unique<la::Lu>(std::move(j));
+        ++res.factorizations;
+    };
+
+    for (long s = 0; s < nsteps; ++s) {
+        const double t = h * static_cast<double>(s);
+        const Vec u0 = u(t);
+        const Vec u1 = u(t + h);
+        const Vec f0 = sys.rhs(x, u0);
+
+        // Predictor: forward Euler.
+        Vec xn = x;
+        la::axpy(h, f0, xn);
+
+        if (!jac_lu || opt.refactor_every_step) refactor(x, u1);
+        bool converged = false;
+        for (int attempt = 0; attempt < 2 && !converged; ++attempt) {
+            for (int it = 0; it < opt.newton_max_iter; ++it) {
+                // r = xn - x - h*[(1-theta) f0 + theta f(xn, u1)].
+                Vec r = xn;
+                la::axpy(-1.0, x, r);
+                la::axpy(-h * (1.0 - theta), f0, r);
+                la::axpy(-h * theta, sys.rhs(xn, u1), r);
+                ++res.newton_iterations;
+                const double rnorm = la::norm_inf(r);
+                const double xnorm = la::norm_inf(xn);
+                if (rnorm <= opt.newton_tol * (1.0 + xnorm)) {
+                    converged = true;
+                    break;
+                }
+                const Vec dx = jac_lu->solve(r);
+                la::axpy(-1.0, dx, xn);
+            }
+            // Modified-Newton recovery: refresh the Jacobian at the current
+            // iterate and retry once before giving up.
+            if (!converged) refactor(xn, u1);
+        }
+        ATMOR_CHECK(converged, "implicit integrator: Newton failed at t = " << t + h);
+        x = std::move(xn);
+        ++res.steps;
+        if ((s + 1) % opt.record_stride == 0 || s + 1 == nsteps) record(res, sys, t + h, x);
+    }
+    res.x_final = std::move(x);
+    return res;
+}
+
+}  // namespace
+
+TransientResult simulate(const Qldae& sys, const InputFn& input, const TransientOptions& opt,
+                         const Vec& x0) {
+    ATMOR_REQUIRE(opt.t_end > 0.0 && opt.dt > 0.0, "simulate: need positive t_end and dt");
+    ATMOR_REQUIRE(opt.record_stride >= 1, "simulate: record_stride >= 1");
+    Vec x = x0.empty() ? Vec(static_cast<std::size_t>(sys.order()), 0.0) : x0;
+    ATMOR_REQUIRE(static_cast<int>(x.size()) == sys.order(), "simulate: x0 size mismatch");
+    ATMOR_REQUIRE(static_cast<int>(input(0.0).size()) == sys.inputs(),
+                  "simulate: input arity mismatch");
+
+    util::Timer timer;
+    TransientResult res;
+    switch (opt.method) {
+        case Method::rk4:
+            res = run_rk4(sys, input, opt, std::move(x));
+            break;
+        case Method::rkf45:
+            res = run_rkf45(sys, input, opt, std::move(x));
+            break;
+        case Method::trapezoidal:
+            res = run_implicit(sys, input, opt, std::move(x), 0.5);
+            break;
+        case Method::backward_euler:
+            res = run_implicit(sys, input, opt, std::move(x), 1.0);
+            break;
+    }
+    res.solve_seconds = timer.seconds();
+    return res;
+}
+
+double peak_relative_error(const TransientResult& reference, const TransientResult& test,
+                           int output_index) {
+    const auto trace = relative_error_trace(reference, test, output_index);
+    double peak = 0.0;
+    for (double e : trace) peak = std::max(peak, e);
+    return peak;
+}
+
+std::vector<double> relative_error_trace(const TransientResult& reference,
+                                         const TransientResult& test, int output_index) {
+    ATMOR_REQUIRE(reference.t.size() == test.t.size(),
+                  "relative_error_trace: traces must share the time grid ("
+                      << reference.t.size() << " vs " << test.t.size() << ")");
+    double scale = 0.0;
+    for (std::size_t r = 0; r < reference.t.size(); ++r)
+        scale = std::max(scale, std::abs(reference.output(static_cast<int>(r), output_index)));
+    if (scale == 0.0) scale = 1.0;
+    std::vector<double> out(reference.t.size());
+    for (std::size_t r = 0; r < reference.t.size(); ++r)
+        out[r] = std::abs(reference.output(static_cast<int>(r), output_index) -
+                          test.output(static_cast<int>(r), output_index)) /
+                 scale;
+    return out;
+}
+
+}  // namespace atmor::ode

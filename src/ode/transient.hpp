@@ -1,0 +1,69 @@
+// Transient simulation of QLDAE systems (full models and ROMs alike).
+//
+// The quadratised circuits carry e^{40 v} diode laws in their G2 rows, which
+// makes the dynamics stiff; the default integrator is therefore an implicit
+// trapezoidal rule with a modified Newton corrector (Jacobian frozen until
+// convergence degrades -- factor once, backsolve thousands of times). RK4 and
+// adaptive RKF45 are provided for non-stiff cases and cross-checks. Solve
+// statistics feed the paper's Table 1 "ODE solve" timing comparison.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "volterra/qldae.hpp"
+
+namespace atmor::ode {
+
+/// Input signal u(t) (length = system inputs).
+using InputFn = std::function<la::Vec(double)>;
+
+enum class Method { rk4, rkf45, trapezoidal, backward_euler };
+
+struct TransientOptions {
+    double t_end = 1.0;
+    double dt = 1e-3;                ///< fixed step (rk4/implicit); initial step (rkf45)
+    Method method = Method::trapezoidal;
+    int record_stride = 1;           ///< record every k-th step
+    double newton_tol = 1e-10;
+    int newton_max_iter = 25;
+    double rkf_tol = 1e-8;           ///< local error tolerance for rkf45
+    double dt_min = 1e-12;
+    double dt_max = 0.0;             ///< 0 => 100*dt
+    /// Refactor the Newton Jacobian at every implicit step (standard
+    /// SPICE-style Newton; the O(n^3)-per-step regime the paper's Table 1
+    /// timings live in). Default reuses the factor until convergence
+    /// degrades (modified Newton).
+    bool refactor_every_step = false;
+};
+
+struct TransientResult {
+    std::vector<double> t;           ///< recorded times
+    std::vector<la::Vec> y;          ///< recorded outputs (C x)
+    la::Vec x_final;                 ///< state at t_end
+    double solve_seconds = 0.0;      ///< wall time of the integration loop
+    long steps = 0;
+    long newton_iterations = 0;
+    long factorizations = 0;
+
+    /// Output sample (output_index) at record r.
+    [[nodiscard]] double output(int r, int output_index = 0) const {
+        return y[static_cast<std::size_t>(r)][static_cast<std::size_t>(output_index)];
+    }
+};
+
+/// Simulate the QLDAE from x(0) = x0 (zero if empty).
+TransientResult simulate(const volterra::Qldae& sys, const InputFn& input,
+                         const TransientOptions& opt, const la::Vec& x0 = {});
+
+/// Peak relative error between two recorded output traces, normalised by the
+/// peak magnitude of the reference (the error measure of the paper's figures).
+double peak_relative_error(const TransientResult& reference, const TransientResult& test,
+                           int output_index = 0);
+
+/// Pointwise relative-error trace |y_ref - y_test| / max|y_ref|.
+std::vector<double> relative_error_trace(const TransientResult& reference,
+                                         const TransientResult& test, int output_index = 0);
+
+}  // namespace atmor::ode

@@ -1,0 +1,113 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace atmor::sparse {
+
+CooBuilder::CooBuilder(int rows, int cols) : rows_(rows), cols_(cols) {
+    ATMOR_REQUIRE(rows >= 0 && cols >= 0, "CooBuilder: negative dimension");
+}
+
+void CooBuilder::add(int i, int j, double value) {
+    ATMOR_REQUIRE(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+                  "CooBuilder::add: (" << i << "," << j << ") out of " << rows_ << "x" << cols_);
+    if (value == 0.0) return;
+    entries_.push_back(Entry{i, j, value});
+}
+
+CsrMatrix::CsrMatrix(const CooBuilder& coo) : rows_(coo.rows()), cols_(coo.cols()) {
+    auto entries = coo.entries();
+    std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+        return (a.row != b.row) ? a.row < b.row : a.col < b.col;
+    });
+    row_ptr_.assign(static_cast<std::size_t>(rows_) + 1, 0);
+    for (std::size_t k = 0; k < entries.size();) {
+        std::size_t k2 = k;
+        double sum = 0.0;
+        while (k2 < entries.size() && entries[k2].row == entries[k].row &&
+               entries[k2].col == entries[k].col) {
+            sum += entries[k2].value;
+            ++k2;
+        }
+        if (sum != 0.0) {
+            col_idx_.push_back(entries[k].col);
+            values_.push_back(sum);
+            ++row_ptr_[static_cast<std::size_t>(entries[k].row) + 1];
+        }
+        k = k2;
+    }
+    for (int i = 0; i < rows_; ++i)
+        row_ptr_[static_cast<std::size_t>(i) + 1] += row_ptr_[static_cast<std::size_t>(i)];
+}
+
+CsrMatrix CsrMatrix::from_dense(const la::Matrix& m, double drop_tol) {
+    CooBuilder coo(m.rows(), m.cols());
+    for (int i = 0; i < m.rows(); ++i)
+        for (int j = 0; j < m.cols(); ++j)
+            if (std::abs(m(i, j)) > drop_tol) coo.add(i, j, m(i, j));
+    return CsrMatrix(coo);
+}
+
+la::Vec CsrMatrix::matvec(const la::Vec& x) const {
+    ATMOR_REQUIRE(static_cast<int>(x.size()) == cols_, "CsrMatrix::matvec: size mismatch");
+    la::Vec y(static_cast<std::size_t>(rows_), 0.0);
+    for (int i = 0; i < rows_; ++i) {
+        double acc = 0.0;
+        for (int k = row_ptr_[static_cast<std::size_t>(i)];
+             k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k)
+            acc += values_[static_cast<std::size_t>(k)] *
+                   x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+        y[static_cast<std::size_t>(i)] = acc;
+    }
+    return y;
+}
+
+la::ZVec CsrMatrix::matvec(const la::ZVec& x) const {
+    ATMOR_REQUIRE(static_cast<int>(x.size()) == cols_, "CsrMatrix::matvec: size mismatch");
+    la::ZVec y(static_cast<std::size_t>(rows_), la::Complex(0));
+    for (int i = 0; i < rows_; ++i) {
+        la::Complex acc(0);
+        for (int k = row_ptr_[static_cast<std::size_t>(i)];
+             k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k)
+            acc += values_[static_cast<std::size_t>(k)] *
+                   x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+        y[static_cast<std::size_t>(i)] = acc;
+    }
+    return y;
+}
+
+la::Vec CsrMatrix::matvec_transposed(const la::Vec& x) const {
+    ATMOR_REQUIRE(static_cast<int>(x.size()) == rows_,
+                  "CsrMatrix::matvec_transposed: size mismatch");
+    la::Vec y(static_cast<std::size_t>(cols_), 0.0);
+    for (int i = 0; i < rows_; ++i) {
+        const double xi = x[static_cast<std::size_t>(i)];
+        if (xi == 0.0) continue;
+        for (int k = row_ptr_[static_cast<std::size_t>(i)];
+             k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k)
+            y[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])] +=
+                values_[static_cast<std::size_t>(k)] * xi;
+    }
+    return y;
+}
+
+la::Matrix CsrMatrix::to_dense() const {
+    la::Matrix m(rows_, cols_);
+    add_to_dense(m);
+    return m;
+}
+
+void CsrMatrix::add_to_dense(la::Matrix& acc, double alpha) const {
+    ATMOR_REQUIRE(acc.rows() == rows_ && acc.cols() == cols_,
+                  "CsrMatrix::add_to_dense: shape mismatch");
+    for (int i = 0; i < rows_; ++i)
+        for (int k = row_ptr_[static_cast<std::size_t>(i)];
+             k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k)
+            acc(i, col_idx_[static_cast<std::size_t>(k)]) +=
+                alpha * values_[static_cast<std::size_t>(k)];
+}
+
+}  // namespace atmor::sparse

@@ -1,0 +1,68 @@
+// Compressed sparse row matrices, built from coordinate triplets.
+//
+// Circuit stamping (MNA) naturally produces duplicate-summed COO entries;
+// CsrMatrix is the read-optimised form used for matvecs during transient
+// simulation and for the G2/G3 "matrix views" over Kronecker-lifted vectors.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace atmor::sparse {
+
+/// Coordinate-format accumulator. Duplicate (i, j) entries are summed when
+/// converting to CSR, matching the usual element-stamping workflow.
+class CooBuilder {
+public:
+    CooBuilder(int rows, int cols);
+
+    void add(int i, int j, double value);
+
+    [[nodiscard]] int rows() const { return rows_; }
+    [[nodiscard]] int cols() const { return cols_; }
+    [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
+
+    struct Entry {
+        int row;
+        int col;
+        double value;
+    };
+    [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+private:
+    int rows_;
+    int cols_;
+    std::vector<Entry> entries_;
+};
+
+/// Immutable CSR matrix.
+class CsrMatrix {
+public:
+    CsrMatrix() = default;
+    explicit CsrMatrix(const CooBuilder& coo);
+
+    static CsrMatrix from_dense(const la::Matrix& m, double drop_tol = 0.0);
+
+    [[nodiscard]] int rows() const { return rows_; }
+    [[nodiscard]] int cols() const { return cols_; }
+    [[nodiscard]] int nnz() const { return static_cast<int>(values_.size()); }
+
+    [[nodiscard]] la::Vec matvec(const la::Vec& x) const;
+    [[nodiscard]] la::ZVec matvec(const la::ZVec& x) const;
+    [[nodiscard]] la::Vec matvec_transposed(const la::Vec& x) const;
+
+    [[nodiscard]] la::Matrix to_dense() const;
+
+    /// Scaled addition into a dense accumulator: acc += alpha * this.
+    void add_to_dense(la::Matrix& acc, double alpha = 1.0) const;
+
+private:
+    int rows_ = 0;
+    int cols_ = 0;
+    std::vector<int> row_ptr_;
+    std::vector<int> col_idx_;
+    std::vector<double> values_;
+};
+
+}  // namespace atmor::sparse

@@ -1,0 +1,116 @@
+#include "sparse/tensor3.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace atmor::sparse {
+
+SparseTensor3::SparseTensor3(int rows, int n1, int n2) : rows_(rows), n1_(n1), n2_(n2) {
+    ATMOR_REQUIRE(rows >= 0 && n1 >= 0 && n2 >= 0, "SparseTensor3: negative dimension");
+}
+
+void SparseTensor3::add(int r, int i, int j, double value) {
+    ATMOR_REQUIRE(r >= 0 && r < rows_ && i >= 0 && i < n1_ && j >= 0 && j < n2_,
+                  "SparseTensor3::add: (" << r << "," << i << "," << j << ") out of range");
+    if (value == 0.0) return;
+    entries_.push_back(Entry{r, i, j, value});
+}
+
+la::Vec SparseTensor3::apply(const la::Vec& x, const la::Vec& y) const {
+    ATMOR_REQUIRE(static_cast<int>(x.size()) == n1_ && static_cast<int>(y.size()) == n2_,
+                  "SparseTensor3::apply: size mismatch");
+    la::Vec out(static_cast<std::size_t>(rows_), 0.0);
+    for (const auto& e : entries_)
+        out[static_cast<std::size_t>(e.row)] +=
+            e.value * x[static_cast<std::size_t>(e.i)] * y[static_cast<std::size_t>(e.j)];
+    return out;
+}
+
+la::ZVec SparseTensor3::apply(const la::ZVec& x, const la::ZVec& y) const {
+    ATMOR_REQUIRE(static_cast<int>(x.size()) == n1_ && static_cast<int>(y.size()) == n2_,
+                  "SparseTensor3::apply: size mismatch");
+    la::ZVec out(static_cast<std::size_t>(rows_), la::Complex(0));
+    for (const auto& e : entries_)
+        out[static_cast<std::size_t>(e.row)] +=
+            e.value * x[static_cast<std::size_t>(e.i)] * y[static_cast<std::size_t>(e.j)];
+    return out;
+}
+
+la::Vec SparseTensor3::apply_lifted(const la::Vec& w) const {
+    ATMOR_REQUIRE(static_cast<int>(w.size()) == n1_ * n2_,
+                  "SparseTensor3::apply_lifted: size mismatch");
+    la::Vec out(static_cast<std::size_t>(rows_), 0.0);
+    for (const auto& e : entries_)
+        out[static_cast<std::size_t>(e.row)] +=
+            e.value * w[static_cast<std::size_t>(e.i) * static_cast<std::size_t>(n2_) +
+                        static_cast<std::size_t>(e.j)];
+    return out;
+}
+
+la::ZVec SparseTensor3::apply_lifted(const la::ZVec& w) const {
+    ATMOR_REQUIRE(static_cast<int>(w.size()) == n1_ * n2_,
+                  "SparseTensor3::apply_lifted: size mismatch");
+    la::ZVec out(static_cast<std::size_t>(rows_), la::Complex(0));
+    for (const auto& e : entries_)
+        out[static_cast<std::size_t>(e.row)] +=
+            e.value * w[static_cast<std::size_t>(e.i) * static_cast<std::size_t>(n2_) +
+                        static_cast<std::size_t>(e.j)];
+    return out;
+}
+
+la::Matrix SparseTensor3::jacobian(const la::Vec& x) const {
+    ATMOR_REQUIRE(n1_ == n2_, "SparseTensor3::jacobian: tensor must be square");
+    ATMOR_REQUIRE(static_cast<int>(x.size()) == n1_, "SparseTensor3::jacobian: size mismatch");
+    la::Matrix jac(rows_, n1_);
+    for (const auto& e : entries_) {
+        jac(e.row, e.i) += e.value * x[static_cast<std::size_t>(e.j)];
+        jac(e.row, e.j) += e.value * x[static_cast<std::size_t>(e.i)];
+    }
+    return jac;
+}
+
+la::Matrix SparseTensor3::contract_left(const la::Vec& x0) const {
+    ATMOR_REQUIRE(static_cast<int>(x0.size()) == n1_,
+                  "SparseTensor3::contract_left: size mismatch");
+    la::Matrix m(rows_, n2_);
+    for (const auto& e : entries_) m(e.row, e.j) += e.value * x0[static_cast<std::size_t>(e.i)];
+    return m;
+}
+
+la::Matrix SparseTensor3::contract_right(const la::Vec& x0) const {
+    ATMOR_REQUIRE(static_cast<int>(x0.size()) == n2_,
+                  "SparseTensor3::contract_right: size mismatch");
+    la::Matrix m(rows_, n1_);
+    for (const auto& e : entries_) m(e.row, e.i) += e.value * x0[static_cast<std::size_t>(e.j)];
+    return m;
+}
+
+SparseTensor3 SparseTensor3::symmetrized() const {
+    ATMOR_REQUIRE(n1_ == n2_, "SparseTensor3::symmetrized: tensor must be square");
+    // Merge (r, i, j) and (r, j, i) coefficients.
+    std::map<std::tuple<int, int, int>, double> acc;
+    for (const auto& e : entries_) {
+        acc[{e.row, e.i, e.j}] += 0.5 * e.value;
+        acc[{e.row, e.j, e.i}] += 0.5 * e.value;
+    }
+    SparseTensor3 s(rows_, n1_, n2_);
+    for (const auto& [key, value] : acc) {
+        const auto& [r, i, j] = key;
+        s.add(r, i, j, value);
+    }
+    return s;
+}
+
+la::Matrix SparseTensor3::to_dense_matrix() const {
+    la::Matrix m(rows_, n1_ * n2_);
+    for (const auto& e : entries_) m(e.row, e.i * n2_ + e.j) += e.value;
+    return m;
+}
+
+void SparseTensor3::scale(double alpha) {
+    for (auto& e : entries_) e.value *= alpha;
+}
+
+}  // namespace atmor::sparse

@@ -1,0 +1,113 @@
+#include "sparse/tensor4.hpp"
+
+#include "util/check.hpp"
+
+namespace atmor::sparse {
+
+SparseTensor4::SparseTensor4(int n) : n_(n) {
+    ATMOR_REQUIRE(n >= 0, "SparseTensor4: negative dimension");
+}
+
+void SparseTensor4::add(int r, int i, int j, int k, double value) {
+    ATMOR_REQUIRE(r >= 0 && r < n_ && i >= 0 && i < n_ && j >= 0 && j < n_ && k >= 0 && k < n_,
+                  "SparseTensor4::add: index out of range");
+    if (value == 0.0) return;
+    entries_.push_back(Entry{r, i, j, k, value});
+}
+
+la::Vec SparseTensor4::apply(const la::Vec& x, const la::Vec& y, const la::Vec& z) const {
+    ATMOR_REQUIRE(static_cast<int>(x.size()) == n_ && static_cast<int>(y.size()) == n_ &&
+                      static_cast<int>(z.size()) == n_,
+                  "SparseTensor4::apply: size mismatch");
+    la::Vec out(static_cast<std::size_t>(n_), 0.0);
+    for (const auto& e : entries_)
+        out[static_cast<std::size_t>(e.row)] += e.value * x[static_cast<std::size_t>(e.i)] *
+                                                y[static_cast<std::size_t>(e.j)] *
+                                                z[static_cast<std::size_t>(e.k)];
+    return out;
+}
+
+la::ZVec SparseTensor4::apply(const la::ZVec& x, const la::ZVec& y, const la::ZVec& z) const {
+    ATMOR_REQUIRE(static_cast<int>(x.size()) == n_ && static_cast<int>(y.size()) == n_ &&
+                      static_cast<int>(z.size()) == n_,
+                  "SparseTensor4::apply: size mismatch");
+    la::ZVec out(static_cast<std::size_t>(n_), la::Complex(0));
+    for (const auto& e : entries_)
+        out[static_cast<std::size_t>(e.row)] += e.value * x[static_cast<std::size_t>(e.i)] *
+                                                y[static_cast<std::size_t>(e.j)] *
+                                                z[static_cast<std::size_t>(e.k)];
+    return out;
+}
+
+la::ZVec SparseTensor4::apply_lifted(const la::ZVec& w) const {
+    const std::size_t n = static_cast<std::size_t>(n_);
+    ATMOR_REQUIRE(w.size() == n * n * n, "SparseTensor4::apply_lifted: size mismatch");
+    la::ZVec out(n, la::Complex(0));
+    for (const auto& e : entries_) {
+        const std::size_t idx = (static_cast<std::size_t>(e.i) * n +
+                                 static_cast<std::size_t>(e.j)) * n +
+                                static_cast<std::size_t>(e.k);
+        out[static_cast<std::size_t>(e.row)] += e.value * w[idx];
+    }
+    return out;
+}
+
+la::Vec SparseTensor4::apply_lifted(const la::Vec& w) const {
+    const std::size_t n = static_cast<std::size_t>(n_);
+    ATMOR_REQUIRE(w.size() == n * n * n, "SparseTensor4::apply_lifted: size mismatch");
+    la::Vec out(n, 0.0);
+    for (const auto& e : entries_) {
+        const std::size_t idx = (static_cast<std::size_t>(e.i) * n +
+                                 static_cast<std::size_t>(e.j)) * n +
+                                static_cast<std::size_t>(e.k);
+        out[static_cast<std::size_t>(e.row)] += e.value * w[idx];
+    }
+    return out;
+}
+
+la::Matrix SparseTensor4::jacobian(const la::Vec& x) const {
+    ATMOR_REQUIRE(static_cast<int>(x.size()) == n_, "SparseTensor4::jacobian: size mismatch");
+    la::Matrix jac(n_, n_);
+    for (const auto& e : entries_) {
+        const double xi = x[static_cast<std::size_t>(e.i)];
+        const double xj = x[static_cast<std::size_t>(e.j)];
+        const double xk = x[static_cast<std::size_t>(e.k)];
+        jac(e.row, e.i) += e.value * xj * xk;
+        jac(e.row, e.j) += e.value * xi * xk;
+        jac(e.row, e.k) += e.value * xi * xj;
+    }
+    return jac;
+}
+
+SparseTensor3 SparseTensor4::contract_once(const la::Vec& x0) const {
+    ATMOR_REQUIRE(static_cast<int>(x0.size()) == n_,
+                  "SparseTensor4::contract_once: size mismatch");
+    SparseTensor3 t(n_, n_, n_);
+    for (const auto& e : entries_) {
+        t.add(e.row, e.j, e.k, e.value * x0[static_cast<std::size_t>(e.i)]);
+        t.add(e.row, e.i, e.k, e.value * x0[static_cast<std::size_t>(e.j)]);
+        t.add(e.row, e.i, e.j, e.value * x0[static_cast<std::size_t>(e.k)]);
+    }
+    return t;
+}
+
+la::Matrix SparseTensor4::contract_twice(const la::Vec& x0) const {
+    ATMOR_REQUIRE(static_cast<int>(x0.size()) == n_,
+                  "SparseTensor4::contract_twice: size mismatch");
+    la::Matrix m(n_, n_);
+    for (const auto& e : entries_) {
+        const double xi = x0[static_cast<std::size_t>(e.i)];
+        const double xj = x0[static_cast<std::size_t>(e.j)];
+        const double xk = x0[static_cast<std::size_t>(e.k)];
+        m(e.row, e.k) += e.value * xi * xj;
+        m(e.row, e.j) += e.value * xi * xk;
+        m(e.row, e.i) += e.value * xj * xk;
+    }
+    return m;
+}
+
+void SparseTensor4::scale(double alpha) {
+    for (auto& e : entries_) e.value *= alpha;
+}
+
+}  // namespace atmor::sparse

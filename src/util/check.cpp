@@ -1,0 +1,23 @@
+#include "util/check.hpp"
+
+namespace atmor::util::detail {
+
+namespace {
+std::string format(const char* kind, const char* cond, const char* file, int line,
+                   const std::string& msg) {
+    std::ostringstream oss;
+    oss << kind << " failed: (" << cond << ") at " << file << ":" << line;
+    if (!msg.empty()) oss << " -- " << msg;
+    return oss.str();
+}
+}  // namespace
+
+void throw_precondition(const char* cond, const char* file, int line, const std::string& msg) {
+    throw PreconditionError(format("precondition", cond, file, line, msg));
+}
+
+void throw_internal(const char* cond, const char* file, int line, const std::string& msg) {
+    throw InternalError(format("internal invariant", cond, file, line, msg));
+}
+
+}  // namespace atmor::util::detail

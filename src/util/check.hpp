@@ -1,0 +1,57 @@
+// Precondition / invariant checking for the atmor library.
+//
+// ATMOR_REQUIRE(cond, msg)  -- throws atmor::util::PreconditionError; always on.
+//   Used for public-API argument validation (dimension mismatches, invalid
+//   orders, ...). These are programming errors of the *caller*.
+//
+// ATMOR_CHECK(cond, msg)    -- throws atmor::util::InternalError; always on.
+//   Used for internal invariants (e.g. "QR iteration converged"). A failure
+//   indicates a bug or numerical breakdown inside the library.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace atmor::util {
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+public:
+    explicit PreconditionError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// Thrown when an internal invariant fails (library bug or numerical breakdown).
+class InternalError : public std::runtime_error {
+public:
+    explicit InternalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(const char* cond, const char* file, int line,
+                                     const std::string& msg);
+[[noreturn]] void throw_internal(const char* cond, const char* file, int line,
+                                 const std::string& msg);
+}  // namespace detail
+
+}  // namespace atmor::util
+
+#define ATMOR_REQUIRE(cond, msg)                                                         \
+    do {                                                                                 \
+        if (!(cond)) {                                                                   \
+            ::std::ostringstream atmor_oss_;                                             \
+            atmor_oss_ << msg; /* NOLINT */                                              \
+            ::atmor::util::detail::throw_precondition(#cond, __FILE__, __LINE__,         \
+                                                      atmor_oss_.str());                 \
+        }                                                                                \
+    } while (false)
+
+#define ATMOR_CHECK(cond, msg)                                                           \
+    do {                                                                                 \
+        if (!(cond)) {                                                                   \
+            ::std::ostringstream atmor_oss_;                                             \
+            atmor_oss_ << msg; /* NOLINT */                                              \
+            ::atmor::util::detail::throw_internal(#cond, __FILE__, __LINE__,             \
+                                                  atmor_oss_.str());                     \
+        }                                                                                \
+    } while (false)

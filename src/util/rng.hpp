@@ -1,0 +1,37 @@
+// Deterministic random number helpers for tests and benchmark workloads.
+//
+// All randomised tests in the suite seed explicitly so failures reproduce.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace atmor::util {
+
+/// Deterministic RNG wrapper (mt19937_64) with convenience distributions.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo = 0.0, double hi = 1.0) {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /// Standard normal double.
+    double gaussian(double mean = 0.0, double stddev = 1.0) {
+        return std::normal_distribution<double>(mean, stddev)(engine_);
+    }
+
+    /// Uniform integer in [lo, hi] (inclusive).
+    int uniform_int(int lo, int hi) {
+        return std::uniform_int_distribution<int>(lo, hi)(engine_);
+    }
+
+    std::mt19937_64& engine() { return engine_; }
+
+private:
+    std::mt19937_64 engine_;
+};
+
+}  // namespace atmor::util

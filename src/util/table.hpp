@@ -1,0 +1,36 @@
+// Minimal fixed-width text table / CSV emitter used by the bench harnesses to
+// print the rows and series the paper's tables and figures report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace atmor::util {
+
+/// Accumulates rows of string cells and pretty-prints them with aligned
+/// columns (for humans) or as CSV (for plotting scripts).
+class Table {
+public:
+    explicit Table(std::vector<std::string> header);
+
+    /// Append one row; must have the same arity as the header.
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience: format doubles with the given precision.
+    static std::string num(double value, int precision = 6);
+
+    /// Aligned, human-readable rendering.
+    void print(std::ostream& os) const;
+
+    /// Comma-separated rendering (header + rows).
+    void print_csv(std::ostream& os) const;
+
+    [[nodiscard]] int rows() const { return static_cast<int>(rows_.size()); }
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace atmor::util

@@ -1,0 +1,29 @@
+// Wall-clock stopwatch used by the benchmark harnesses (Table 1 timings).
+#pragma once
+
+#include <chrono>
+
+namespace atmor::util {
+
+/// Monotonic wall-clock stopwatch. Starts on construction.
+class Timer {
+public:
+    Timer() : start_(Clock::now()) {}
+
+    /// Restart the stopwatch.
+    void reset() { start_ = Clock::now(); }
+
+    /// Seconds elapsed since construction or the last reset().
+    [[nodiscard]] double seconds() const {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /// Milliseconds elapsed since construction or the last reset().
+    [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+}  // namespace atmor::util

@@ -1,0 +1,345 @@
+#include "volterra/associated.hpp"
+
+#include <array>
+#include <map>
+
+#include "la/vector_ops.hpp"
+#include "tensor/kronecker.hpp"
+#include "util/check.hpp"
+
+namespace atmor::volterra {
+
+using la::Complex;
+using la::ZMatrix;
+using la::ZVec;
+
+namespace {
+
+/// Assignment (a | {b, c}) of inputs to the H1 (x) H2 factor structure of H3,
+/// deduplicated over the unordered pair {b, c} with multiplicity weights.
+struct Assignment {
+    int a;
+    int b;
+    int c;  // b <= c
+    double weight;
+};
+
+std::vector<Assignment> dedup_assignments(int i, int j, int k) {
+    std::map<std::tuple<int, int, int>, double> acc;
+    const std::array<std::array<int, 3>, 3> raw = {{{i, j, k}, {j, i, k}, {k, i, j}}};
+    for (const auto& r : raw) {
+        const int b = std::min(r[1], r[2]);
+        const int c = std::max(r[1], r[2]);
+        acc[{r[0], b, c}] += 1.0;
+    }
+    std::vector<Assignment> out;
+    out.reserve(acc.size());
+    for (const auto& [key, w] : acc)
+        out.push_back({std::get<0>(key), std::get<1>(key), std::get<2>(key), w});
+    return out;
+}
+
+/// All 6 permutations of a triple.
+std::array<std::array<int, 3>, 6> permutations3(int i, int j, int k) {
+    return {{{i, j, k}, {i, k, j}, {j, i, k}, {j, k, i}, {k, i, j}, {k, j, i}}};
+}
+
+}  // namespace
+
+AssociatedTransform::AssociatedTransform(Qldae sys)
+    : sys_(std::move(sys)),
+      schur_(std::make_shared<const la::ComplexSchur>(sys_.g1())),
+      ks2_(std::make_shared<tensor::KronSum2Solver>(schur_)) {
+    // Gt2 = [[G1, G2], [0, G1 (+) G1]] (eq. 17); the coupling block is G2's
+    // matrix view. A quadratic-free system still gets a valid (zero) coupling.
+    sparse::SparseTensor3 coupling = sys_.has_quadratic()
+                                         ? sys_.g2()
+                                         : sparse::SparseTensor3(sys_.order(), sys_.order(),
+                                                                 sys_.order());
+    gt2_ = std::make_shared<tensor::BlockTriangularSolver>(schur_, std::move(coupling), ks2_);
+}
+
+const std::shared_ptr<tensor::ShiftedSolver>& AssociatedTransform::m1_solver() const {
+    if (!m1_) m1_ = std::make_shared<tensor::KronSumLeftSolver>(schur_, gt2_);
+    return m1_;
+}
+
+const std::shared_ptr<tensor::ShiftedSolver>& AssociatedTransform::ks3_solver() const {
+    if (!ks3_) ks3_ = tensor::make_kron_sum3(schur_);
+    return ks3_;
+}
+
+ZVec AssociatedTransform::sym_lift(int i, int j) const {
+    const la::Vec bi = sys_.b_col(i);
+    const la::Vec bj = sys_.b_col(j);
+    la::Vec w = tensor::kron(bi, bj);
+    la::axpy(1.0, tensor::kron(bj, bi), w);
+    la::scale(0.5, w);
+    return la::complexify(w);
+}
+
+ZVec AssociatedTransform::d0(int i, int j) const {
+    ZVec v(static_cast<std::size_t>(sys_.order()), Complex(0));
+    if (!sys_.has_bilinear()) return v;
+    la::Vec w = la::matvec(sys_.d1(i), sys_.b_col(j));
+    la::axpy(1.0, la::matvec(sys_.d1(j), sys_.b_col(i)), w);
+    la::scale(0.5, w);
+    return la::complexify(w);
+}
+
+ZVec AssociatedTransform::btilde2(int i, int j) const {
+    const ZVec head = d0(i, j);
+    const ZVec tail = sym_lift(i, j);
+    ZVec out;
+    out.reserve(head.size() + tail.size());
+    out.insert(out.end(), head.begin(), head.end());
+    out.insert(out.end(), tail.begin(), tail.end());
+    return out;
+}
+
+ZVec AssociatedTransform::slice_m1(const ZVec& u) const {
+    // (I_n (x) c~2) vec(X), X in C^{p x n}: keep the first n rows of X.
+    const int n = sys_.order();
+    const int p = n + n * n;
+    ZVec out(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            out[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(j)] =
+                u[static_cast<std::size_t>(i) * p + static_cast<std::size_t>(j)];
+    return out;
+}
+
+ZVec AssociatedTransform::slice_m2(const ZVec& u) const {
+    // (c~2 (x) I_n) applied to the commuted vector: entry [alpha*n + i] of the
+    // commuted layout equals u[i*p + alpha], alpha < n.
+    const int n = sys_.order();
+    const int p = n + n * n;
+    ZVec out(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+    for (int alpha = 0; alpha < n; ++alpha)
+        for (int i = 0; i < n; ++i)
+            out[static_cast<std::size_t>(alpha) * n + static_cast<std::size_t>(i)] =
+                u[static_cast<std::size_t>(i) * p + static_cast<std::size_t>(alpha)];
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Pointwise evaluation
+// ---------------------------------------------------------------------------
+
+ZMatrix AssociatedTransform::h1(Complex s) const {
+    const int n = sys_.order(), m = sys_.inputs();
+    ZMatrix out(n, m);
+    for (int i = 0; i < m; ++i)
+        out.set_col(i, schur_->solve_shifted(s, la::complexify(sys_.b_col(i))));
+    return out;
+}
+
+ZMatrix AssociatedTransform::a2h2(Complex s) const {
+    const int n = sys_.order(), m = sys_.inputs();
+    ZMatrix out(n, m * m);
+    if (!sys_.has_quadratic() && !sys_.has_bilinear()) return out;
+    for (int i = 0; i < m; ++i) {
+        for (int j = i; j < m; ++j) {
+            ZVec g = d0(i, j);
+            if (sys_.has_quadratic()) {
+                const ZVec w = ks2_->solve(s, sym_lift(i, j));
+                la::axpy(Complex(1), sys_.g2().apply_lifted(w), g);
+            }
+            const ZVec col = schur_->solve_shifted(s, g);
+            out.set_col(i * m + j, col);
+            if (i != j) out.set_col(j * m + i, col);
+        }
+    }
+    return out;
+}
+
+ZMatrix AssociatedTransform::a3h3(Complex s) const {
+    const int n = sys_.order(), m = sys_.inputs();
+    ZMatrix out(n, m * m * m);
+    const bool h2_alive = sys_.has_quadratic() || sys_.has_bilinear();
+    const bool g2_part = sys_.has_quadratic() && h2_alive;
+    const bool d1_part = sys_.has_bilinear();
+    if (!g2_part && !d1_part && !sys_.has_cubic()) return out;
+
+    for (int i = 0; i < m; ++i) {
+        for (int j = i; j < m; ++j) {
+            for (int k = j; k < m; ++k) {
+                ZVec acc(static_cast<std::size_t>(n), Complex(0));
+                if (g2_part || d1_part) {
+                    for (const auto& as : dedup_assignments(i, j, k)) {
+                        const Complex w(as.weight / 3.0, 0.0);
+                        if (g2_part) {
+                            const ZVec beta =
+                                tensor::kron(la::complexify(sys_.b_col(as.a)),
+                                             btilde2(as.b, as.c));
+                            const ZVec u = m1_solver()->solve(s, beta);
+                            la::axpy(w, sys_.g2().apply_lifted(slice_m1(u)), acc);
+                            la::axpy(w, sys_.g2().apply_lifted(slice_m2(u)), acc);
+                        }
+                        if (d1_part)
+                            la::axpy(w, la::matvec_rc(sys_.d1(as.a), d0(as.b, as.c)), acc);
+                    }
+                }
+                if (sys_.has_cubic()) {
+                    ZVec gamma(static_cast<std::size_t>(n) * n * n, Complex(0));
+                    for (const auto& perm : permutations3(i, j, k)) {
+                        const la::Vec g = tensor::kron3(sys_.b_col(perm[0]), sys_.b_col(perm[1]),
+                                                        sys_.b_col(perm[2]));
+                        for (std::size_t idx = 0; idx < gamma.size(); ++idx)
+                            gamma[idx] += Complex(g[idx] / 6.0, 0.0);
+                    }
+                    const ZVec w3 = ks3_solver()->solve(s, gamma);
+                    la::axpy(Complex(1), sys_.g3().apply_lifted(w3), acc);
+                }
+                const ZVec col = schur_->solve_shifted(s, acc);
+                // Symmetric in (i, j, k): replicate over all index orderings.
+                for (const auto& perm : permutations3(i, j, k))
+                    out.set_col((perm[0] * m + perm[1]) * m + perm[2], col);
+            }
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Moments
+// ---------------------------------------------------------------------------
+
+std::vector<ZMatrix> AssociatedTransform::h1_moments(int count, Complex sigma0) const {
+    ATMOR_REQUIRE(count >= 0, "h1_moments: negative count");
+    const int n = sys_.order(), m = sys_.inputs();
+    std::vector<ZMatrix> out;
+    out.reserve(static_cast<std::size_t>(count));
+    std::vector<ZVec> cur(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) cur[static_cast<std::size_t>(i)] = la::complexify(sys_.b_col(i));
+    for (int j = 0; j < count; ++j) {
+        ZMatrix mj(n, m);
+        for (int i = 0; i < m; ++i) {
+            cur[static_cast<std::size_t>(i)] =
+                schur_->solve_shifted(sigma0, cur[static_cast<std::size_t>(i)]);
+            ZVec v = cur[static_cast<std::size_t>(i)];
+            if (j % 2 == 1) la::scale(Complex(-1), v);
+            mj.set_col(i, v);
+        }
+        out.push_back(std::move(mj));
+    }
+    return out;
+}
+
+std::vector<ZMatrix> AssociatedTransform::compose_with_leading_resolvent(
+    const std::vector<ZMatrix>& inner, Complex sigma0) const {
+    // Given g(s) = sum_c inner[c] (s-sigma0)^c, return the Taylor coefficients
+    // of (sI - G1)^{-1} g(s): m_j = sum_{c<=j} (-1)^{j-c} R^{j-c+1} inner[c].
+    const int count = static_cast<int>(inner.size());
+    const int n = sys_.order();
+    const int cols = count > 0 ? inner[0].cols() : 0;
+    std::vector<ZMatrix> out(static_cast<std::size_t>(count), ZMatrix(n, cols));
+    for (int c = 0; c < count; ++c) {
+        for (int col = 0; col < cols; ++col) {
+            ZVec cur = inner[static_cast<std::size_t>(c)].col(col);
+            for (int j = c; j < count; ++j) {
+                cur = schur_->solve_shifted(sigma0, cur);  // cur = R^{j-c+1} inner_c
+                const Complex sign = ((j - c) % 2 == 1) ? Complex(-1) : Complex(1);
+                for (int r = 0; r < n; ++r)
+                    out[static_cast<std::size_t>(j)](r, col) +=
+                        sign * cur[static_cast<std::size_t>(r)];
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<ZMatrix> AssociatedTransform::a2h2_moments(int count, Complex sigma0) const {
+    ATMOR_REQUIRE(count >= 0, "a2h2_moments: negative count");
+    const int n = sys_.order(), m = sys_.inputs();
+    std::vector<ZMatrix> inner(static_cast<std::size_t>(count), ZMatrix(n, m * m));
+    if (count == 0 || (!sys_.has_quadratic() && !sys_.has_bilinear()))
+        return std::vector<ZMatrix>(static_cast<std::size_t>(count), ZMatrix(n, m * m));
+
+    for (int i = 0; i < m; ++i) {
+        for (int j = i; j < m; ++j) {
+            // c = 0 constant part.
+            const ZVec dd = d0(i, j);
+            auto add_col = [&](int c, const ZVec& v) {
+                inner[static_cast<std::size_t>(c)].set_col(i * m + j, v);
+                if (i != j) inner[static_cast<std::size_t>(c)].set_col(j * m + i, v);
+            };
+            if (!sys_.has_quadratic()) {
+                add_col(0, dd);
+                continue;
+            }
+            ZVec w = sym_lift(i, j);
+            for (int c = 0; c < count; ++c) {
+                w = ks2_->solve(sigma0, w);
+                ZVec g = sys_.g2().apply_lifted(w);
+                if (c % 2 == 1) la::scale(Complex(-1), g);
+                if (c == 0) la::axpy(Complex(1), dd, g);
+                // accumulate into existing (zero) column
+                ZVec cur = inner[static_cast<std::size_t>(c)].col(i * m + j);
+                la::axpy(Complex(1), g, cur);
+                add_col(c, cur);
+            }
+        }
+    }
+    return compose_with_leading_resolvent(inner, sigma0);
+}
+
+std::vector<ZMatrix> AssociatedTransform::a3h3_moments(int count, Complex sigma0) const {
+    ATMOR_REQUIRE(count >= 0, "a3h3_moments: negative count");
+    const int n = sys_.order(), m = sys_.inputs();
+    std::vector<ZMatrix> inner(static_cast<std::size_t>(count), ZMatrix(n, m * m * m));
+    const bool g2_part = sys_.has_quadratic();
+    const bool d1_part = sys_.has_bilinear();
+    if (count == 0 || (!g2_part && !d1_part && !sys_.has_cubic()))
+        return std::vector<ZMatrix>(static_cast<std::size_t>(count), ZMatrix(n, m * m * m));
+
+    for (int i = 0; i < m; ++i) {
+        for (int j = i; j < m; ++j) {
+            for (int k = j; k < m; ++k) {
+                std::vector<ZVec> cols(static_cast<std::size_t>(count),
+                                       ZVec(static_cast<std::size_t>(n), Complex(0)));
+                for (const auto& as : dedup_assignments(i, j, k)) {
+                    const Complex w(as.weight / 3.0, 0.0);
+                    if (d1_part)
+                        la::axpy(w, la::matvec_rc(sys_.d1(as.a), d0(as.b, as.c)), cols[0]);
+                    if (g2_part) {
+                        ZVec u = tensor::kron(la::complexify(sys_.b_col(as.a)),
+                                              btilde2(as.b, as.c));
+                        for (int c = 0; c < count; ++c) {
+                            u = m1_solver()->solve(sigma0, u);
+                            const Complex sign = (c % 2 == 1) ? Complex(-1) : Complex(1);
+                            la::axpy(w * sign, sys_.g2().apply_lifted(slice_m1(u)),
+                                     cols[static_cast<std::size_t>(c)]);
+                            la::axpy(w * sign, sys_.g2().apply_lifted(slice_m2(u)),
+                                     cols[static_cast<std::size_t>(c)]);
+                        }
+                    }
+                }
+                if (sys_.has_cubic()) {
+                    ZVec gamma(static_cast<std::size_t>(n) * n * n, Complex(0));
+                    for (const auto& perm : permutations3(i, j, k)) {
+                        const la::Vec g = tensor::kron3(sys_.b_col(perm[0]), sys_.b_col(perm[1]),
+                                                        sys_.b_col(perm[2]));
+                        for (std::size_t idx = 0; idx < gamma.size(); ++idx)
+                            gamma[idx] += Complex(g[idx] / 6.0, 0.0);
+                    }
+                    ZVec u = std::move(gamma);
+                    for (int c = 0; c < count; ++c) {
+                        u = ks3_solver()->solve(sigma0, u);
+                        const Complex sign = (c % 2 == 1) ? Complex(-1) : Complex(1);
+                        la::axpy(sign, sys_.g3().apply_lifted(u),
+                                 cols[static_cast<std::size_t>(c)]);
+                    }
+                }
+                for (int c = 0; c < count; ++c)
+                    for (const auto& perm : permutations3(i, j, k))
+                        inner[static_cast<std::size_t>(c)].set_col(
+                            (perm[0] * m + perm[1]) * m + perm[2],
+                            cols[static_cast<std::size_t>(c)]);
+            }
+        }
+    }
+    return compose_with_leading_resolvent(inner, sigma0);
+}
+
+}  // namespace atmor::volterra

@@ -1,0 +1,97 @@
+// Associated transforms of the high-order Volterra transfer functions --
+// the paper's central contribution (Sec. 2.2-2.3).
+//
+// The association of variables A_n collapses H_n(s1,...,sn) to a single-s
+// function H_n(s) whose inverse Laplace transform is h_n(t,...,t). Theorems
+// 1 and 2 of the paper give, for the QLDAE (2):
+//
+//   A2(H2)(s) = (sI - G1)^{-1} ( G2 (sI - G1 (+) G1)^{-1} b~ + d0 )   (eq. 17)
+//        with b~ = sym(b_i (x) b_j), d0 = sym(D1_i b_j),
+//   A3(H3)(s) = (sI - G1)^{-1} ( G2 H~3(s) + D1^2 b + G3 (sI - (+)^3 G1)^{-1} b(x)3 )
+//        with H~3(s) = (I (x) c~2)(sI - G1 (+) Gt2)^{-1}(b (x) b~2)
+//                    + (c~2 (x) I)(sI - Gt2 (+) G1)^{-1}(b~2 (x) b),
+//
+// where Gt2 = [[G1, G2], [0, G1 (+) G1]], b~2 = [d0; b~], c~2 = [I 0] is the
+// (n + n^2)-order realisation of A2(H2). All resolvents are evaluated through
+// the structured solvers (tensor::), so nothing of size n^2 or larger is ever
+// factorised densely.
+//
+// This class provides pointwise evaluation of the associated transfer
+// functions and their moment sequences about arbitrary complex expansion
+// points -- the inputs to the proposed MOR (core::AtMor).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "la/schur.hpp"
+#include "tensor/structured.hpp"
+#include "volterra/qldae.hpp"
+
+namespace atmor::volterra {
+
+class AssociatedTransform {
+public:
+    explicit AssociatedTransform(Qldae sys);
+
+    /// H1(s) = (sI - G1)^{-1} B : n x m.
+    [[nodiscard]] la::ZMatrix h1(la::Complex s) const;
+
+    /// A2(H2)(s) : n x m^2 (column i*m + j for the ordered input pair).
+    [[nodiscard]] la::ZMatrix a2h2(la::Complex s) const;
+
+    /// A3(H3)(s) : n x m^3 (column (i*m + j)*m + k).
+    [[nodiscard]] la::ZMatrix a3h3(la::Complex s) const;
+
+    /// Moment sequences about sigma0: the j-th element is the j-th Taylor
+    /// coefficient of the associated transfer function in (s - sigma0).
+    [[nodiscard]] std::vector<la::ZMatrix> h1_moments(int count, la::Complex sigma0) const;
+    [[nodiscard]] std::vector<la::ZMatrix> a2h2_moments(int count, la::Complex sigma0) const;
+    [[nodiscard]] std::vector<la::ZMatrix> a3h3_moments(int count, la::Complex sigma0) const;
+
+    [[nodiscard]] const Qldae& system() const { return sys_; }
+    [[nodiscard]] const std::shared_ptr<const la::ComplexSchur>& schur_g1() const {
+        return schur_;
+    }
+
+    /// b~2^{(ij)} = [sym D1 b ; sym b_i (x) b_j] of the eq.-17 realisation.
+    [[nodiscard]] la::ZVec btilde2(int i, int j) const;
+    /// d0^{(ij)} = (D1_i b_j + D1_j b_i)/2 = h2^{(ij)}(0+, 0+) (the paper's D1 b).
+    [[nodiscard]] la::ZVec d0(int i, int j) const;
+
+    /// The structured solvers (exposed for the MOR layer and diagnostics).
+    [[nodiscard]] const std::shared_ptr<tensor::KronSum2Solver>& kron_sum2() const {
+        return ks2_;
+    }
+    [[nodiscard]] const std::shared_ptr<tensor::BlockTriangularSolver>& gtilde2() const {
+        return gt2_;
+    }
+
+private:
+    /// sym(b_i (x) b_j) lifted vector (length n^2).
+    [[nodiscard]] la::ZVec sym_lift(int i, int j) const;
+
+    /// (I (x) c~2) slice of a vec(X), X in C^{(n+n^2) x n}.
+    [[nodiscard]] la::ZVec slice_m1(const la::ZVec& u) const;
+    /// (c~2 (x) I) slice after commutation (read directly, no copy of u).
+    [[nodiscard]] la::ZVec slice_m2(const la::ZVec& u) const;
+
+    /// Lazily built big solvers.
+    const std::shared_ptr<tensor::ShiftedSolver>& m1_solver() const;
+    const std::shared_ptr<tensor::ShiftedSolver>& ks3_solver() const;
+
+    /// Inner moment sequences g_c (n-vectors per column) of the bracketed
+    /// part of A2(H2)/A3(H3), composed with the leading resolvent series.
+    [[nodiscard]] std::vector<la::ZMatrix> compose_with_leading_resolvent(
+        const std::vector<la::ZMatrix>& inner, la::Complex sigma0) const;
+
+    Qldae sys_;
+    std::shared_ptr<const la::ComplexSchur> schur_;
+    std::shared_ptr<tensor::KronSum2Solver> ks2_;
+    std::shared_ptr<tensor::BlockTriangularSolver> gt2_;
+    mutable std::shared_ptr<tensor::ShiftedSolver> m1_;   // G1 (+) Gt2
+    mutable std::shared_ptr<tensor::ShiftedSolver> ks3_;  // (+)^3 G1
+};
+
+}  // namespace atmor::volterra

@@ -1,0 +1,98 @@
+#include "volterra/qldae.hpp"
+
+#include "la/vector_ops.hpp"
+#include "util/check.hpp"
+
+namespace atmor::volterra {
+
+Qldae::Qldae(la::Matrix g1, sparse::SparseTensor3 g2, la::Matrix b, la::Matrix c)
+    : Qldae(std::move(g1), std::move(g2), sparse::SparseTensor4(), {}, std::move(b),
+            std::move(c)) {}
+
+Qldae::Qldae(la::Matrix g1, sparse::SparseTensor3 g2, sparse::SparseTensor4 g3,
+             std::vector<la::Matrix> d1, la::Matrix b, la::Matrix c)
+    : g1_(std::move(g1)),
+      g2_(std::move(g2)),
+      g3_(std::move(g3)),
+      d1_(std::move(d1)),
+      b_(std::move(b)),
+      c_(std::move(c)) {
+    validate();
+}
+
+void Qldae::validate() const {
+    const int n = g1_.rows();
+    ATMOR_REQUIRE(g1_.square(), "Qldae: G1 must be square");
+    ATMOR_REQUIRE(n > 0, "Qldae: empty system");
+    if (!g2_.empty() || g2_.rows() > 0) {
+        ATMOR_REQUIRE(g2_.rows() == n && g2_.n1() == n && g2_.n2() == n,
+                      "Qldae: G2 must be n x n x n");
+    }
+    if (!g3_.empty() || g3_.n() > 0) {
+        ATMOR_REQUIRE(g3_.n() == n, "Qldae: G3 must be n x n x n x n");
+    }
+    ATMOR_REQUIRE(b_.rows() == n, "Qldae: B rows must equal n");
+    ATMOR_REQUIRE(b_.cols() >= 1, "Qldae: at least one input required");
+    ATMOR_REQUIRE(c_.cols() == n, "Qldae: C cols must equal n");
+    ATMOR_REQUIRE(c_.rows() >= 1, "Qldae: at least one output required");
+    if (!d1_.empty()) {
+        ATMOR_REQUIRE(static_cast<int>(d1_.size()) == b_.cols(),
+                      "Qldae: need one D1 matrix per input, got " << d1_.size() << " for "
+                                                                  << b_.cols() << " inputs");
+        for (const auto& d : d1_)
+            ATMOR_REQUIRE(d.rows() == n && d.cols() == n, "Qldae: D1 must be n x n");
+    }
+}
+
+const la::Matrix& Qldae::d1(int input) const {
+    ATMOR_REQUIRE(input >= 0 && input < inputs(), "Qldae::d1: input index out of range");
+    static const la::Matrix empty;
+    if (d1_.empty()) {
+        return empty;  // caller checks has_bilinear() or handles 0x0
+    }
+    return d1_[static_cast<std::size_t>(input)];
+}
+
+la::Vec Qldae::rhs(const la::Vec& x, const la::Vec& u) const {
+    ATMOR_REQUIRE(static_cast<int>(x.size()) == order(), "Qldae::rhs: state size mismatch");
+    ATMOR_REQUIRE(static_cast<int>(u.size()) == inputs(), "Qldae::rhs: input size mismatch");
+    la::Vec f = la::matvec(g1_, x);
+    if (has_quadratic()) la::axpy(1.0, g2_.apply_quadratic(x), f);
+    if (has_cubic()) la::axpy(1.0, g3_.apply_cubic(x), f);
+    for (int i = 0; i < inputs(); ++i) {
+        const double ui = u[static_cast<std::size_t>(i)];
+        if (ui != 0.0) {
+            if (has_bilinear()) la::axpy(ui, la::matvec(d1_[static_cast<std::size_t>(i)], x), f);
+            for (int r = 0; r < order(); ++r) f[static_cast<std::size_t>(r)] += b_(r, i) * ui;
+        }
+    }
+    return f;
+}
+
+la::Matrix Qldae::jacobian(const la::Vec& x, const la::Vec& u) const {
+    ATMOR_REQUIRE(static_cast<int>(x.size()) == order(), "Qldae::jacobian: state size mismatch");
+    ATMOR_REQUIRE(static_cast<int>(u.size()) == inputs(), "Qldae::jacobian: input size mismatch");
+    la::Matrix jac = g1_;
+    if (has_quadratic()) jac += g2_.jacobian(x);
+    if (has_cubic()) jac += g3_.jacobian(x);
+    if (has_bilinear()) {
+        for (int i = 0; i < inputs(); ++i) {
+            const double ui = u[static_cast<std::size_t>(i)];
+            if (ui != 0.0) {
+                la::Matrix d = d1_[static_cast<std::size_t>(i)];
+                d *= ui;
+                jac += d;
+            }
+        }
+    }
+    return jac;
+}
+
+la::Matrix state_selector(int n, int state_index) {
+    ATMOR_REQUIRE(state_index >= 0 && state_index < n, "state_selector: index out of range");
+    la::Matrix c(1, n);
+    c(0, state_index) = 1.0;
+    return c;
+}
+
+}  // namespace atmor::volterra

@@ -1,0 +1,73 @@
+// The quadratic-linear (plus optional cubic) state-space system of the paper:
+//
+//     x' = G1 x + G2 (x (x) x) + G3 (x (x) x (x) x)
+//              + sum_i D1_i x u_i + B u,          y = C x        (paper eq. 2)
+//
+// The paper works with a "regular" system (invertible descriptor matrix
+// absorbed into the other operators); builders that start from C x' = f(x, u)
+// premultiply the inverse during construction (see circuits::).
+// G3 extends the paper's QLDAE to the cubic ODEs of its Sec. 3.4.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "sparse/tensor3.hpp"
+#include "sparse/tensor4.hpp"
+
+namespace atmor::volterra {
+
+class Qldae {
+public:
+    /// Quadratic system without bilinear input coupling (D1 = 0).
+    Qldae(la::Matrix g1, sparse::SparseTensor3 g2, la::Matrix b, la::Matrix c);
+
+    /// Full form. d1 must be empty or have one matrix per input column.
+    Qldae(la::Matrix g1, sparse::SparseTensor3 g2, sparse::SparseTensor4 g3,
+          std::vector<la::Matrix> d1, la::Matrix b, la::Matrix c);
+
+    [[nodiscard]] int order() const { return g1_.rows(); }    ///< state dimension n
+    [[nodiscard]] int inputs() const { return b_.cols(); }    ///< m
+    [[nodiscard]] int outputs() const { return c_.rows(); }   ///< l
+
+    [[nodiscard]] const la::Matrix& g1() const { return g1_; }
+    [[nodiscard]] const sparse::SparseTensor3& g2() const { return g2_; }
+    [[nodiscard]] const sparse::SparseTensor4& g3() const { return g3_; }
+    [[nodiscard]] const la::Matrix& b() const { return b_; }
+    [[nodiscard]] const la::Matrix& c() const { return c_; }
+
+    [[nodiscard]] bool has_quadratic() const { return !g2_.empty(); }
+    [[nodiscard]] bool has_cubic() const { return !g3_.empty(); }
+    [[nodiscard]] bool has_bilinear() const { return !d1_.empty(); }
+
+    /// D1 matrix of input i (zero-sized systems return a zero matrix view).
+    [[nodiscard]] const la::Matrix& d1(int input) const;
+
+    /// Input column b_i.
+    [[nodiscard]] la::Vec b_col(int input) const { return b_.col(input); }
+
+    /// Right-hand side f(x, u).
+    [[nodiscard]] la::Vec rhs(const la::Vec& x, const la::Vec& u) const;
+
+    /// State Jacobian df/dx at (x, u):
+    ///   G1 + G2 (I (x) x + x (x) I) + G3(...) + sum_i D1_i u_i.
+    [[nodiscard]] la::Matrix jacobian(const la::Vec& x, const la::Vec& u) const;
+
+    /// Output y = C x.
+    [[nodiscard]] la::Vec output(const la::Vec& x) const { return la::matvec(c_, x); }
+
+private:
+    void validate() const;
+
+    la::Matrix g1_;
+    sparse::SparseTensor3 g2_;
+    sparse::SparseTensor4 g3_;
+    std::vector<la::Matrix> d1_;
+    la::Matrix b_;
+    la::Matrix c_;
+};
+
+/// Convenience: single-output row selecting one state.
+la::Matrix state_selector(int n, int state_index);
+
+}  // namespace atmor::volterra

@@ -1,0 +1,144 @@
+#include "volterra/transfer.hpp"
+
+#include "la/vector_ops.hpp"
+#include "util/check.hpp"
+
+namespace atmor::volterra {
+
+using la::Complex;
+using la::ZMatrix;
+using la::ZVec;
+
+TransferEvaluator::TransferEvaluator(Qldae sys)
+    : sys_(std::move(sys)), schur_(std::make_shared<const la::ComplexSchur>(sys_.g1())) {}
+
+ZVec TransferEvaluator::resolvent(Complex s, const ZVec& rhs) const {
+    return schur_->solve_shifted(s, rhs);
+}
+
+ZVec TransferEvaluator::h1_col(Complex s, int input) const {
+    return resolvent(s, la::complexify(sys_.b_col(input)));
+}
+
+ZMatrix TransferEvaluator::h1(Complex s) const {
+    const int n = sys_.order(), m = sys_.inputs();
+    ZMatrix out(n, m);
+    for (int i = 0; i < m; ++i) out.set_col(i, h1_col(s, i));
+    return out;
+}
+
+ZVec TransferEvaluator::h2_col(Complex s1, Complex s2, int i, int j) const {
+    const ZVec hi = h1_col(s1, i);
+    const ZVec hj = h1_col(s2, j);
+    ZVec v(static_cast<std::size_t>(sys_.order()), Complex(0));
+    if (sys_.has_quadratic()) {
+        la::axpy(Complex(1), sys_.g2().apply(hi, hj), v);
+        la::axpy(Complex(1), sys_.g2().apply(hj, hi), v);
+    }
+    if (sys_.has_bilinear()) {
+        la::axpy(Complex(1), la::matvec_rc(sys_.d1(i), hj), v);
+        la::axpy(Complex(1), la::matvec_rc(sys_.d1(j), hi), v);
+    }
+    la::scale(Complex(0.5), v);
+    return resolvent(s1 + s2, v);
+}
+
+ZMatrix TransferEvaluator::h2(Complex s1, Complex s2) const {
+    const int n = sys_.order(), m = sys_.inputs();
+    ZMatrix out(n, m * m);
+    for (int i = 0; i < m; ++i)
+        for (int j = 0; j < m; ++j) out.set_col(i * m + j, h2_col(s1, s2, i, j));
+    return out;
+}
+
+ZMatrix TransferEvaluator::h3(Complex s1, Complex s2, Complex s3) const {
+    const int n = sys_.order(), m = sys_.inputs();
+    ZMatrix out(n, m * m * m);
+
+    for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < m; ++j) {
+            for (int k = 0; k < m; ++k) {
+                ZVec acc(static_cast<std::size_t>(n), Complex(0));
+                // The three H1 (x) H2 assignments: (i,s1|jk,s2s3), (j,s2|ik,s1s3),
+                // (k,s3|ij,s1s2), each in both Kronecker orders.
+                struct Assign {
+                    int a;
+                    Complex sa;
+                    int b;
+                    Complex sb;
+                    int c;
+                    Complex sc;
+                };
+                const Assign assigns[3] = {{i, s1, j, s2, k, s3},
+                                           {j, s2, i, s1, k, s3},
+                                           {k, s3, i, s1, j, s2}};
+                for (const auto& as : assigns) {
+                    const ZVec h1a = h1_col(as.sa, as.a);
+                    const ZVec h2bc = h2_col(as.sb, as.sc, as.b, as.c);
+                    if (sys_.has_quadratic()) {
+                        la::axpy(Complex(1), sys_.g2().apply(h1a, h2bc), acc);
+                        la::axpy(Complex(1), sys_.g2().apply(h2bc, h1a), acc);
+                    }
+                    if (sys_.has_bilinear())
+                        la::axpy(Complex(1), la::matvec_rc(sys_.d1(as.a), h2bc), acc);
+                }
+                if (sys_.has_cubic()) {
+                    // (1/2) sum over the 6 permutations of {(i,s1),(j,s2),(k,s3)}.
+                    const ZVec hi = h1_col(s1, i), hj = h1_col(s2, j), hk = h1_col(s3, k);
+                    ZVec cub(static_cast<std::size_t>(n), Complex(0));
+                    la::axpy(Complex(1), sys_.g3().apply(hi, hj, hk), cub);
+                    la::axpy(Complex(1), sys_.g3().apply(hi, hk, hj), cub);
+                    la::axpy(Complex(1), sys_.g3().apply(hj, hi, hk), cub);
+                    la::axpy(Complex(1), sys_.g3().apply(hj, hk, hi), cub);
+                    la::axpy(Complex(1), sys_.g3().apply(hk, hi, hj), cub);
+                    la::axpy(Complex(1), sys_.g3().apply(hk, hj, hi), cub);
+                    la::axpy(Complex(0.5), cub, acc);
+                }
+                la::scale(Complex(1.0 / 3.0), acc);
+                out.set_col((i * m + j) * m + k, resolvent(s1 + s2 + s3, acc));
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+ZMatrix map_output(const la::Matrix& c, const ZMatrix& x) {
+    ZMatrix y(c.rows(), x.cols());
+    for (int col = 0; col < x.cols(); ++col) y.set_col(col, la::matvec_rc(c, x.col(col)));
+    return y;
+}
+}  // namespace
+
+ZMatrix TransferEvaluator::output_h1(Complex s) const { return map_output(sys_.c(), h1(s)); }
+
+ZMatrix TransferEvaluator::output_h2(Complex s1, Complex s2) const {
+    return map_output(sys_.c(), h2(s1, s2));
+}
+
+ZMatrix TransferEvaluator::output_h3(Complex s1, Complex s2, Complex s3) const {
+    return map_output(sys_.c(), h3(s1, s2, s3));
+}
+
+HarmonicPrediction predict_harmonics(const TransferEvaluator& te, double omega,
+                                     double amplitude, int input, int output) {
+    const int m = te.system().inputs();
+    ATMOR_REQUIRE(input >= 0 && input < m, "predict_harmonics: bad input index");
+    ATMOR_REQUIRE(output >= 0 && output < te.system().outputs(),
+                  "predict_harmonics: bad output index");
+    const Complex jw(0.0, omega);
+    const double half = 0.5 * amplitude;
+
+    HarmonicPrediction p;
+    const int pair = input * m + input;
+    const int triple = (input * m + input) * m + input;
+    p.first = half * te.output_h1(jw)(output, input);
+    // x2 = sum over tone signs: e^{2jwt}: H2(jw, jw) (A/2)^2 ; DC: 2 H2(jw, -jw)(A/2)^2.
+    p.second = half * half * te.output_h2(jw, jw)(output, pair);
+    p.dc = 2.0 * half * half * te.output_h2(jw, std::conj(jw))(output, pair);
+    // e^{3jwt}: H3(jw, jw, jw) (A/2)^3.
+    p.third = half * half * half * te.output_h3(jw, jw, jw)(output, triple);
+    return p;
+}
+
+}  // namespace atmor::volterra

@@ -1,0 +1,65 @@
+// Direct evaluation of the multivariate Volterra transfer functions
+// H1(s), H2(s1,s2), H3(s1,s2,s3) of a QLDAE via the growing-exponential
+// (harmonic probing) formulas -- paper eq. (14a-c), extended with the cubic
+// G3 term used by Sec. 3.4:
+//
+//  H3 = (1/3)((s1+s2+s3)I - G1)^{-1} { G2 [6 H1 (x) H2 permutation terms]
+//        + D1 [3 H2 terms] + (1/2) G3 [6 H1 (x) H1 (x) H1 permutations] }.
+//
+// These are the ground truth the associated transform is tested against and
+// the quantities the harmonic-balance validation predicts.
+#pragma once
+
+#include <memory>
+
+#include "la/matrix.hpp"
+#include "la/schur.hpp"
+#include "volterra/qldae.hpp"
+
+namespace atmor::volterra {
+
+class TransferEvaluator {
+public:
+    explicit TransferEvaluator(Qldae sys);
+
+    /// H1(s): n x m.
+    [[nodiscard]] la::ZMatrix h1(la::Complex s) const;
+
+    /// H2(s1, s2): n x m^2, column i*m + j is the (input_i, input_j) kernel,
+    /// symmetric under (i, s1) <-> (j, s2).
+    [[nodiscard]] la::ZMatrix h2(la::Complex s1, la::Complex s2) const;
+
+    /// H3(s1, s2, s3): n x m^3, column (i*m + j)*m + k.
+    [[nodiscard]] la::ZMatrix h3(la::Complex s1, la::Complex s2, la::Complex s3) const;
+
+    /// Output-mapped kernels y = C * Hn(...): l x m^n.
+    [[nodiscard]] la::ZMatrix output_h1(la::Complex s) const;
+    [[nodiscard]] la::ZMatrix output_h2(la::Complex s1, la::Complex s2) const;
+    [[nodiscard]] la::ZMatrix output_h3(la::Complex s1, la::Complex s2, la::Complex s3) const;
+
+    [[nodiscard]] const Qldae& system() const { return sys_; }
+
+private:
+    [[nodiscard]] la::ZVec resolvent(la::Complex s, const la::ZVec& rhs) const;
+    [[nodiscard]] la::ZVec h1_col(la::Complex s, int input) const;
+    [[nodiscard]] la::ZVec h2_col(la::Complex s1, la::Complex s2, int i, int j) const;
+
+    Qldae sys_;
+    std::shared_ptr<const la::ComplexSchur> schur_;
+};
+
+/// Steady-state harmonic prediction for a single-tone input
+/// u_i(t) = amplitude * cos(omega t) on input `input` (others zero):
+/// returns the complex coefficients of e^{j k omega t}, k = 0..3, of the
+/// output, truncated at third order in the Volterra series.
+struct HarmonicPrediction {
+    la::Complex dc;      ///< k = 0 (second-order rectification)
+    la::Complex first;   ///< k = 1 (linear response; 3rd-order term omitted)
+    la::Complex second;  ///< k = 2, (A^2/4) H2(jw, jw)
+    la::Complex third;   ///< k = 3, (A^3/8) H3(jw, jw, jw)
+};
+
+HarmonicPrediction predict_harmonics(const TransferEvaluator& te, double omega,
+                                     double amplitude, int input = 0, int output = 0);
+
+}  // namespace atmor::volterra

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/atmor.hpp"
+#include "core/norm.hpp"
+#include "la/vector_ops.hpp"
+#include "test_qldae_helpers.hpp"
+#include "volterra/associated.hpp"
+#include "volterra/transfer.hpp"
+
+namespace atmor {
+namespace {
+
+using core::AtMorOptions;
+using core::MorResult;
+using la::Complex;
+using la::Vec;
+using la::ZMatrix;
+using volterra::AssociatedTransform;
+using volterra::Qldae;
+
+/// Output-mapped moment (C * moment column 0).
+la::ZVec output_moment(const Qldae& sys, const ZMatrix& moment, int col = 0) {
+    return la::matvec(la::complexify(sys.c()), moment.col(col));
+}
+
+TEST(AtMor, H1OutputMomentsMatchExactly) {
+    // Classic Krylov property: the ROM reproduces the first k1 moments of the
+    // linear transfer function.
+    util::Rng rng(2400);
+    test::QldaeOptions opt;
+    opt.n = 14;
+    const Qldae sys = test::random_qldae(opt, rng);
+    AtMorOptions mor;
+    mor.k1 = 4;
+    mor.k2 = 2;
+    mor.k3 = 0;
+    const MorResult res = core::reduce_associated(sys, mor);
+    ASSERT_GE(res.order, 4);
+
+    const AssociatedTransform full(sys);
+    const AssociatedTransform rom(res.rom);
+    const auto mf = full.h1_moments(4, Complex(0, 0));
+    const auto mr = rom.h1_moments(4, Complex(0, 0));
+    for (int j = 0; j < 4; ++j) {
+        const la::ZVec yf = output_moment(sys, mf[static_cast<std::size_t>(j)]);
+        const la::ZVec yr = output_moment(res.rom, mr[static_cast<std::size_t>(j)]);
+        EXPECT_LT(la::dist2(yf, yr), 1e-8 * (1.0 + la::norm2(yf))) << "moment " << j;
+    }
+}
+
+TEST(AtMor, MultipointH1Matching) {
+    util::Rng rng(2401);
+    test::QldaeOptions opt;
+    opt.n = 16;
+    const Qldae sys = test::random_qldae(opt, rng);
+    AtMorOptions mor;
+    mor.k1 = 3;
+    mor.k2 = 0;
+    mor.k3 = 0;
+    mor.expansion_points = {Complex(0.0, 0.0), Complex(0.0, 2.0)};
+    const MorResult res = core::reduce_associated(sys, mor);
+
+    const AssociatedTransform full(sys);
+    const AssociatedTransform rom(res.rom);
+    for (const Complex s0 : mor.expansion_points) {
+        const auto mf = full.h1_moments(3, s0);
+        const auto mr = rom.h1_moments(3, s0);
+        for (int j = 0; j < 3; ++j) {
+            const la::ZVec yf = output_moment(sys, mf[static_cast<std::size_t>(j)]);
+            const la::ZVec yr = output_moment(res.rom, mr[static_cast<std::size_t>(j)]);
+            EXPECT_LT(la::dist2(yf, yr), 1e-7 * (1.0 + la::norm2(yf)));
+        }
+    }
+}
+
+TEST(AtMor, SecondOrderAccuracyImprovesWithK2) {
+    // Including A2(H2) moment directions must improve the reduced
+    // second-order transfer function near the expansion point.
+    util::Rng rng(2402);
+    test::QldaeOptions opt;
+    opt.n = 18;
+    opt.nl_scale = 0.4;
+    const Qldae sys = test::random_qldae(opt, rng);
+
+    auto a2h2_err = [&](const MorResult& res) {
+        const AssociatedTransform full(sys);
+        const AssociatedTransform rom(res.rom);
+        double err = 0.0, ref = 0.0;
+        for (const Complex s : {Complex(0.05, 0.0), Complex(0.0, 0.2), Complex(0.1, 0.3)}) {
+            const la::ZVec yf = la::matvec(la::complexify(sys.c()), full.a2h2(s).col(0));
+            const la::ZVec yr = la::matvec(la::complexify(res.rom.c()), rom.a2h2(s).col(0));
+            err += la::dist2(yf, yr);
+            ref += la::norm2(yf);
+        }
+        return err / (ref + 1e-300);
+    };
+
+    AtMorOptions lin;
+    lin.k1 = 4;
+    lin.k2 = 0;
+    lin.k3 = 0;
+    AtMorOptions quad = lin;
+    quad.k2 = 4;
+    const double err_lin = a2h2_err(core::reduce_associated(sys, lin));
+    const double err_quad = a2h2_err(core::reduce_associated(sys, quad));
+    // Measured on this fixture: 0.52 (k2=0) -> 0.0044 (k2=4), a ~120x gain.
+    // Matching through the top-block projection is not exact for the higher
+    // kernels (one-sided Galerkin), so assert a strong-but-finite improvement.
+    EXPECT_LT(err_quad, 0.05 * err_lin);
+    EXPECT_LT(err_quad, 1e-2);
+}
+
+TEST(AtMor, BasisSizeIsSumOfMomentCounts) {
+    // Paper Remark 1: proposed basis ~ O(k1 + k2 + k3) (before deflation).
+    util::Rng rng(2403);
+    test::QldaeOptions opt;
+    opt.n = 15;
+    opt.cubic = true;
+    const Qldae sys = test::random_qldae(opt, rng);
+    AtMorOptions mor;
+    mor.k1 = 5;
+    mor.k2 = 3;
+    mor.k3 = 2;
+    const MorResult res = core::reduce_associated(sys, mor);
+    EXPECT_EQ(res.raw_vectors, 10);
+    EXPECT_LE(res.order, 10);
+    EXPECT_GE(res.order, 5);
+}
+
+TEST(AtMor, TransientAccuracyEndToEnd) {
+    // Weakly nonlinear random system: ROM transient must track the full model.
+    util::Rng rng(2404);
+    test::QldaeOptions opt;
+    opt.n = 20;
+    opt.nl_scale = 0.15;
+    opt.bilinear = true;
+    const Qldae sys = test::random_qldae(opt, rng);
+    AtMorOptions mor;
+    mor.k1 = 6;
+    mor.k2 = 3;
+    mor.k3 = 2;
+    // DC expansion plus the drive frequency (multipoint, paper Remark 3).
+    mor.expansion_points = {Complex(0.0, 0.0), Complex(0.0, 1.1)};
+    const MorResult res = core::reduce_associated(sys, mor);
+
+    auto simulate = [&](const Qldae& s, double t_end, int steps) {
+        auto f = [&](double time, const Vec& x) {
+            return s.rhs(x, Vec{0.1 * std::sin(1.1 * time)});
+        };
+        std::vector<double> ys;
+        Vec x(static_cast<std::size_t>(s.order()), 0.0);
+        const int chunks = 50;
+        for (int c2 = 0; c2 < chunks; ++c2) {
+            x = test::rk4_integrate(f, x, t_end * c2 / chunks, t_end * (c2 + 1) / chunks,
+                                    steps / chunks);
+            ys.push_back(s.output(x)[0]);
+        }
+        return ys;
+    };
+    const auto y_full = simulate(sys, 8.0, 4000);
+    const auto y_rom = simulate(res.rom, 8.0, 4000);
+    double max_err = 0.0, max_ref = 0.0;
+    for (std::size_t i = 0; i < y_full.size(); ++i) {
+        max_err = std::max(max_err, std::abs(y_full[i] - y_rom[i]));
+        max_ref = std::max(max_ref, std::abs(y_full[i]));
+    }
+    // The paper's own experiments report relative errors in the 1e-3..1e-2
+    // band (Figs. 2c, 3b, 4c); hold this fixture to the same standard.
+    EXPECT_LT(max_err, 1e-2 * max_ref);
+}
+
+TEST(AtMor, ReduceLinearIsK1Only) {
+    util::Rng rng(2405);
+    test::QldaeOptions opt;
+    opt.n = 10;
+    const Qldae sys = test::random_qldae(opt, rng);
+    const MorResult res = core::reduce_linear(sys, 4);
+    EXPECT_EQ(res.raw_vectors, 4);
+}
+
+TEST(AtMor, InvalidOptionsThrow) {
+    util::Rng rng(2406);
+    test::QldaeOptions opt;
+    opt.n = 5;
+    const Qldae sys = test::random_qldae(opt, rng);
+    AtMorOptions mor;
+    mor.k1 = 0;
+    EXPECT_THROW(core::reduce_associated(sys, mor), util::PreconditionError);
+    mor.k1 = 2;
+    mor.expansion_points.clear();
+    EXPECT_THROW(core::reduce_associated(sys, mor), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace atmor

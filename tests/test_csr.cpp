@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "la/vector_ops.hpp"
+#include "sparse/csr.hpp"
+#include "test_helpers.hpp"
+
+namespace atmor {
+namespace {
+
+using la::Matrix;
+using la::Vec;
+using sparse::CooBuilder;
+using sparse::CsrMatrix;
+
+TEST(Csr, BuildFromCooSumsDuplicates) {
+    CooBuilder coo(2, 2);
+    coo.add(0, 0, 1.0);
+    coo.add(0, 0, 2.0);
+    coo.add(1, 1, -1.0);
+    const CsrMatrix m(coo);
+    EXPECT_EQ(m.nnz(), 2);
+    const Matrix d = m.to_dense();
+    EXPECT_DOUBLE_EQ(d(0, 0), 3.0);
+    EXPECT_DOUBLE_EQ(d(1, 1), -1.0);
+}
+
+TEST(Csr, CancellingDuplicatesDropped) {
+    CooBuilder coo(2, 2);
+    coo.add(0, 1, 5.0);
+    coo.add(0, 1, -5.0);
+    const CsrMatrix m(coo);
+    EXPECT_EQ(m.nnz(), 0);
+}
+
+TEST(Csr, MatvecMatchesDense) {
+    util::Rng rng(1100);
+    const Matrix d = test::random_matrix(7, 5, rng);
+    const CsrMatrix s = CsrMatrix::from_dense(d);
+    const Vec x = test::random_vector(5, rng);
+    EXPECT_LT(la::dist2(s.matvec(x), la::matvec(d, x)), 1e-13);
+}
+
+TEST(Csr, ComplexMatvec) {
+    util::Rng rng(1101);
+    const Matrix d = test::random_matrix(4, 4, rng);
+    const CsrMatrix s = CsrMatrix::from_dense(d);
+    const la::ZVec x = test::random_zvector(4, rng);
+    const la::ZVec y = s.matvec(x);
+    // Compare against complexified dense.
+    const la::ZVec y_ref = la::matvec(la::complexify(d), x);
+    EXPECT_LT(la::dist2(y, y_ref), 1e-13);
+}
+
+TEST(Csr, TransposedMatvec) {
+    util::Rng rng(1102);
+    const Matrix d = test::random_matrix(6, 3, rng);
+    const CsrMatrix s = CsrMatrix::from_dense(d);
+    const Vec x = test::random_vector(6, rng);
+    EXPECT_LT(la::dist2(s.matvec_transposed(x), la::matvec_transposed(d, x)), 1e-13);
+}
+
+TEST(Csr, AddToDenseScaled) {
+    CooBuilder coo(2, 2);
+    coo.add(0, 1, 4.0);
+    const CsrMatrix s(coo);
+    Matrix acc = Matrix::identity(2);
+    s.add_to_dense(acc, 0.5);
+    EXPECT_DOUBLE_EQ(acc(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(acc(0, 0), 1.0);
+}
+
+TEST(Csr, OutOfRangeThrows) {
+    CooBuilder coo(2, 2);
+    EXPECT_THROW(coo.add(2, 0, 1.0), util::PreconditionError);
+    EXPECT_THROW(coo.add(0, -1, 1.0), util::PreconditionError);
+}
+
+TEST(Csr, DropTolerance) {
+    Matrix d(2, 2);
+    d(0, 0) = 1e-14;
+    d(1, 1) = 1.0;
+    EXPECT_EQ(CsrMatrix::from_dense(d, 1e-12).nnz(), 1);
+}
+
+}  // namespace
+}  // namespace atmor

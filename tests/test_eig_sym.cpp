@@ -1,0 +1,44 @@
+#include <gtest/gtest.h>
+
+#include "la/eig_sym.hpp"
+#include "la/vector_ops.hpp"
+#include "test_helpers.hpp"
+
+namespace atmor {
+namespace {
+
+using la::Matrix;
+
+TEST(Eigh, DiagonalMatrix) {
+    Matrix a{{5.0, 0.0, 0.0}, {0.0, -1.0, 0.0}, {0.0, 0.0, 2.0}};
+    const auto [values, vectors] = la::eigh(a);
+    EXPECT_NEAR(values[0], 5.0, 1e-13);
+    EXPECT_NEAR(values[1], 2.0, 1e-13);
+    EXPECT_NEAR(values[2], -1.0, 1e-13);
+    (void)vectors;
+}
+
+TEST(Eigh, ReconstructsRandomSymmetric) {
+    util::Rng rng(1000);
+    const int n = 20;
+    Matrix a = test::random_matrix(n, n, rng);
+    a += la::transpose(a);
+    const auto [values, v] = la::eigh(a);
+    Matrix d(n, n);
+    for (int i = 0; i < n; ++i) d(i, i) = values[static_cast<std::size_t>(i)];
+    const Matrix rec = la::matmul(v, la::matmul(d, la::transpose(v)));
+    EXPECT_LT(la::max_abs(rec - a), 1e-10 * (1.0 + la::max_abs(a)));
+    EXPECT_LT(la::max_abs(la::matmul(la::transpose(v), v) - Matrix::identity(n)), 1e-11);
+}
+
+TEST(Eigh, KnownTwoByTwo) {
+    // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+    Matrix a{{2.0, 1.0}, {1.0, 2.0}};
+    const auto [values, v] = la::eigh(a);
+    EXPECT_NEAR(values[0], 3.0, 1e-13);
+    EXPECT_NEAR(values[1], 1.0, 1e-13);
+    (void)v;
+}
+
+}  // namespace
+}  // namespace atmor

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/expm.hpp"
+#include "la/lu.hpp"
+#include "test_helpers.hpp"
+
+namespace atmor {
+namespace {
+
+using la::Matrix;
+
+TEST(Expm, Zero) {
+    Matrix a(3, 3);
+    EXPECT_LT(la::max_abs(la::expm(a) - Matrix::identity(3)), 1e-15);
+}
+
+TEST(Expm, Diagonal) {
+    Matrix a{{1.0, 0.0}, {0.0, -2.0}};
+    const Matrix e = la::expm(a);
+    EXPECT_NEAR(e(0, 0), std::exp(1.0), 1e-13);
+    EXPECT_NEAR(e(1, 1), std::exp(-2.0), 1e-13);
+    EXPECT_NEAR(e(0, 1), 0.0, 1e-14);
+}
+
+TEST(Expm, NilpotentClosedForm) {
+    // exp([[0, 1], [0, 0]]) = [[1, 1], [0, 1]].
+    Matrix a{{0.0, 1.0}, {0.0, 0.0}};
+    const Matrix e = la::expm(a);
+    EXPECT_NEAR(e(0, 0), 1.0, 1e-14);
+    EXPECT_NEAR(e(0, 1), 1.0, 1e-14);
+    EXPECT_NEAR(e(1, 0), 0.0, 1e-14);
+    EXPECT_NEAR(e(1, 1), 1.0, 1e-14);
+}
+
+TEST(Expm, RotationGeneratorGivesCosSin) {
+    const double theta = 0.7;
+    Matrix a{{0.0, -theta}, {theta, 0.0}};
+    const Matrix e = la::expm(a);
+    EXPECT_NEAR(e(0, 0), std::cos(theta), 1e-13);
+    EXPECT_NEAR(e(0, 1), -std::sin(theta), 1e-13);
+    EXPECT_NEAR(e(1, 0), std::sin(theta), 1e-13);
+}
+
+TEST(Expm, InverseIsExpOfNegative) {
+    util::Rng rng(600);
+    const Matrix a = test::random_matrix(8, 8, rng);
+    const Matrix e = la::expm(a);
+    const Matrix em = la::expm(a * -1.0);
+    EXPECT_LT(la::max_abs(la::matmul(e, em) - Matrix::identity(8)), 1e-10);
+}
+
+TEST(Expm, SemigroupProperty) {
+    util::Rng rng(601);
+    Matrix a = test::random_matrix(6, 6, rng);
+    a *= 0.3;
+    const Matrix e1 = la::expm(a);
+    Matrix two_a = a;
+    two_a *= 2.0;
+    const Matrix e2 = la::expm(two_a);
+    EXPECT_LT(la::max_abs(la::matmul(e1, e1) - e2), 1e-11);
+}
+
+TEST(Expm, LargeNormScalesCorrectly) {
+    // 1x1 sanity with a large entry exercises the scaling path.
+    Matrix a{{8.0}};
+    EXPECT_NEAR(la::expm(a)(0, 0), std::exp(8.0), 1e-9 * std::exp(8.0));
+}
+
+}  // namespace
+}  // namespace atmor

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "la/lu.hpp"
+#include "la/vector_ops.hpp"
+#include "test_helpers.hpp"
+
+namespace atmor {
+namespace {
+
+using la::Complex;
+using la::Matrix;
+using la::Vec;
+using la::ZMatrix;
+using la::ZVec;
+
+class LuSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuSizes, SolveResidualSmall) {
+    const int n = GetParam();
+    util::Rng rng(100 + static_cast<std::uint64_t>(n));
+    const Matrix a = test::random_matrix(n, n, rng);
+    const Vec x_true = test::random_vector(n, rng);
+    const Vec b = la::matvec(a, x_true);
+    const Vec x = la::solve(a, b);
+    EXPECT_LT(la::dist2(x, x_true), 1e-9 * (1.0 + la::norm2(x_true)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LuSizes, ::testing::Values(1, 2, 3, 5, 10, 40, 120));
+
+TEST(Lu, DeterminantOfKnownMatrix) {
+    Matrix a{{2.0, 0.0}, {0.0, 3.0}};
+    EXPECT_NEAR(la::Lu(a).determinant(), 6.0, 1e-14);
+    Matrix b{{0.0, 1.0}, {1.0, 0.0}};  // permutation, det = -1
+    EXPECT_NEAR(la::Lu(b).determinant(), -1.0, 1e-14);
+}
+
+TEST(Lu, SingularMatrixThrows) {
+    Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+    EXPECT_THROW(la::Lu lu(a), util::InternalError);
+}
+
+TEST(Lu, ComplexSolve) {
+    util::Rng rng(7);
+    const int n = 12;
+    ZMatrix a(n, n);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j) a(i, j) = Complex(rng.gaussian(), rng.gaussian());
+    const ZVec x_true = test::random_zvector(n, rng);
+    const ZVec b = la::matvec(a, x_true);
+    const ZVec x = la::solve(a, b);
+    EXPECT_LT(la::dist2(x, x_true), 1e-10);
+}
+
+TEST(Lu, InverseTimesSelfIsIdentity) {
+    util::Rng rng(8);
+    const Matrix a = test::random_matrix(15, 15, rng);
+    const Matrix ai = la::inverse(a);
+    EXPECT_LT(la::max_abs(la::matmul(a, ai) - Matrix::identity(15)), 1e-10);
+}
+
+TEST(Lu, MatrixRhsSolve) {
+    util::Rng rng(9);
+    const Matrix a = test::random_matrix(10, 10, rng);
+    const Matrix b = test::random_matrix(10, 3, rng);
+    const Matrix x = la::Lu(a).solve(b);
+    EXPECT_LT(la::max_abs(la::matmul(a, x) - b), 1e-10);
+}
+
+TEST(Lu, PivotRatioProbesConditioning) {
+    Matrix well = Matrix::identity(4);
+    EXPECT_NEAR(la::Lu(well).pivot_ratio(), 1.0, 1e-14);
+    Matrix ill{{1.0, 0.0}, {0.0, 1e-12}};
+    EXPECT_LT(la::Lu(ill).pivot_ratio(), 1e-11);
+}
+
+TEST(Lu, RequiresSquare) {
+    Matrix a(2, 3);
+    EXPECT_THROW(la::Lu lu(a), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace atmor

@@ -1,0 +1,113 @@
+// s = infinity (Markov-parameter) expansion option of the proposed method
+// (paper Sec. 2.3: "expanding (14a) differently at s = infinity and s = 0
+// would invoke K_p(G1, b) and K_p(G1^{-1}, G1^{-1} b)").
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/atmor.hpp"
+#include "la/vector_ops.hpp"
+#include "test_qldae_helpers.hpp"
+#include "volterra/associated.hpp"
+
+namespace atmor {
+namespace {
+
+using core::AtMorOptions;
+using la::Complex;
+using la::Vec;
+using volterra::Qldae;
+
+/// Markov parameters of the ROM must match the full model's: C G1^j B.
+TEST(Markov, ParametersMatchAfterReduction) {
+    util::Rng rng(3100);
+    test::QldaeOptions opt;
+    opt.n = 12;
+    const Qldae sys = test::random_qldae(opt, rng);
+    AtMorOptions mor;
+    mor.k1 = 2;
+    mor.k2 = 0;
+    mor.k3 = 0;
+    mor.markov_moments = 3;
+    const auto res = core::reduce_associated(sys, mor);
+    EXPECT_EQ(res.raw_vectors, 5);
+
+    // Compare C G1^j b for j < 3 between full and ROM.
+    Vec vf = sys.b_col(0);
+    Vec vr = res.rom.b_col(0);
+    for (int j = 0; j < 3; ++j) {
+        const Vec yf = la::matvec(sys.c(), vf);
+        const Vec yr = la::matvec(res.rom.c(), vr);
+        EXPECT_LT(la::dist2(yf, yr), 1e-9 * (1.0 + la::norm2(yf))) << "Markov parameter " << j;
+        vf = la::matvec(sys.g1(), vf);
+        vr = la::matvec(res.rom.g1(), vr);
+    }
+}
+
+TEST(Markov, ImprovesEarlyTransient) {
+    // The impulse-like early response is governed by the Markov parameters;
+    // adding them must not hurt and typically helps the first instants.
+    util::Rng rng(3101);
+    test::QldaeOptions opt;
+    opt.n = 16;
+    opt.nl_scale = 0.1;
+    const Qldae sys = test::random_qldae(opt, rng);
+
+    auto early_error = [&](const core::MorResult& res) {
+        auto f_full = [&](double t, const Vec& x) {
+            return sys.rhs(x, Vec{t < 0.2 ? 1.0 : 0.0});
+        };
+        auto f_rom = [&](double t, const Vec& x) {
+            return res.rom.rhs(x, Vec{t < 0.2 ? 1.0 : 0.0});
+        };
+        Vec xf(static_cast<std::size_t>(sys.order()), 0.0);
+        Vec xr(static_cast<std::size_t>(res.rom.order()), 0.0);
+        xf = test::rk4_integrate(f_full, xf, 0.0, 0.3, 600);
+        xr = test::rk4_integrate(f_rom, xr, 0.0, 0.3, 600);
+        return la::dist2(sys.output(xf), res.rom.output(xr));
+    };
+
+    AtMorOptions dc;
+    dc.k1 = 3;
+    dc.k2 = 0;
+    dc.k3 = 0;
+    AtMorOptions with_markov = dc;
+    with_markov.markov_moments = 3;
+    const double e_dc = early_error(core::reduce_associated(sys, dc));
+    const double e_mk = early_error(core::reduce_associated(sys, with_markov));
+    EXPECT_LT(e_mk, e_dc + 1e-12);
+}
+
+class MomentMatchSeeds : public ::testing::TestWithParam<int> {};
+
+/// Property sweep: H1 output moments match for every seed and order.
+TEST_P(MomentMatchSeeds, H1MomentsMatchAcrossSeeds) {
+    util::Rng rng(4000 + static_cast<std::uint64_t>(GetParam()));
+    test::QldaeOptions opt;
+    opt.n = 10 + GetParam() % 5;
+    opt.bilinear = (GetParam() % 2 == 0);
+    const Qldae sys = test::random_qldae(opt, rng);
+    AtMorOptions mor;
+    mor.k1 = 3 + GetParam() % 3;
+    mor.k2 = 1;
+    mor.k3 = 0;
+    const auto res = core::reduce_associated(sys, mor);
+
+    const volterra::AssociatedTransform full(sys);
+    const volterra::AssociatedTransform rom(res.rom);
+    const auto mf = full.h1_moments(mor.k1, Complex(0, 0));
+    const auto mr = rom.h1_moments(mor.k1, Complex(0, 0));
+    for (int j = 0; j < mor.k1; ++j) {
+        const la::ZVec yf =
+            la::matvec(la::complexify(sys.c()), mf[static_cast<std::size_t>(j)].col(0));
+        const la::ZVec yr =
+            la::matvec(la::complexify(res.rom.c()), mr[static_cast<std::size_t>(j)].col(0));
+        EXPECT_LT(la::dist2(yf, yr), 1e-7 * (1.0 + la::norm2(yf)))
+            << "seed " << GetParam() << " moment " << j;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MomentMatchSeeds, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace atmor

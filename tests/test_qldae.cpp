@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "la/vector_ops.hpp"
+#include "test_qldae_helpers.hpp"
+#include "volterra/qldae.hpp"
+
+namespace atmor {
+namespace {
+
+using la::Matrix;
+using la::Vec;
+using volterra::Qldae;
+
+TEST(Qldae, ValidatesShapes) {
+    Matrix g1 = Matrix::identity(3);
+    sparse::SparseTensor3 g2(3, 3, 3);
+    Matrix b(3, 1);
+    Matrix c(1, 3);
+    EXPECT_NO_THROW(Qldae(g1, g2, b, c));
+    Matrix bad_b(2, 1);
+    EXPECT_THROW(Qldae(g1, g2, bad_b, c), util::PreconditionError);
+    sparse::SparseTensor3 bad_g2(2, 2, 2);
+    EXPECT_THROW(Qldae(g1, bad_g2, b, c), util::PreconditionError);
+}
+
+TEST(Qldae, D1CountMustMatchInputs) {
+    Matrix g1 = Matrix::identity(2);
+    sparse::SparseTensor3 g2(2, 2, 2);
+    Matrix b(2, 2);  // two inputs
+    Matrix c(1, 2);
+    std::vector<Matrix> d1{Matrix::identity(2)};  // only one D1
+    EXPECT_THROW(Qldae(g1, g2, sparse::SparseTensor4(), d1, b, c), util::PreconditionError);
+}
+
+TEST(Qldae, RhsAssemblesAllTerms) {
+    util::Rng rng(2000);
+    test::QldaeOptions opt;
+    opt.n = 5;
+    opt.inputs = 2;
+    opt.quadratic = true;
+    opt.cubic = true;
+    opt.bilinear = true;
+    const Qldae sys = test::random_qldae(opt, rng);
+    const Vec x = test::random_vector(5, rng);
+    const Vec u = test::random_vector(2, rng);
+
+    Vec expected = la::matvec(sys.g1(), x);
+    la::axpy(1.0, sys.g2().apply_quadratic(x), expected);
+    la::axpy(1.0, sys.g3().apply_cubic(x), expected);
+    for (int i = 0; i < 2; ++i) {
+        la::axpy(u[static_cast<std::size_t>(i)], la::matvec(sys.d1(i), x), expected);
+        la::axpy(u[static_cast<std::size_t>(i)], sys.b_col(i), expected);
+    }
+    EXPECT_LT(la::dist2(sys.rhs(x, u), expected), 1e-12);
+}
+
+TEST(Qldae, JacobianMatchesFiniteDifference) {
+    util::Rng rng(2001);
+    test::QldaeOptions opt;
+    opt.n = 5;
+    opt.inputs = 2;
+    opt.quadratic = true;
+    opt.cubic = true;
+    opt.bilinear = true;
+    const Qldae sys = test::random_qldae(opt, rng);
+    const Vec x = test::random_vector(5, rng);
+    const Vec u = test::random_vector(2, rng);
+    const Matrix jac = sys.jacobian(x, u);
+    const double h = 1e-6;
+    for (int k = 0; k < 5; ++k) {
+        Vec xp = x, xm = x;
+        xp[static_cast<std::size_t>(k)] += h;
+        xm[static_cast<std::size_t>(k)] -= h;
+        const Vec fp = sys.rhs(xp, u);
+        const Vec fm = sys.rhs(xm, u);
+        for (int r = 0; r < 5; ++r) {
+            const double fd = (fp[static_cast<std::size_t>(r)] - fm[static_cast<std::size_t>(r)]) /
+                              (2.0 * h);
+            EXPECT_NEAR(jac(r, k), fd, 1e-5 * (1.0 + std::abs(fd)));
+        }
+    }
+}
+
+TEST(Qldae, StateSelector) {
+    const Matrix c = volterra::state_selector(4, 2);
+    EXPECT_EQ(c.rows(), 1);
+    EXPECT_DOUBLE_EQ(c(0, 2), 1.0);
+    EXPECT_THROW(volterra::state_selector(4, 4), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace atmor

@@ -1,0 +1,50 @@
+// Random QLDAE generators shared by the volterra/core test files.
+#pragma once
+
+#include "test_helpers.hpp"
+#include "volterra/qldae.hpp"
+
+namespace atmor::test {
+
+struct QldaeOptions {
+    int n = 6;
+    int inputs = 1;
+    bool quadratic = true;
+    bool cubic = false;
+    bool bilinear = false;
+    double nl_scale = 0.2;  ///< scale of the nonlinear/bilinear coefficients
+};
+
+inline volterra::Qldae random_qldae(const QldaeOptions& opt, util::Rng& rng) {
+    la::Matrix g1 = random_stable_matrix(opt.n, rng, 1.0);
+    sparse::SparseTensor3 g2(opt.n, opt.n, opt.n);
+    if (opt.quadratic) {
+        const int terms = 4 * opt.n;
+        for (int t = 0; t < terms; ++t)
+            g2.add(rng.uniform_int(0, opt.n - 1), rng.uniform_int(0, opt.n - 1),
+                   rng.uniform_int(0, opt.n - 1), opt.nl_scale * rng.gaussian());
+    }
+    sparse::SparseTensor4 g3;
+    if (opt.cubic) {
+        g3 = sparse::SparseTensor4(opt.n);
+        const int terms = 4 * opt.n;
+        for (int t = 0; t < terms; ++t)
+            g3.add(rng.uniform_int(0, opt.n - 1), rng.uniform_int(0, opt.n - 1),
+                   rng.uniform_int(0, opt.n - 1), rng.uniform_int(0, opt.n - 1),
+                   opt.nl_scale * rng.gaussian());
+    }
+    std::vector<la::Matrix> d1;
+    if (opt.bilinear) {
+        for (int i = 0; i < opt.inputs; ++i) {
+            la::Matrix d = random_matrix(opt.n, opt.n, rng);
+            d *= opt.nl_scale;
+            d1.push_back(std::move(d));
+        }
+    }
+    la::Matrix b = random_matrix(opt.n, opt.inputs, rng);
+    la::Matrix c = random_matrix(1, opt.n, rng);
+    return volterra::Qldae(std::move(g1), std::move(g2), std::move(g3), std::move(d1),
+                           std::move(b), std::move(c));
+}
+
+}  // namespace atmor::test

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "la/svd.hpp"
+#include "la/vector_ops.hpp"
+#include "test_helpers.hpp"
+
+namespace atmor {
+namespace {
+
+using la::Matrix;
+using la::Vec;
+
+Matrix diag_from(const Vec& s, int r) {
+    Matrix d(r, r);
+    for (int i = 0; i < r; ++i) d(i, i) = s[static_cast<std::size_t>(i)];
+    return d;
+}
+
+class SvdShapes : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SvdShapes, ReconstructsAndOrdered) {
+    const auto [m, n] = GetParam();
+    util::Rng rng(900 + static_cast<std::uint64_t>(31 * m + n));
+    const Matrix a = test::random_matrix(m, n, rng);
+    const auto [u, s, v] = la::svd(a);
+    const int r = std::min(m, n);
+    // Reconstruction.
+    const Matrix rec = la::matmul(u, la::matmul(diag_from(s, r), la::transpose(v)));
+    EXPECT_LT(la::max_abs(rec - a), 1e-10 * (1.0 + la::max_abs(a)));
+    // Ordering and non-negativity.
+    for (int i = 0; i + 1 < r; ++i)
+        EXPECT_GE(s[static_cast<std::size_t>(i)], s[static_cast<std::size_t>(i + 1)]);
+    EXPECT_GE(s[static_cast<std::size_t>(r - 1)], 0.0);
+    // Orthonormal factors.
+    EXPECT_LT(la::max_abs(la::matmul(la::transpose(u), u) - Matrix::identity(r)), 1e-10);
+    EXPECT_LT(la::max_abs(la::matmul(la::transpose(v), v) - Matrix::identity(r)), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SvdShapes,
+                         ::testing::Values(std::pair{1, 1}, std::pair{4, 4}, std::pair{10, 3},
+                                           std::pair{3, 10}, std::pair{30, 30}));
+
+TEST(Svd, KnownSingularValues) {
+    Matrix a{{3.0, 0.0}, {0.0, -4.0}};
+    const Vec s = la::singular_values(a);
+    EXPECT_NEAR(s[0], 4.0, 1e-12);
+    EXPECT_NEAR(s[1], 3.0, 1e-12);
+}
+
+TEST(Svd, OrthogonalMatrixHasUnitSingularValues) {
+    // Rotation by 0.3 radians.
+    const double c = std::cos(0.3), s = std::sin(0.3);
+    Matrix q{{c, -s}, {s, c}};
+    for (double sv : la::singular_values(q)) EXPECT_NEAR(sv, 1.0, 1e-12);
+}
+
+TEST(Svd, RankDeficiency) {
+    util::Rng rng(901);
+    const Matrix u = test::random_matrix(8, 2, rng);
+    const Matrix w = test::random_matrix(2, 6, rng);
+    const Vec s = la::singular_values(la::matmul(u, w));
+    EXPECT_GT(s[1], 1e-8);
+    for (std::size_t i = 2; i < s.size(); ++i) EXPECT_LT(s[i], 1e-10);
+}
+
+}  // namespace
+}  // namespace atmor

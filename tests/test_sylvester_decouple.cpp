@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "core/sylvester_decouple.hpp"
+#include "la/vector_ops.hpp"
+#include "test_qldae_helpers.hpp"
+
+namespace atmor {
+namespace {
+
+using la::Complex;
+using la::Matrix;
+using volterra::AssociatedTransform;
+using volterra::Qldae;
+
+TEST(SylvesterDecouple, PiSolvesEquation) {
+    util::Rng rng(2600);
+    test::QldaeOptions opt;
+    opt.n = 8;
+    const Qldae sys = test::random_qldae(opt, rng);
+    const Matrix pi = core::solve_pi(sys);
+    EXPECT_EQ(pi.rows(), 8);
+    EXPECT_EQ(pi.cols(), 64);
+    EXPECT_LT(core::pi_residual(sys, pi), 1e-9);
+}
+
+TEST(SylvesterDecouple, DecoupledMomentsEqualCoupledPath) {
+    // Eq. (18) is a similarity transform of eq. (17): identical H2(s), hence
+    // identical moment sequences through either computation path.
+    util::Rng rng(2601);
+    test::QldaeOptions opt;
+    opt.n = 7;
+    opt.inputs = 2;
+    opt.bilinear = true;
+    const Qldae sys = test::random_qldae(opt, rng);
+    const AssociatedTransform at(sys);
+    const Matrix pi = core::solve_pi(sys);
+    for (const Complex s0 : {Complex(0.0, 0.0), Complex(0.3, 0.0)}) {
+        const auto coupled = at.a2h2_moments(3, s0);
+        const auto decoupled = core::a2h2_moments_decoupled(at, pi, 3, s0);
+        for (int j = 0; j < 3; ++j) {
+            EXPECT_LT(la::max_abs(coupled[static_cast<std::size_t>(j)] -
+                                  decoupled[static_cast<std::size_t>(j)]),
+                      1e-8 * (1.0 + la::max_abs(coupled[static_cast<std::size_t>(j)])))
+                << "moment " << j << " at s0 = " << s0;
+        }
+    }
+}
+
+TEST(SylvesterDecouple, RequiresQuadraticTerm) {
+    util::Rng rng(2602);
+    test::QldaeOptions opt;
+    opt.n = 4;
+    opt.quadratic = false;
+    const Qldae sys = test::random_qldae(opt, rng);
+    EXPECT_THROW(core::solve_pi(sys), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace atmor

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/vector_ops.hpp"
+#include "ode/transient.hpp"
+#include "test_qldae_helpers.hpp"
+
+namespace atmor {
+namespace {
+
+using la::Matrix;
+using la::Vec;
+using ode::Method;
+using ode::TransientOptions;
+using volterra::Qldae;
+
+/// dx/dt = -a x + u, y = x: closed form for step input u = 1 from x0 = 0.
+Qldae scalar_decay(double a) {
+    Matrix g1{{-a}};
+    return Qldae(g1, sparse::SparseTensor3(1, 1, 1), Matrix{{1.0}}, Matrix{{1.0}});
+}
+
+class IntegratorKinds : public ::testing::TestWithParam<Method> {};
+
+TEST_P(IntegratorKinds, LinearDecayMatchesClosedForm) {
+    const Qldae sys = scalar_decay(2.0);
+    TransientOptions opt;
+    opt.t_end = 2.0;
+    opt.dt = 1e-3;
+    opt.method = GetParam();
+    const auto res = ode::simulate(sys, [](double) { return Vec{1.0}; }, opt);
+    // x(t) = (1 - e^{-2t})/2. Backward Euler is first order, the rest are
+    // second order or better at this step size.
+    const double exact = (1.0 - std::exp(-4.0)) / 2.0;
+    const double tol = (GetParam() == Method::backward_euler) ? 2e-4 : 1e-6;
+    EXPECT_NEAR(res.y.back()[0], exact, tol);
+    EXPECT_GT(res.steps, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IntegratorKinds,
+                         ::testing::Values(Method::rk4, Method::rkf45, Method::trapezoidal,
+                                           Method::backward_euler));
+
+TEST(Transient, HarmonicOscillatorEnergyAccuracy) {
+    // x'' = -x as a 2-state system; RK4 must track cos(t) closely.
+    Matrix g1{{0.0, 1.0}, {-1.0, 0.0}};
+    Matrix b(2, 1);
+    const Qldae sys(g1, sparse::SparseTensor3(2, 2, 2), b, volterra::state_selector(2, 0));
+    TransientOptions opt;
+    opt.t_end = 2.0 * M_PI;
+    opt.dt = 1e-3;
+    opt.method = Method::rk4;
+    const auto res = ode::simulate(sys, [](double) { return Vec{0.0}; }, opt, Vec{1.0, 0.0});
+    EXPECT_NEAR(res.y.back()[0], 1.0, 1e-8);
+}
+
+TEST(Transient, TrapezoidalHandlesStiffDecade) {
+    // lambda = -1e4 with dt = 1e-3 (stiffness ratio 10): explicit RK4 would
+    // explode; trapezoidal stays stable and accurate at steady state.
+    const Qldae sys = scalar_decay(1e4);
+    TransientOptions opt;
+    opt.t_end = 0.5;
+    opt.dt = 1e-3;
+    opt.method = Method::trapezoidal;
+    const auto res = ode::simulate(sys, [](double) { return Vec{1.0}; }, opt);
+    EXPECT_NEAR(res.y.back()[0], 1e-4, 1e-8);
+    EXPECT_GT(res.newton_iterations, 0);
+    EXPECT_GE(res.factorizations, 1);
+}
+
+TEST(Transient, ImplicitMatchesRk4OnNonlinearSystem) {
+    util::Rng rng(2800);
+    test::QldaeOptions qopt;
+    qopt.n = 8;
+    qopt.nl_scale = 0.3;
+    const Qldae sys = test::random_qldae(qopt, rng);
+    auto input = [](double t) { return Vec{0.3 * std::sin(2.0 * t)}; };
+    TransientOptions fine;
+    fine.t_end = 3.0;
+    fine.dt = 2e-4;
+    fine.method = Method::rk4;
+    const auto ref = ode::simulate(sys, input, fine);
+
+    TransientOptions trap;
+    trap.t_end = 3.0;
+    trap.dt = 2e-4;
+    trap.method = Method::trapezoidal;
+    const auto test_run = ode::simulate(sys, input, trap);
+    EXPECT_LT(ode::peak_relative_error(ref, test_run), 1e-6);
+}
+
+TEST(Transient, Rkf45AdaptsAndMatches) {
+    util::Rng rng(2801);
+    test::QldaeOptions qopt;
+    qopt.n = 6;
+    const Qldae sys = test::random_qldae(qopt, rng);
+    auto input = [](double t) { return Vec{0.2 * std::cos(t)}; };
+    TransientOptions fine;
+    fine.t_end = 2.0;
+    fine.dt = 1e-4;
+    fine.method = Method::rk4;
+    const auto ref = ode::simulate(sys, input, fine);
+
+    TransientOptions rkf;
+    rkf.t_end = 2.0;
+    rkf.dt = 1e-3;
+    rkf.method = Method::rkf45;
+    rkf.rkf_tol = 1e-10;
+    const auto adaptive = ode::simulate(sys, input, rkf);
+    // Different time grids: compare the final states through the output.
+    EXPECT_NEAR(adaptive.y.back()[0], ref.y.back()[0],
+                1e-6 * (1.0 + std::abs(ref.y.back()[0])));
+}
+
+TEST(Transient, RecordStrideDownsamples) {
+    const Qldae sys = scalar_decay(1.0);
+    TransientOptions opt;
+    opt.t_end = 1.0;
+    opt.dt = 1e-2;
+    opt.record_stride = 10;
+    opt.method = Method::rk4;
+    const auto res = ode::simulate(sys, [](double) { return Vec{1.0}; }, opt);
+    EXPECT_LE(res.t.size(), 12u);
+}
+
+TEST(Transient, InputArityValidated) {
+    const Qldae sys = scalar_decay(1.0);
+    TransientOptions opt;
+    opt.t_end = 1.0;
+    opt.dt = 1e-2;
+    EXPECT_THROW(ode::simulate(sys, [](double) { return Vec{1.0, 2.0}; }, opt),
+                 util::PreconditionError);
+}
+
+TEST(Transient, PeakRelativeErrorOfIdenticalTracesIsZero) {
+    const Qldae sys = scalar_decay(1.0);
+    TransientOptions opt;
+    opt.t_end = 1.0;
+    opt.dt = 1e-2;
+    opt.method = Method::rk4;
+    const auto a = ode::simulate(sys, [](double) { return Vec{1.0}; }, opt);
+    EXPECT_DOUBLE_EQ(ode::peak_relative_error(a, a), 0.0);
+}
+
+}  // namespace
+}  // namespace atmor

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace atmor {
+namespace {
+
+TEST(Check, RequireThrowsPrecondition) {
+    EXPECT_THROW(ATMOR_REQUIRE(false, "message " << 42), util::PreconditionError);
+    EXPECT_NO_THROW(ATMOR_REQUIRE(true, "ok"));
+}
+
+TEST(Check, CheckThrowsInternal) {
+    try {
+        ATMOR_CHECK(false, "context " << 7);
+        FAIL() << "expected throw";
+    } catch (const util::InternalError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("context 7"), std::string::npos);
+        EXPECT_NE(what.find("test_util.cpp"), std::string::npos);
+    }
+}
+
+TEST(Rng, Deterministic) {
+    util::Rng a(42), b(42);
+    for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(a.gaussian(), b.gaussian());
+    util::Rng c(43);
+    EXPECT_NE(a.uniform(), c.uniform());
+}
+
+TEST(Rng, UniformIntInRange) {
+    util::Rng rng(7);
+    for (int i = 0; i < 100; ++i) {
+        const int v = rng.uniform_int(2, 5);
+        EXPECT_GE(v, 2);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Timer, MeasuresNonNegative) {
+    util::Timer t;
+    EXPECT_GE(t.seconds(), 0.0);
+    t.reset();
+    EXPECT_GE(t.milliseconds(), 0.0);
+}
+
+TEST(Table, AlignedOutput) {
+    util::Table t({"a", "long_header"});
+    t.add_row({"1", "2"});
+    t.add_row({"333", "4"});
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string s = oss.str();
+    EXPECT_NE(s.find("long_header"), std::string::npos);
+    EXPECT_NE(s.find("333"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2);
+}
+
+TEST(Table, CsvOutput) {
+    util::Table t({"x", "y"});
+    t.add_row({"1", "2"});
+    std::ostringstream oss;
+    t.print_csv(oss);
+    EXPECT_EQ(oss.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, ArityMismatchThrows) {
+    util::Table t({"x", "y"});
+    EXPECT_THROW(t.add_row({"only-one"}), util::PreconditionError);
+}
+
+TEST(Table, NumFormatsPrecision) {
+    EXPECT_EQ(util::Table::num(1.0, 3), "1");
+    EXPECT_EQ(util::Table::num(0.125, 3), "0.125");
+}
+
+}  // namespace
+}  // namespace atmor
