@@ -1,17 +1,33 @@
-// Micro-benchmarks (google-benchmark) for the structured kernels the
-// associated-transform method is built on: Schur factorisation, shifted
-// Kronecker-sum solves (the n^2 / n^3 resolvents of eq. 17), the Gt2
-// block solve, the G1 (+) Gt2 solve behind A3(H3), and the eq. 18 Pi solve.
+// Linear-algebra kernel benches.
+//
+// Default mode runs the sparse-vs-dense resolvent/matvec comparison on
+// NLTL-lifted operators at n in {200, 500, 1000, 2000} and writes the
+// machine-readable BENCH_la_kernels.json next to the working directory --
+// the perf trajectory of the sparse-first operator layer is tracked from
+// this file. Pass --micro to additionally run the google-benchmark
+// micro-suite for the structured Kronecker kernels.
+//
+//   usage: bench_la_kernels [--micro] [google-benchmark flags]
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <memory>
+#include <string>
+#include <vector>
 
-#include "la/lu.hpp"
-#include "la/schur.hpp"
-#include "la/expm.hpp"
-#include "tensor/structured.hpp"
+#include "circuits/nltl.hpp"
 #include "core/sylvester_decouple.hpp"
+#include "la/expm.hpp"
+#include "la/lu.hpp"
+#include "la/operator.hpp"
+#include "la/schur.hpp"
+#include "la/solver_backend.hpp"
+#include "sparse/splu.hpp"
+#include "tensor/structured.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 #include "volterra/associated.hpp"
 #include "volterra/qldae.hpp"
 
@@ -48,6 +64,142 @@ la::ZVec random_zvec(int n, std::uint64_t seed) {
     return v;
 }
 
+// ---------------------------------------------------------------------------
+// Sparse-vs-dense comparison on the paper's workload shape: the lifted NLTL
+// operator (tridiagonal ladder + slaved diode rows), solved at a shifted
+// expansion point sigma0 = 1 with a chain of k resolvent applications --
+// exactly the moment-generation inner loop of core::reduce_associated.
+// ---------------------------------------------------------------------------
+
+struct CompareRow {
+    int n = 0;
+    int nnz = 0;
+    double dense_lu_factor_s = 0;
+    double sparse_lu_factor_s = 0;
+    double dense_chain_s = 0;   ///< dense LU factor + k backsolves
+    double sparse_chain_s = 0;  ///< sparse LU factor + k backsolves
+    double dense_matvec_s = 0;
+    double sparse_matvec_s = 0;
+    double factor_speedup = 0;
+    double chain_speedup = 0;
+    double matvec_speedup = 0;
+};
+
+/// Best-of-3 wall time of fn() (minimum filters scheduler noise).
+template <class Fn>
+double timed(Fn&& fn) {
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+        util::Timer t;
+        fn();
+        const double s = t.seconds();
+        if (rep == 0 || s < best) best = s;
+    }
+    return best;
+}
+
+CompareRow compare_at(int n) {
+    constexpr int kMoments = 8;
+    constexpr double kSigma = 1.0;
+    circuits::NltlOptions copt;
+    copt.stages = n / 2;  // lifted order = 2 * stages
+    const volterra::Qldae sys = circuits::current_source_line(copt).to_qldae();
+    const sparse::CsrMatrix& g1s = *sys.g1_csr();
+    const la::Matrix g1d = sys.g1();
+    const la::Vec b = sys.b_col(0);
+
+    CompareRow row;
+    row.n = sys.order();
+    row.nnz = g1s.nnz();
+
+    // (sigma I - G1) dense, for the dense LU baseline.
+    la::Matrix shifted = g1d;
+    shifted *= -1.0;
+    for (int i = 0; i < row.n; ++i) shifted(i, i) += kSigma;
+
+    row.dense_lu_factor_s = timed([&] { benchmark::DoNotOptimize(la::Lu(shifted)); });
+    row.sparse_lu_factor_s =
+        timed([&] { benchmark::DoNotOptimize(sparse::splu_shifted(g1s, kSigma)); });
+
+    row.dense_chain_s = timed([&] {
+        const la::Lu lu(shifted);
+        la::Vec v = b;
+        for (int k = 0; k < kMoments; ++k) v = lu.solve(v);
+        benchmark::DoNotOptimize(v);
+    });
+    row.sparse_chain_s = timed([&] {
+        const sparse::SpLu lu = sparse::splu_shifted(g1s, kSigma);
+        la::Vec v = b;
+        for (int k = 0; k < kMoments; ++k) v = lu.solve(v);
+        benchmark::DoNotOptimize(v);
+    });
+
+    // Matvec throughput (100 applications).
+    row.dense_matvec_s = timed([&] {
+        la::Vec v = b;
+        for (int k = 0; k < 100; ++k) v = la::matvec(g1d, v);
+        benchmark::DoNotOptimize(v);
+    });
+    row.sparse_matvec_s = timed([&] {
+        la::Vec v = b;
+        for (int k = 0; k < 100; ++k) v = g1s.matvec(v);
+        benchmark::DoNotOptimize(v);
+    });
+
+    auto ratio = [](double denom, double num) { return num > 0.0 ? denom / num : 0.0; };
+    row.factor_speedup = ratio(row.dense_lu_factor_s, row.sparse_lu_factor_s);
+    row.chain_speedup = ratio(row.dense_chain_s, row.sparse_chain_s);
+    row.matvec_speedup = ratio(row.dense_matvec_s, row.sparse_matvec_s);
+    return row;
+}
+
+int run_sparse_vs_dense(const std::string& json_path) {
+    const std::vector<int> sizes = {200, 500, 1000, 2000};
+    std::vector<CompareRow> rows;
+    std::printf("=== sparse-vs-dense resolvent/matvec on NLTL-lifted G1 (sigma0 = 1) ===\n");
+    std::printf("%6s %8s %14s %14s %10s %14s %14s %10s %10s\n", "n", "nnz", "dense_factor",
+                "sparse_factor", "speedup", "dense_chain", "sparse_chain", "speedup",
+                "mv_speedup");
+    for (int n : sizes) {
+        const CompareRow r = compare_at(n);
+        rows.push_back(r);
+        std::printf("%6d %8d %12.2e s %12.2e s %9.1fx %12.2e s %12.2e s %9.1fx %9.1fx\n", r.n,
+                    r.nnz, r.dense_lu_factor_s, r.sparse_lu_factor_s, r.factor_speedup,
+                    r.dense_chain_s, r.sparse_chain_s, r.chain_speedup, r.matvec_speedup);
+    }
+
+    std::ofstream out(json_path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+    }
+    out << "{\n  \"bench\": \"la_kernels\",\n  \"workload\": "
+           "\"nltl_lifted_resolvent_chain\",\n  \"moments\": 8,\n  \"sigma0\": 1.0,\n"
+           "  \"results\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const CompareRow& r = rows[i];
+        out << "    {\"n\": " << r.n << ", \"nnz\": " << r.nnz
+            << ", \"dense_lu_factor_s\": " << r.dense_lu_factor_s
+            << ", \"sparse_lu_factor_s\": " << r.sparse_lu_factor_s
+            << ", \"dense_resolvent_chain_s\": " << r.dense_chain_s
+            << ", \"sparse_resolvent_chain_s\": " << r.sparse_chain_s
+            << ", \"dense_matvec100_s\": " << r.dense_matvec_s
+            << ", \"sparse_matvec100_s\": " << r.sparse_matvec_s
+            << ", \"factor_speedup\": " << r.factor_speedup
+            << ", \"chain_speedup\": " << r.chain_speedup
+            << ", \"matvec_speedup\": " << r.matvec_speedup << "}"
+            << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+    return 0;
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark micro-suite (--micro): the structured kernels the
+// associated-transform method is built on.
+// ---------------------------------------------------------------------------
+
 void BM_DenseLu(benchmark::State& state) {
     const int n = static_cast<int>(state.range(0));
     const la::Matrix a = stable_matrix(n, 1);
@@ -55,6 +207,17 @@ void BM_DenseLu(benchmark::State& state) {
     state.SetComplexityN(n);
 }
 BENCHMARK(BM_DenseLu)->Arg(50)->Arg(100)->Arg(200)->Complexity();
+
+void BM_SparseLuNltl(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    circuits::NltlOptions copt;
+    copt.stages = n / 2;
+    const volterra::Qldae sys = circuits::current_source_line(copt).to_qldae();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sparse::splu_shifted(*sys.g1_csr(), 1.0));
+    state.SetComplexityN(n);
+}
+BENCHMARK(BM_SparseLuNltl)->Arg(200)->Arg(500)->Arg(1000)->Arg(2000)->Complexity();
 
 void BM_RealSchur(benchmark::State& state) {
     const int n = static_cast<int>(state.range(0));
@@ -79,6 +242,21 @@ void BM_SchurShiftedSolve(benchmark::State& state) {
         benchmark::DoNotOptimize(cs.solve_shifted(la::Complex(0.3, 0.7), b));
 }
 BENCHMARK(BM_SchurShiftedSolve)->Arg(50)->Arg(100)->Arg(200);
+
+/// Cached backend replay: the (operator, shift) factorisation cache makes
+/// repeated resolvent solves O(solve) instead of O(factor + solve).
+void BM_BackendCachedResolvent(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    circuits::NltlOptions copt;
+    copt.stages = n / 2;
+    const volterra::Qldae sys = circuits::current_source_line(copt).to_qldae();
+    la::SparseLuBackend backend;
+    const la::ZVec b = la::complexify(sys.b_col(0));
+    (void)backend.solve_shifted(sys.g1_op(), la::Complex(1.0, 0.0), b);  // warm the cache
+    for (auto _ : state)
+        benchmark::DoNotOptimize(backend.solve_shifted(sys.g1_op(), la::Complex(1.0, 0.0), b));
+}
+BENCHMARK(BM_BackendCachedResolvent)->Arg(200)->Arg(1000)->Arg(2000);
 
 /// (sigma I - G1 (+) G1)^{-1}: the n^2-dimensional eq. 17 resolvent.
 void BM_KronSum2Solve(benchmark::State& state) {
@@ -132,4 +310,26 @@ BENCHMARK(BM_SolvePi)->Arg(20)->Arg(40);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    bool micro = false;
+    std::string json_path = "BENCH_la_kernels.json";
+    std::vector<char*> passthrough;
+    passthrough.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--micro") == 0)
+            micro = true;
+        else if (std::strncmp(argv[i], "--json=", 7) == 0)
+            json_path = argv[i] + 7;
+        else
+            passthrough.push_back(argv[i]);
+    }
+    const int rc = run_sparse_vs_dense(json_path);
+    if (rc != 0) return rc;
+    if (micro) {
+        int bench_argc = static_cast<int>(passthrough.size());
+        benchmark::Initialize(&bench_argc, passthrough.data());
+        benchmark::RunSpecifiedBenchmarks();
+        benchmark::Shutdown();
+    }
+    return 0;
+}

@@ -1,9 +1,10 @@
 #include "circuits/exp_system.hpp"
 
 #include <cmath>
+#include <map>
 
-#include "la/lu.hpp"
 #include "la/vector_ops.hpp"
+#include "sparse/splu.hpp"
 #include "util/check.hpp"
 
 namespace atmor::circuits {
@@ -11,7 +12,7 @@ namespace atmor::circuits {
 using la::Matrix;
 using la::Vec;
 
-ExpNodalSystem::ExpNodalSystem(Vec c_diag, Matrix a, Matrix b, Matrix c_out,
+ExpNodalSystem::ExpNodalSystem(Vec c_diag, sparse::CsrMatrix a, Matrix b, Matrix c_out,
                                std::vector<ExpElement> diodes)
     : c_diag_(std::move(c_diag)),
       a_(std::move(a)),
@@ -31,6 +32,11 @@ ExpNodalSystem::ExpNodalSystem(Vec c_diag, Matrix a, Matrix b, Matrix c_out,
     }
 }
 
+ExpNodalSystem::ExpNodalSystem(Vec c_diag, Matrix a, Matrix b, Matrix c_out,
+                               std::vector<ExpElement> diodes)
+    : ExpNodalSystem(std::move(c_diag), sparse::CsrMatrix::from_dense(a), std::move(b),
+                     std::move(c_out), std::move(diodes)) {}
+
 Vec ExpNodalSystem::eval_y(const Vec& v) const {
     Vec y(diodes_.size());
     for (std::size_t k = 0; k < diodes_.size(); ++k) {
@@ -45,7 +51,7 @@ Vec ExpNodalSystem::eval_y(const Vec& v) const {
 Vec ExpNodalSystem::rhs_physical(const Vec& v, const Vec& u) const {
     ATMOR_REQUIRE(static_cast<int>(v.size()) == nodes(), "rhs_physical: v size mismatch");
     ATMOR_REQUIRE(static_cast<int>(u.size()) == inputs(), "rhs_physical: u size mismatch");
-    Vec f = la::matvec(a_, v);
+    Vec f = a_.matvec(v);
     const Vec y = eval_y(v);
     for (std::size_t k = 0; k < diodes_.size(); ++k) {
         const auto& d = diodes_[k];
@@ -65,23 +71,33 @@ Vec ExpNodalSystem::dc_solve(const Vec& u0, double tol, int max_iter) const {
     for (int it = 0; it < max_iter; ++it) {
         const Vec f = rhs_physical(v, u0);
         if (la::norm_inf(f) < tol) return v;
-        // Jacobian of the physical rhs wrt v.
-        Matrix jac = a_;
+        // Sparse Jacobian of the physical rhs wrt v: C^{-1}(A + diode
+        // conductance stamps); each row pre-scaled by 1/c_r at stamp time.
+        sparse::CooBuilder jac(n, n);
+        const auto& rp = a_.row_ptr();
+        const auto& ci = a_.col_idx();
+        const auto& vals = a_.values();
+        for (int r = 0; r < n; ++r) {
+            const double inv_c = 1.0 / c_diag_[static_cast<std::size_t>(r)];
+            for (int k = rp[static_cast<std::size_t>(r)];
+                 k < rp[static_cast<std::size_t>(r) + 1]; ++k)
+                jac.add(r, ci[static_cast<std::size_t>(k)],
+                        inv_c * vals[static_cast<std::size_t>(k)]);
+        }
         const Vec y = eval_y(v);
         for (std::size_t k = 0; k < diodes_.size(); ++k) {
             const auto& d = diodes_[k];
             const double g = d.saturation_current * d.alpha * y[k];
             auto stamp = [&](int row, double sign) {
                 if (row < 0) return;
-                if (d.node_a >= 0) jac(row, d.node_a) -= sign * g;
-                if (d.node_b >= 0) jac(row, d.node_b) += sign * g;
+                const double gc = sign * g / c_diag_[static_cast<std::size_t>(row)];
+                if (d.node_a >= 0) jac.add(row, d.node_a, -gc);
+                if (d.node_b >= 0) jac.add(row, d.node_b, gc);
             };
             stamp(d.node_a, 1.0);
             stamp(d.node_b, -1.0);
         }
-        for (int r = 0; r < n; ++r)
-            for (int c = 0; c < n; ++c) jac(r, c) /= c_diag_[static_cast<std::size_t>(r)];
-        const Vec dv = la::solve(jac, f);
+        const Vec dv = sparse::splu(sparse::CsrMatrix(jac)).solve(f);
         la::axpy(-1.0, dv, v);
     }
     ATMOR_CHECK(false, "dc_solve: Newton did not converge");
@@ -120,77 +136,102 @@ volterra::Qldae ExpNodalSystem::to_qldae() const {
     const Vec vstar = equilibrium_voltages();
     const Vec ystar = eval_y(vstar);
 
-    // S stamp matrix (n x K): column k carries the KCL stamp of diode k.
-    Matrix s(n, kk);
+    // S stamp lists per node: (diode column k, stamp value) -- column n + k of
+    // the lifted N matrix. Diode k drives current Is*(y_k - 1) from a to b.
+    std::vector<std::vector<std::pair<int, double>>> s_by_node(static_cast<std::size_t>(n));
     for (int k = 0; k < kk; ++k) {
         const auto& d = diodes_[static_cast<std::size_t>(k)];
-        if (d.node_a >= 0) s(d.node_a, k) -= d.saturation_current;
-        if (d.node_b >= 0) s(d.node_b, k) += d.saturation_current;
+        if (d.node_a >= 0)
+            s_by_node[static_cast<std::size_t>(d.node_a)].push_back({k, -d.saturation_current});
+        if (d.node_b >= 0)
+            s_by_node[static_cast<std::size_t>(d.node_b)].push_back({k, d.saturation_current});
     }
 
-    // N = C^{-1} [A, S] (n x nz) and Bc = C^{-1} B: the voltage-row dynamics.
-    Matrix nmat(n, nz);
-    for (int r = 0; r < n; ++r) {
-        const double ci = 1.0 / c_diag_[static_cast<std::size_t>(r)];
-        for (int c = 0; c < n; ++c) nmat(r, c) = ci * a_(r, c);
-        for (int k = 0; k < kk; ++k) nmat(r, n + k) = ci * s(r, k);
-    }
+    // Bc = C^{-1} B (n x m, dense but small).
     Matrix bc(n, m);
     for (int r = 0; r < n; ++r)
         for (int c = 0; c < m; ++c) bc(r, c) = b_(r, c) / c_diag_[static_cast<std::size_t>(r)];
 
-    // Assemble G1, G2, D1, b of the deviation system z = [dv, dy].
-    Matrix g1(nz, nz);
-    for (int r = 0; r < n; ++r)
-        for (int c = 0; c < nz; ++c) g1(r, c) = nmat(r, c);
+    const auto& rp = a_.row_ptr();
+    const auto& ci = a_.col_idx();
+    const auto& vals = a_.values();
 
+    // Sparse row of N = C^{-1}[A, S] for a physical node (lifted column
+    // indices: 0..n-1 voltages, n..nz-1 diode states).
+    auto accumulate_node_row = [&](int node, double weight, std::map<int, double>& acc) {
+        if (node < 0) return;
+        const double w = weight / c_diag_[static_cast<std::size_t>(node)];
+        for (int k = rp[static_cast<std::size_t>(node)];
+             k < rp[static_cast<std::size_t>(node) + 1]; ++k)
+            acc[ci[static_cast<std::size_t>(k)]] += w * vals[static_cast<std::size_t>(k)];
+        for (const auto& [col, stamp] : s_by_node[static_cast<std::size_t>(node)])
+            acc[n + col] += w * stamp;
+    };
+
+    // Assemble G1, G2, D1, b of the deviation system z = [dv, dy] as COO.
+    sparse::CooBuilder g1(nz, nz);
     sparse::SparseTensor3 g2(nz, nz, nz);
-    std::vector<Matrix> d1(static_cast<std::size_t>(m), Matrix(nz, nz));
-    Matrix bq(nz, m);
-    for (int r = 0; r < n; ++r)
-        for (int c = 0; c < m; ++c) bq(r, c) = bc(r, c);
+    sparse::CooBuilder bq(nz, m);
+    std::vector<sparse::CooBuilder> d1;
+    d1.reserve(static_cast<std::size_t>(m));
+    for (int c = 0; c < m; ++c) d1.emplace_back(nz, nz);
+
+    // Voltage rows: dv' = N z + Bc u.
+    for (int r = 0; r < n; ++r) {
+        std::map<int, double> row;
+        accumulate_node_row(r, 1.0, row);
+        for (const auto& [col, w] : row) g1.add(r, col, w);
+        for (int c = 0; c < m; ++c)
+            if (bc(r, c) != 0.0) bq.add(r, c, bc(r, c));
+    }
 
     bool any_bilinear = false;
     for (int k = 0; k < kk; ++k) {
         const auto& d = diodes_[static_cast<std::size_t>(k)];
         const double ys = ystar[static_cast<std::size_t>(k)];
         const int yrow = n + k;
-        // row_k = alpha_k * d_k^T C^{-1}[A, S];   row_kB = alpha_k * d_k^T C^{-1} B.
-        Vec row(static_cast<std::size_t>(nz), 0.0);
+        // row = alpha_k * d_k^T C^{-1}[A, S];  row_b = alpha_k * d_k^T C^{-1} B.
+        std::map<int, double> row;
+        accumulate_node_row(d.node_a, d.alpha, row);
+        accumulate_node_row(d.node_b, -d.alpha, row);
         Vec row_b(static_cast<std::size_t>(m), 0.0);
-        auto accumulate = [&](int node, double sign) {
+        auto accumulate_b = [&](int node, double sign) {
             if (node < 0) return;
-            for (int c = 0; c < nz; ++c) row[static_cast<std::size_t>(c)] += sign * d.alpha * nmat(node, c);
-            for (int c = 0; c < m; ++c) row_b[static_cast<std::size_t>(c)] += sign * d.alpha * bc(node, c);
+            for (int c = 0; c < m; ++c)
+                row_b[static_cast<std::size_t>(c)] += sign * d.alpha * bc(node, c);
         };
-        accumulate(d.node_a, 1.0);
-        accumulate(d.node_b, -1.0);
+        accumulate_b(d.node_a, 1.0);
+        accumulate_b(d.node_b, -1.0);
 
         // dy_k' = (ystar + dy_k)(row . z + row_b . u)
         //       = ystar*row.z  +  dy_k*(row.z)  +  ystar*row_b.u  +  dy_k*row_b.u.
-        for (int c = 0; c < nz; ++c) {
-            const double w = row[static_cast<std::size_t>(c)];
+        for (const auto& [col, w] : row) {
             if (w == 0.0) continue;
-            g1(yrow, c) += ys * w;
-            g2.add(yrow, yrow, c, w);
+            g1.add(yrow, col, ys * w);
+            g2.add(yrow, yrow, col, w);
         }
         for (int c = 0; c < m; ++c) {
             const double wb = row_b[static_cast<std::size_t>(c)];
             if (wb == 0.0) continue;
-            bq(yrow, c) += ys * wb;
-            d1[static_cast<std::size_t>(c)](yrow, yrow) += wb;
+            bq.add(yrow, c, ys * wb);
+            d1[static_cast<std::size_t>(c)].add(yrow, yrow, wb);
             any_bilinear = true;
         }
     }
 
     // Outputs read the voltage deviations.
-    Matrix cq(c_out_.rows(), nz);
+    sparse::CooBuilder cq(c_out_.rows(), nz);
     for (int r = 0; r < c_out_.rows(); ++r)
-        for (int c = 0; c < n; ++c) cq(r, c) = c_out_(r, c);
+        for (int c = 0; c < n; ++c)
+            if (c_out_(r, c) != 0.0) cq.add(r, c, c_out_(r, c));
 
-    if (!any_bilinear) d1.clear();
-    return volterra::Qldae(std::move(g1), std::move(g2), sparse::SparseTensor4(), std::move(d1),
-                           std::move(bq), std::move(cq));
+    std::vector<sparse::CsrMatrix> d1_csr;
+    if (any_bilinear) {
+        d1_csr.reserve(static_cast<std::size_t>(m));
+        for (int c = 0; c < m; ++c) d1_csr.emplace_back(d1[static_cast<std::size_t>(c)]);
+    }
+    return volterra::Qldae(sparse::CsrMatrix(g1), std::move(g2), sparse::SparseTensor4(),
+                           std::move(d1_csr), sparse::CsrMatrix(bq), sparse::CsrMatrix(cq));
 }
 
 }  // namespace atmor::circuits

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "la/matrix.hpp"
+#include "sparse/csr.hpp"
 #include "volterra/qldae.hpp"
 
 namespace atmor::circuits {
@@ -42,10 +43,17 @@ struct ExpElement {
 
 class ExpNodalSystem {
 public:
+    /// Sparse-first form: the conductance stamps stay CSR end-to-end (DC
+    /// Newton, lifting, and the lifted QLDAE are all sparse).
     /// @param c_diag   per-node capacitance (diagonal C), all > 0
-    /// @param a        linear conductance part (n x n)
+    /// @param a        linear conductance part (n x n, CSR)
     /// @param b        input map (n x m)
     /// @param c_out    output map (l x n), applied to the node voltages
+    ExpNodalSystem(la::Vec c_diag, sparse::CsrMatrix a, la::Matrix b, la::Matrix c_out,
+                   std::vector<ExpElement> diodes);
+
+    /// Dense-convenience overload (tests, hand-built examples); converts the
+    /// conductance matrix to CSR once.
     ExpNodalSystem(la::Vec c_diag, la::Matrix a, la::Matrix b, la::Matrix c_out,
                    std::vector<ExpElement> diodes);
 
@@ -78,7 +86,7 @@ private:
     [[nodiscard]] la::Vec eval_y(const la::Vec& v) const;
 
     la::Vec c_diag_;
-    la::Matrix a_;
+    sparse::CsrMatrix a_;
     la::Matrix b_;
     la::Matrix c_out_;
     std::vector<ExpElement> diodes_;

@@ -1,5 +1,6 @@
 #include "circuits/nltl.hpp"
 
+#include "sparse/csr.hpp"
 #include "util/check.hpp"
 #include "volterra/qldae.hpp"
 
@@ -12,19 +13,21 @@ namespace {
 
 /// Common RC ladder skeleton: series resistors between consecutive nodes,
 /// grounded capacitor per node, and a terminating resistor to ground at the
-/// last node (so the DC operating point is well defined).
-Matrix ladder_conductances(const NltlOptions& opt) {
+/// last node (so the DC operating point is well defined). Stamped as COO --
+/// the tridiagonal structure survives all the way into the lifted QLDAE and
+/// is what makes the sparse-first pipeline O(n) per resolvent solve.
+sparse::CooBuilder ladder_conductances(const NltlOptions& opt) {
     const int n = opt.stages;
     const double g = 1.0 / opt.resistance;
-    Matrix a(n, n);
+    sparse::CooBuilder a(n, n);
     for (int k = 0; k < n - 1; ++k) {
-        a(k, k) -= g;
-        a(k, k + 1) += g;
-        a(k + 1, k + 1) -= g;
-        a(k + 1, k) += g;
+        a.add(k, k, -g);
+        a.add(k, k + 1, g);
+        a.add(k + 1, k + 1, -g);
+        a.add(k + 1, k, g);
     }
     // Termination to ground.
-    a(n - 1, n - 1) -= g;
+    a.add(n - 1, n - 1, -g);
     return a;
 }
 
@@ -44,10 +47,10 @@ ExpNodalSystem voltage_source_line(const NltlOptions& opt) {
     const int n = opt.stages;
     const double g = 1.0 / opt.resistance;
 
-    Matrix a = ladder_conductances(opt);
+    sparse::CooBuilder a = ladder_conductances(opt);
     // Norton-equivalent voltage source at node 0: series resistance to the
     // source adds a conductance to ground and an input current g * u.
-    a(0, 0) -= g;
+    a.add(0, 0, -g);
     Matrix b(n, 1);
     b(0, 0) = g;
 
@@ -58,15 +61,15 @@ ExpNodalSystem voltage_source_line(const NltlOptions& opt) {
     for (int k = 0; k < n - 1; ++k)
         diodes.push_back({k, k + 1, opt.diode_alpha, opt.diode_is});
 
-    return ExpNodalSystem(Vec(static_cast<std::size_t>(n), opt.capacitance), a, b,
-                          output_map(opt), std::move(diodes));
+    return ExpNodalSystem(Vec(static_cast<std::size_t>(n), opt.capacitance),
+                          sparse::CsrMatrix(a), b, output_map(opt), std::move(diodes));
 }
 
 ExpNodalSystem current_source_line(const NltlOptions& opt) {
     ATMOR_REQUIRE(opt.stages >= 3, "current_source_line: need >= 3 stages");
     const int n = opt.stages;
 
-    Matrix a = ladder_conductances(opt);
+    sparse::CooBuilder a = ladder_conductances(opt);
     Matrix b(n, 1);
     b(0, 0) = 1.0;  // unit current injection into node 0
 
@@ -80,8 +83,8 @@ ExpNodalSystem current_source_line(const NltlOptions& opt) {
         diodes.push_back({k, k + 1, opt.diode_alpha, opt.diode_is});
     diodes.push_back({n - 1, -1, opt.diode_alpha, opt.diode_is});
 
-    return ExpNodalSystem(Vec(static_cast<std::size_t>(n), opt.capacitance), a, b,
-                          output_map(opt), std::move(diodes));
+    return ExpNodalSystem(Vec(static_cast<std::size_t>(n), opt.capacitance),
+                          sparse::CsrMatrix(a), b, output_map(opt), std::move(diodes));
 }
 
 }  // namespace atmor::circuits

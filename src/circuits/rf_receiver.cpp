@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "sparse/csr.hpp"
 #include "util/check.hpp"
 
 namespace atmor::circuits {
@@ -49,10 +50,12 @@ volterra::Qldae rf_receiver(const RfReceiverOptions& opt) {
     }
     ATMOR_CHECK(cursor == n, "rf_receiver: layout mismatch");
 
-    Matrix g1(n, n);
+    // COO stamps: the RLC chains are pentadiagonal-ish, so the lifted system
+    // stays sparse-first end to end.
+    sparse::CooBuilder g1(n, n);
     sparse::SparseTensor3 g2(n, n, n);
-    Matrix b_in(n, 2);
-    Matrix c_out(1, n);
+    sparse::CooBuilder b_in(n, 2);
+    sparse::CooBuilder c_out(1, n);
 
     const double sc = std::sqrt(opt.c);
     const double w = 1.0 / std::sqrt(opt.l * opt.c);  // skew coupling strength
@@ -63,37 +66,38 @@ volterra::Qldae rf_receiver(const RfReceiverOptions& opt) {
         // Series LR branch: j~' = w (v~_from - v~_to) - (R/L) j~;
         // nodes: v~' -= w j~ (from side), += w j~ (to side). Skew by design.
         auto stamp_branch = [&](int branch, int from_node, int to_node) {
-            g1(branch, from_node) += w;
-            g1(branch, to_node) -= w;
-            g1(branch, branch) -= opt.r / opt.l;
-            g1(from_node, branch) -= w;
-            g1(to_node, branch) += w;
+            g1.add(branch, from_node, w);
+            g1.add(branch, to_node, -w);
+            g1.add(branch, branch, -opt.r / opt.l);
+            g1.add(from_node, branch, -w);
+            g1.add(to_node, branch, w);
         };
         for (int k = 1; k < nb; ++k)
             stamp_branch(bl.first_branch + (k - 1), bl.first_node + k - 1, bl.first_node + k);
         stamp_branch(bl.out_branch, bl.first_node + nb - 1, bl.out_node);
         // Termination near the characteristic impedance (diagonal damping).
-        g1(bl.out_node, bl.out_node) -= 1.0 / (opt.r_load * opt.c);
+        g1.add(bl.out_node, bl.out_node, -1.0 / (opt.r_load * opt.c));
 
         // Transconductance into the next block: i = gm1 v + gm2 v^2 in
         // physical volts; v = v~ / sqrt(C).
         if (b + 1 < 3) {
             const int src = bl.out_node;
             const int dst = blocks[b + 1].first_node;
-            g1(dst, src) += opt.gm1 / opt.c;
+            g1.add(dst, src, opt.gm1 / opt.c);
             g2.add(dst, src, src, opt.gm2 / (opt.c * sc));
         }
     }
 
     // Inputs: signal current into the LNA front node, interferer coupled into
     // the IF chain front node.
-    b_in(blocks[0].first_node, 0) = 1.0 / sc;
-    b_in(blocks[1].first_node, 1) = opt.coupling / sc;
+    b_in.add(blocks[0].first_node, 0, 1.0 / sc);
+    b_in.add(blocks[1].first_node, 1, opt.coupling / sc);
 
     // Output: PA output node voltage in volts.
-    c_out(0, blocks[2].out_node) = 1.0 / sc;
+    c_out.add(0, blocks[2].out_node, 1.0 / sc);
 
-    return volterra::Qldae(std::move(g1), std::move(g2), b_in, c_out);
+    return volterra::Qldae(sparse::CsrMatrix(g1), std::move(g2), sparse::SparseTensor4(), {},
+                           sparse::CsrMatrix(b_in), sparse::CsrMatrix(c_out));
 }
 
 }  // namespace atmor::circuits

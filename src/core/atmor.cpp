@@ -18,23 +18,42 @@ MorResult reduce_associated(const volterra::AssociatedTransform& at, const AtMor
     // quadratic systems (e.g. e^{40v} diodes) have a rank-deficient G1 whose
     // zero eigenvalues make the customary sigma0 = 0 expansion ill-posed --
     // use a nonzero sigma0 for such systems (see circuits/exp_system.hpp).
-    const la::ZVec eigs = at.schur_g1()->eigenvalues();
-    double scale = 1.0;
-    for (const auto& ev : eigs) scale = std::max(scale, std::abs(ev));
-    for (const la::Complex s0 : opt.expansion_points) {
-        for (const auto& ev : eigs) {
-            ATMOR_REQUIRE(std::abs(s0 - ev) > 1e-10 * scale,
-                          "reduce_associated: expansion point "
-                              << s0 << " coincides with an eigenvalue of G1 (" << ev
-                              << "); pick a shifted expansion point");
-            // Kronecker-sum resolvents are singular at eigenvalue pair sums.
-            for (const auto& ev2 : eigs) {
-                if (opt.k2 > 0 || opt.k3 > 0) {
-                    ATMOR_REQUIRE(std::abs(s0 - ev - ev2) > 1e-12 * scale,
-                                  "reduce_associated: expansion point hits an eigenvalue "
-                                  "pair sum of G1 (+) G1");
+    // The sweep needs the dense Schur factors; A2/A3 moment chains build them
+    // anyway, but a k1-only reduction of a large sparse system must not pay
+    // an O(n^3) factorisation here, so it defers to the solver backend's
+    // singularity detection at (sigma0 I - G1) factor time.
+    const bool needs_kron_solvers = opt.k2 > 0 || opt.k3 > 0;
+    if (needs_kron_solvers || sys.order() <= kEigenGuardMaxOrder) {
+        const la::ZVec eigs = at.schur_g1()->eigenvalues();
+        double scale = 1.0;
+        for (const auto& ev : eigs) scale = std::max(scale, std::abs(ev));
+        for (const la::Complex s0 : opt.expansion_points) {
+            for (const auto& ev : eigs) {
+                ATMOR_REQUIRE(std::abs(s0 - ev) > 1e-10 * scale,
+                              "reduce_associated: expansion point "
+                                  << s0 << " coincides with an eigenvalue of G1 (" << ev
+                                  << "); pick a shifted expansion point");
+                // Kronecker-sum resolvents are singular at eigenvalue pair sums.
+                if (needs_kron_solvers) {
+                    for (const auto& ev2 : eigs) {
+                        ATMOR_REQUIRE(std::abs(s0 - ev - ev2) > 1e-12 * scale,
+                                      "reduce_associated: expansion point hits an eigenvalue "
+                                      "pair sum of G1 (+) G1");
+                    }
                 }
             }
+        }
+    } else {
+        // Large sparse k1-only path: no eigenvalue sweep, but each expansion
+        // point's factorisation is probed for near-singularity (this also
+        // warms the backend cache the moment chains will replay).
+        for (const la::Complex s0 : opt.expansion_points) {
+            const double ratio = la::shift_pivot_ratio(*at.backend(), sys.g1_op(), s0);
+            ATMOR_REQUIRE(ratio > 1e-12,
+                          "reduce_associated: expansion point "
+                              << s0 << " is numerically too close to the spectrum of G1 "
+                              "(pivot ratio " << ratio
+                              << "); pick a shifted expansion point");
         }
     }
     util::Timer timer;
@@ -48,7 +67,7 @@ MorResult reduce_associated(const volterra::AssociatedTransform& at, const AtMor
             for (int j = 0; j < opt.markov_moments; ++j) {
                 basis.add(v);
                 ++raw;
-                v = la::matvec(sys.g1(), v);
+                v = sys.apply_g1(v);
             }
         }
     }
@@ -92,7 +111,7 @@ MorResult reduce_associated(const volterra::AssociatedTransform& at, const AtMor
 
 MorResult reduce_associated(const volterra::Qldae& sys, const AtMorOptions& opt) {
     util::Timer timer;
-    const volterra::AssociatedTransform at(sys);
+    const volterra::AssociatedTransform at(sys, opt.backend);
     MorResult result = reduce_associated(at, opt);
     result.build_seconds = timer.seconds();  // include factorisation time
     return result;

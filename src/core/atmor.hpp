@@ -9,13 +9,21 @@
 // The reduced model is obtained by Galerkin projection and is again a QLDAE.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "la/matrix.hpp"
+#include "la/solver_backend.hpp"
 #include "volterra/associated.hpp"
 #include "volterra/qldae.hpp"
 
 namespace atmor::core {
+
+/// Largest order for which the MOR front-ends run the dense eigenvalue sweep
+/// that validates expansion points against the spectrum of G1. Beyond this
+/// the sweep's O(n^3) Schur pass would dominate a sparse reduction, so large
+/// sparse systems rely on factorisation-time singularity detection instead.
+inline constexpr int kEigenGuardMaxOrder = 512;
 
 struct AtMorOptions {
     int k1 = 6;  ///< moments of H1(s) matched (per expansion point)
@@ -31,6 +39,10 @@ struct AtMorOptions {
     /// transient / high-frequency fit.
     int markov_moments = 0;
     double deflation_tol = 1e-8;
+    /// Resolvent solver backend for the moment chains. nullptr selects the
+    /// default: sparse LU with the (operator, shift) factorisation cache for
+    /// sparse-first systems, Schur for dense ones.
+    std::shared_ptr<la::SolverBackend> backend;
 };
 
 /// Outcome of a reduction, with the bookkeeping the paper's tables report.

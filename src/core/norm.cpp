@@ -8,6 +8,7 @@
 #include "core/projection.hpp"
 #include "la/orth.hpp"
 #include "la/schur.hpp"
+#include "la/solver_backend.hpp"
 #include "la/vector_ops.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
@@ -37,13 +38,18 @@ double multinomial3(int c1, int c2, int c3) {
 /// on wall time even though its subspace is much larger.
 class Engine {
 public:
-    Engine(const Qldae& sys, Complex s0) : sys_(sys), schur_(sys.g1()), s0_(s0) {}
+    Engine(const Qldae& sys, Complex s0, std::shared_ptr<la::SolverBackend> backend = nullptr)
+        : sys_(sys), backend_(std::move(backend)), s0_(s0) {
+        if (!backend_) backend_ = la::make_resolvent_backend(sys.g1_op());
+    }
 
     /// (-1)^l R^{l+1} v at shift mult*s0 (the resolvent Taylor factor of
-    /// F(s1+...+s_mult) about the diagonal expansion point).
+    /// F(s1+...+s_mult) about the diagonal expansion point). Only the three
+    /// shifts {s0, 2 s0, 3 s0} ever occur, so the backend cache holds three
+    /// factorisations for the whole NORM subspace build.
     ZVec f_apply(int mult, int l, ZVec v) const {
         const Complex shift = static_cast<double>(mult) * s0_;
-        for (int t = 0; t <= l; ++t) v = schur_.solve_shifted(shift, v);
+        for (int t = 0; t <= l; ++t) v = backend_->solve_shifted(sys_.g1_op(), shift, v);
         if (l % 2 == 1) la::scale(Complex(-1), v);
         return v;
     }
@@ -64,8 +70,8 @@ public:
             la::axpy(Complex(1), sys_.g2().apply(m1(j, b), m1(i, a)), v);
         }
         if (sys_.has_bilinear()) {
-            if (a == 0) la::axpy(Complex(1), la::matvec_rc(sys_.d1(i), m1(j, b)), v);
-            if (b == 0) la::axpy(Complex(1), la::matvec_rc(sys_.d1(j), m1(i, a)), v);
+            if (a == 0) la::axpy(Complex(1), sys_.apply_d1(i, m1(j, b)), v);
+            if (b == 0) la::axpy(Complex(1), sys_.apply_d1(j, m1(i, a)), v);
         }
         return v;
     }
@@ -102,9 +108,9 @@ public:
             add_pair(m1(k, c), m2(i, j, a, b));
         }
         if (sys_.has_bilinear()) {
-            if (a == 0) la::axpy(Complex(1), la::matvec_rc(sys_.d1(i), m2(j, k, b, c)), v);
-            if (b == 0) la::axpy(Complex(1), la::matvec_rc(sys_.d1(j), m2(i, k, a, c)), v);
-            if (c == 0) la::axpy(Complex(1), la::matvec_rc(sys_.d1(k), m2(i, j, a, b)), v);
+            if (a == 0) la::axpy(Complex(1), sys_.apply_d1(i, m2(j, k, b, c)), v);
+            if (b == 0) la::axpy(Complex(1), sys_.apply_d1(j, m2(i, k, a, c)), v);
+            if (c == 0) la::axpy(Complex(1), sys_.apply_d1(k, m2(i, j, a, b)), v);
         }
         if (sys_.has_cubic()) {
             // (1/2) sum over the 6 permutations of the (input, exponent) pairs.
@@ -138,7 +144,7 @@ public:
 
 private:
     const Qldae& sys_;
-    la::ComplexSchur schur_;
+    std::shared_ptr<la::SolverBackend> backend_;
     Complex s0_;
     std::map<std::tuple<int, int>, ZVec> m1_;
     std::map<std::tuple<int, int, int, int>, ZVec> m2_;
@@ -171,7 +177,20 @@ MorResult reduce_norm(const Qldae& sys, const NormOptions& opt) {
     ATMOR_REQUIRE(opt.q2 >= 0 && opt.q3 >= 0, "reduce_norm: negative moment order");
     // NORM evaluates resolvents at sigma0, 2*sigma0 and 3*sigma0 (the
     // diagonal expansion of F(s1+...+sk)); none may hit an eigenvalue of G1.
-    {
+    // The eigenvalue sweep needs a dense Schur pass, so it is reserved for
+    // systems small enough that O(n^3) is negligible; large sparse systems
+    // rely on the backend's factorisation-time singularity detection.
+    auto backend = la::make_resolvent_backend(sys.g1_op());
+    if (sys.order() > kEigenGuardMaxOrder) {
+        // Probe through the same backend the Engine will use, so the guard's
+        // three factorisations are exactly the ones the moment chain replays.
+        for (int mult = 1; mult <= 3; ++mult) {
+            const Complex shift = static_cast<double>(mult) * opt.sigma0;
+            ATMOR_REQUIRE(la::shift_pivot_ratio(*backend, sys.g1_op(), shift) > 1e-12,
+                          "reduce_norm: expansion shift "
+                              << shift << " is numerically too close to the spectrum of G1");
+        }
+    } else {
         const la::ZVec eigs = la::eigenvalues(sys.g1());
         double scale = 1.0;
         for (const auto& ev : eigs) scale = std::max(scale, std::abs(ev));
@@ -184,7 +203,7 @@ MorResult reduce_norm(const Qldae& sys, const NormOptions& opt) {
         }
     }
     util::Timer timer;
-    Engine eng(sys, opt.sigma0);
+    Engine eng(sys, opt.sigma0, backend);
     const int m = sys.inputs();
     la::BasisBuilder basis(sys.order(), opt.deflation_tol);
     int raw = 0;

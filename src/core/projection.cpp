@@ -11,6 +11,16 @@ la::Matrix reduce_matrix(const la::Matrix& a, const la::Matrix& v) {
     return la::matmul(la::transpose(v), la::matmul(a, v));
 }
 
+la::Matrix reduce_operator(const la::LinearOperator& a, const la::Matrix& v) {
+    ATMOR_REQUIRE(a.rows() == v.rows() && a.cols() == v.rows(),
+                  "reduce_operator: shape mismatch");
+    // V^T (A V) column by column: O(q * cost(matvec)) -- for CSR operators
+    // this never materialises a dense n x n matrix.
+    la::Matrix av(v.rows(), v.cols());
+    for (int j = 0; j < v.cols(); ++j) av.set_col(j, a.apply(v.col(j)));
+    return la::matmul(la::transpose(v), av);
+}
+
 sparse::SparseTensor3 reduce_tensor3(const sparse::SparseTensor3& t, const la::Matrix& v) {
     ATMOR_REQUIRE(t.rows() == v.rows() && t.n1() == v.rows() && t.n2() == v.rows(),
                   "reduce_tensor3: shape mismatch");
@@ -78,20 +88,27 @@ volterra::Qldae galerkin_reduce(const volterra::Qldae& sys, const la::Matrix& v)
     ATMOR_REQUIRE(v.rows() == sys.order(), "galerkin_reduce: basis row count mismatch");
     ATMOR_REQUIRE(v.cols() >= 1 && v.cols() <= sys.order(),
                   "galerkin_reduce: basis must have 1..n columns");
-    const la::Matrix g1r = reduce_matrix(sys.g1(), v);
+    const la::Matrix g1r = reduce_operator(sys.g1_op(), v);
     sparse::SparseTensor3 g2r = sys.has_quadratic()
                                     ? reduce_tensor3(sys.g2(), v)
                                     : sparse::SparseTensor3(v.cols(), v.cols(), v.cols());
     sparse::SparseTensor4 g3r;
     if (sys.has_cubic()) g3r = reduce_tensor4(sys.g3(), v);
 
+    const int q = v.cols();
     std::vector<la::Matrix> d1r;
     if (sys.has_bilinear()) {
         d1r.reserve(static_cast<std::size_t>(sys.inputs()));
-        for (int i = 0; i < sys.inputs(); ++i) d1r.push_back(reduce_matrix(sys.d1(i), v));
+        for (int i = 0; i < sys.inputs(); ++i) {
+            la::Matrix dv(v.rows(), q);
+            for (int j = 0; j < q; ++j) dv.set_col(j, sys.apply_d1(i, v.col(j)));
+            d1r.push_back(la::matmul(la::transpose(v), dv));
+        }
     }
-    const la::Matrix br = la::matmul(la::transpose(v), sys.b());
-    const la::Matrix cr = la::matmul(sys.c(), v);
+    la::Matrix br(q, sys.inputs());
+    for (int i = 0; i < sys.inputs(); ++i) br.set_col(i, la::matvec_transposed(v, sys.b_col(i)));
+    la::Matrix cr(sys.outputs(), q);
+    for (int j = 0; j < q; ++j) cr.set_col(j, sys.apply_c(v.col(j)));
     return volterra::Qldae(g1r, std::move(g2r), std::move(g3r), std::move(d1r), br, cr);
 }
 

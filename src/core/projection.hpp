@@ -7,12 +7,16 @@
 #pragma once
 
 #include "la/matrix.hpp"
+#include "la/operator.hpp"
 #include "volterra/qldae.hpp"
 
 namespace atmor::core {
 
 /// V^T A V.
 la::Matrix reduce_matrix(const la::Matrix& a, const la::Matrix& v);
+
+/// V^T A V through operator matvecs (sparse-first; no dense materialisation).
+la::Matrix reduce_operator(const la::LinearOperator& a, const la::Matrix& v);
 
 /// Reduced quadratic tensor V^T G2 (V (x) V) as a (dense-content) tensor.
 sparse::SparseTensor3 reduce_tensor3(const sparse::SparseTensor3& t, const la::Matrix& v);

@@ -1,0 +1,170 @@
+// Solver backends with a factorization cache keyed by (operator, shift).
+//
+// Every resolvent solve (sI - G1)^{-1} b, NORM moment solve, and implicit-
+// integrator Newton step in the pipeline goes through a SolverBackend. The
+// backend factors (shift*I - A) at most once per (operator identity, shift)
+// and replays the factors for every subsequent right-hand side -- the
+// "factor once per expansion point / Newton Jacobian, solve thousands of
+// times" pattern the associated-transform method depends on.
+//
+// Three interchangeable backends:
+//  * DenseLuBackend  -- dense partial-pivot LU; O(n^3) per (op, shift).
+//  * SparseLuBackend -- sparse LU (sparse/splu.hpp); O(nnz + fill) per
+//                       (op, shift), the sparse-first hot path.
+//  * SchurBackend    -- one dense complex Schur factorisation per OPERATOR;
+//                       every shift is then a triangular backsolve. Best for
+//                       dense systems probed at many shifts (transfer-function
+//                       sweeps, associated-transform moment chains).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "la/matrix.hpp"
+#include "la/operator.hpp"
+
+namespace atmor::la {
+
+class ComplexSchur;
+
+/// A reusable factorisation of (shift*I - A).
+class Factorization {
+public:
+    virtual ~Factorization() = default;
+    [[nodiscard]] virtual int dim() const = 0;
+    /// Solve (shift*I - A) x = b.
+    [[nodiscard]] virtual ZVec solve(const ZVec& b) const = 0;
+    /// Real solve; requires the factorisation's shift to be real.
+    [[nodiscard]] virtual Vec solve(const Vec& b) const = 0;
+    /// Cheap conditioning probe in [0, 1]: min/max pivot magnitude (LU) or
+    /// normalised spectral distance of the shift (Schur). Values near 0 mean
+    /// the shifted matrix is numerically singular and solves are garbage.
+    [[nodiscard]] virtual double pivot_ratio() const = 0;
+};
+
+struct SolverStats {
+    long factorizations = 0;  ///< cache misses (actual factor work)
+    long cache_hits = 0;      ///< solves served from a cached factorisation
+    long solves = 0;          ///< total right-hand sides solved
+};
+
+class SolverBackend {
+public:
+    /// @param max_cached bound on live cache entries (FIFO eviction). Live
+    ///        shared_ptr handles returned by factorization() stay valid after
+    ///        eviction; only the cache slot is reclaimed.
+    explicit SolverBackend(std::size_t max_cached = 16);
+    virtual ~SolverBackend() = default;
+
+    /// Cached factorisation of (shift*I - A); factors on first use.
+    [[nodiscard]] std::shared_ptr<const Factorization> factorization(const LinearOperator& a,
+                                                                     Complex shift);
+
+    /// Uncached factorisation of (shift*I - A). For throwaway operators that
+    /// will never be looked up again (e.g. per-refactor Newton Jacobians):
+    /// the caller keeps the handle, and the cache is not polluted with
+    /// entries whose operator ids never recur.
+    [[nodiscard]] std::shared_ptr<const Factorization> factorize(const LinearOperator& a,
+                                                                 Complex shift);
+
+    /// Solve (shift*I - A) x = b through the cache.
+    [[nodiscard]] ZVec solve_shifted(const LinearOperator& a, Complex shift, const ZVec& b);
+    [[nodiscard]] Vec solve_shifted(const LinearOperator& a, double shift, const Vec& b);
+
+    /// Solve A x = b (factors the shift-0 resolvent and negates).
+    [[nodiscard]] Vec solve(const LinearOperator& a, const Vec& b);
+
+    [[nodiscard]] const SolverStats& stats() const { return stats_; }
+    void clear_cache();
+    [[nodiscard]] std::size_t cached_count() const { return cache_.size(); }
+    [[nodiscard]] virtual const char* name() const = 0;
+
+protected:
+    /// Factor (shift*I - A) from scratch (cache miss path).
+    [[nodiscard]] virtual std::shared_ptr<const Factorization> factor(const LinearOperator& a,
+                                                                      Complex shift) = 0;
+
+    [[nodiscard]] std::size_t max_cached() const { return max_cached_; }
+
+private:
+    struct Key {
+        std::uint64_t id;
+        double re;
+        double im;
+        bool operator==(const Key& o) const { return id == o.id && re == o.re && im == o.im; }
+    };
+    struct KeyHash {
+        std::size_t operator()(const Key& k) const;
+    };
+
+    std::unordered_map<Key, std::shared_ptr<const Factorization>, KeyHash> cache_;
+    std::deque<Key> insertion_order_;
+    std::size_t max_cached_;
+    SolverStats stats_;
+};
+
+/// Dense LU per (operator, shift). Real shifts factor in real arithmetic.
+class DenseLuBackend final : public SolverBackend {
+public:
+    using SolverBackend::SolverBackend;
+    [[nodiscard]] const char* name() const override { return "dense-lu"; }
+
+protected:
+    [[nodiscard]] std::shared_ptr<const Factorization> factor(const LinearOperator& a,
+                                                              Complex shift) override;
+};
+
+/// Sparse LU per (operator, shift); operators without a CSR view are
+/// converted once per factorisation (dense fallback preserved).
+class SparseLuBackend final : public SolverBackend {
+public:
+    using SolverBackend::SolverBackend;
+    [[nodiscard]] const char* name() const override { return "sparse-lu"; }
+
+protected:
+    [[nodiscard]] std::shared_ptr<const Factorization> factor(const LinearOperator& a,
+                                                              Complex shift) override;
+};
+
+/// One complex Schur decomposition per operator; shifts are triangular
+/// backsolves against the shared factors.
+class SchurBackend final : public SolverBackend {
+public:
+    using SolverBackend::SolverBackend;
+    [[nodiscard]] const char* name() const override { return "schur"; }
+
+    /// The per-operator Schur factors (shared with AssociatedTransform so the
+    /// Kronecker-structured solvers reuse the same decomposition).
+    [[nodiscard]] std::shared_ptr<const ComplexSchur> schur_for(const LinearOperator& a);
+
+    /// Number of distinct operators factorised (each one dense O(n^3) work).
+    [[nodiscard]] long schur_count() const { return schur_count_; }
+
+protected:
+    [[nodiscard]] std::shared_ptr<const Factorization> factor(const LinearOperator& a,
+                                                              Complex shift) override;
+
+private:
+    // Bounded like the base cache (FIFO); live shared_ptr handles survive
+    // eviction, only the slot is reclaimed.
+    std::unordered_map<std::uint64_t, std::shared_ptr<const ComplexSchur>> schur_;
+    std::deque<std::uint64_t> schur_order_;
+    long schur_count_ = 0;
+};
+
+/// Conditioning of (shift*I - A) through the backend's cache: the cached
+/// factorization's pivot_ratio(), or 0.0 when the factorisation breaks down
+/// on exact singularity. Guards call this before moment generation; the
+/// factorisation stays cached, so the probe also warms the solve path.
+double shift_pivot_ratio(SolverBackend& backend, const LinearOperator& a, Complex shift);
+
+/// Heuristic default for factor-and-solve workloads (Newton Jacobians,
+/// resolvent chains): sparse LU when a CSR view exists, dense LU otherwise.
+std::shared_ptr<SolverBackend> make_default_backend(const LinearOperator& a);
+
+/// Heuristic default for many-shift resolvent workloads: sparse LU when a CSR
+/// view exists, Schur otherwise.
+std::shared_ptr<SolverBackend> make_resolvent_backend(const LinearOperator& a);
+
+}  // namespace atmor::la

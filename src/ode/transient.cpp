@@ -4,7 +4,8 @@
 #include <cmath>
 #include <memory>
 
-#include "la/lu.hpp"
+#include "la/operator.hpp"
+#include "la/solver_backend.hpp"
 #include "la/vector_ops.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
@@ -145,16 +146,29 @@ TransientResult run_implicit(const Qldae& sys, const InputFn& u, const Transient
     TransientResult res;
     const long nsteps = std::lround(std::ceil(opt.t_end / opt.dt));
     const double h = opt.t_end / static_cast<double>(nsteps);
-    const int n = sys.order();
     record(res, sys, 0.0, x);
 
-    std::unique_ptr<la::Lu> jac_lu;
+    // Newton matrix I - theta*h*J == (shift*I - A) with shift = 1 and
+    // A = theta*h*J: exactly the shifted form the solver backend caches.
+    // Sparse systems stamp the Jacobian as COO and factor through sparse LU;
+    // dense systems go through dense LU. Either way the factorisation is
+    // reused across Newton iterations and steps until `refactor` is called.
+    std::shared_ptr<la::SolverBackend> backend =
+        opt.backend ? opt.backend : la::make_default_backend(sys.g1_op());
+    std::shared_ptr<const la::Factorization> jac_fact;
     auto refactor = [&](const Vec& x_lin, const Vec& u_lin) {
-        // J = I - theta*h*df/dx.
-        Matrix j = sys.jacobian(x_lin, u_lin);
-        j *= -theta * h;
-        for (int i = 0; i < n; ++i) j(i, i) += 1.0;
-        jac_lu = std::make_unique<la::Lu>(std::move(j));
+        std::shared_ptr<const la::LinearOperator> a_op;
+        if (sys.is_sparse()) {
+            a_op = la::make_sparse_operator(
+                sparse::CsrMatrix(sys.jacobian_coo(x_lin, u_lin, theta * h)));
+        } else {
+            Matrix j = sys.jacobian(x_lin, u_lin);
+            j *= theta * h;
+            a_op = la::make_dense_operator(std::move(j));
+        }
+        // Uncached factorisation: the operator is freshly stamped, so its id
+        // would never be looked up again and would only pollute the cache.
+        jac_fact = backend->factorize(*a_op, la::Complex(1.0, 0.0));
         ++res.factorizations;
     };
 
@@ -168,7 +182,7 @@ TransientResult run_implicit(const Qldae& sys, const InputFn& u, const Transient
         Vec xn = x;
         la::axpy(h, f0, xn);
 
-        if (!jac_lu || opt.refactor_every_step) refactor(x, u1);
+        if (!jac_fact || opt.refactor_every_step) refactor(x, u1);
         bool converged = false;
         for (int attempt = 0; attempt < 2 && !converged; ++attempt) {
             for (int it = 0; it < opt.newton_max_iter; ++it) {
@@ -184,7 +198,7 @@ TransientResult run_implicit(const Qldae& sys, const InputFn& u, const Transient
                     converged = true;
                     break;
                 }
-                const Vec dx = jac_lu->solve(r);
+                const Vec dx = jac_fact->solve(r);
                 la::axpy(-1.0, dx, xn);
             }
             // Modified-Newton recovery: refresh the Jacobian at the current

@@ -9,9 +9,11 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "la/matrix.hpp"
+#include "la/solver_backend.hpp"
 #include "volterra/qldae.hpp"
 
 namespace atmor::ode {
@@ -36,6 +38,12 @@ struct TransientOptions {
     /// timings live in). Default reuses the factor until convergence
     /// degrades (modified Newton).
     bool refactor_every_step = false;
+    /// Linear solver for the implicit Newton systems (I - theta*h*J) dx = r.
+    /// nullptr selects the default: sparse LU for sparse-first systems,
+    /// dense LU otherwise (la::make_default_backend). The Jacobian factors
+    /// once per refactor and replays through the backend cache across Newton
+    /// iterations and steps.
+    std::shared_ptr<la::SolverBackend> backend;
 };
 
 struct TransientResult {

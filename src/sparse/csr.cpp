@@ -94,6 +94,17 @@ la::Vec CsrMatrix::matvec_transposed(const la::Vec& x) const {
     return y;
 }
 
+la::Vec CsrMatrix::col(int j) const {
+    ATMOR_REQUIRE(j >= 0 && j < cols_, "CsrMatrix::col: index out of range");
+    la::Vec out(static_cast<std::size_t>(rows_), 0.0);
+    for (int i = 0; i < rows_; ++i)
+        for (int k = row_ptr_[static_cast<std::size_t>(i)];
+             k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k)
+            if (col_idx_[static_cast<std::size_t>(k)] == j)
+                out[static_cast<std::size_t>(i)] += values_[static_cast<std::size_t>(k)];
+    return out;
+}
+
 la::Matrix CsrMatrix::to_dense() const {
     la::Matrix m(rows_, cols_);
     add_to_dense(m);

@@ -57,6 +57,15 @@ public:
     /// Scaled addition into a dense accumulator: acc += alpha * this.
     void add_to_dense(la::Matrix& acc, double alpha = 1.0) const;
 
+    /// Column j as a dense vector (used for B-column extraction).
+    [[nodiscard]] la::Vec col(int j) const;
+
+    /// Raw CSR arrays (read-only; consumed by sparse::SparseLu and the
+    /// operator layer).
+    [[nodiscard]] const std::vector<int>& row_ptr() const { return row_ptr_; }
+    [[nodiscard]] const std::vector<int>& col_idx() const { return col_idx_; }
+    [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
 private:
     int rows_ = 0;
     int cols_ = 0;

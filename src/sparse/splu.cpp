@@ -1,0 +1,370 @@
+#include "sparse/splu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "util/check.hpp"
+
+namespace atmor::sparse {
+
+namespace {
+
+/// Shared CSC assembly of (shift*I - A); the diagonal slot is always emitted.
+template <class T>
+Csc<T> build_shifted_csc(const CsrMatrix& a, T shift) {
+    ATMOR_REQUIRE(a.rows() == a.cols(), "shifted_csc: matrix must be square");
+    const int n = a.rows();
+    const auto& rp = a.row_ptr();
+    const auto& ci = a.col_idx();
+    const auto& vals = a.values();
+
+    Csc<T> out;
+    out.n = n;
+    out.col_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+    // Count off-diagonal entries per column; every column also gets one
+    // diagonal slot carrying shift - A_jj.
+    for (int i = 0; i < n; ++i)
+        for (int k = rp[static_cast<std::size_t>(i)]; k < rp[static_cast<std::size_t>(i) + 1];
+             ++k) {
+            const int j = ci[static_cast<std::size_t>(k)];
+            if (j != i) ++out.col_ptr[static_cast<std::size_t>(j) + 1];
+        }
+    for (int j = 0; j < n; ++j) ++out.col_ptr[static_cast<std::size_t>(j) + 1];  // diagonal
+    for (int j = 0; j < n; ++j)
+        out.col_ptr[static_cast<std::size_t>(j) + 1] += out.col_ptr[static_cast<std::size_t>(j)];
+
+    const std::size_t nnz = static_cast<std::size_t>(out.col_ptr[static_cast<std::size_t>(n)]);
+    out.row_idx.resize(nnz);
+    out.values.resize(nnz);
+    std::vector<int> next(out.col_ptr.begin(), out.col_ptr.end() - 1);
+    std::vector<T> diag(static_cast<std::size_t>(n), shift);
+    for (int i = 0; i < n; ++i)
+        for (int k = rp[static_cast<std::size_t>(i)]; k < rp[static_cast<std::size_t>(i) + 1];
+             ++k) {
+            const int j = ci[static_cast<std::size_t>(k)];
+            const double v = vals[static_cast<std::size_t>(k)];
+            if (j == i) {
+                diag[static_cast<std::size_t>(i)] -= v;
+            } else {
+                const int slot = next[static_cast<std::size_t>(j)]++;
+                out.row_idx[static_cast<std::size_t>(slot)] = i;
+                out.values[static_cast<std::size_t>(slot)] = T(-v);
+            }
+        }
+    for (int j = 0; j < n; ++j) {
+        const int slot = next[static_cast<std::size_t>(j)]++;
+        out.row_idx[static_cast<std::size_t>(slot)] = j;
+        out.values[static_cast<std::size_t>(slot)] = diag[static_cast<std::size_t>(j)];
+    }
+    return out;
+}
+
+}  // namespace
+
+Csc<double> shifted_csc(const CsrMatrix& a, double shift) {
+    return build_shifted_csc<double>(a, shift);
+}
+
+Csc<la::Complex> shifted_csc(const CsrMatrix& a, la::Complex shift) {
+    return build_shifted_csc<la::Complex>(a, shift);
+}
+
+Csc<double> csc_of(const CsrMatrix& a) {
+    ATMOR_REQUIRE(a.rows() == a.cols(), "csc_of: matrix must be square");
+    const int n = a.rows();
+    const auto& rp = a.row_ptr();
+    const auto& ci = a.col_idx();
+    const auto& vals = a.values();
+    Csc<double> out;
+    out.n = n;
+    out.col_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+    for (int k = 0; k < a.nnz(); ++k) ++out.col_ptr[static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]) + 1];
+    for (int j = 0; j < n; ++j)
+        out.col_ptr[static_cast<std::size_t>(j) + 1] += out.col_ptr[static_cast<std::size_t>(j)];
+    out.row_idx.resize(static_cast<std::size_t>(a.nnz()));
+    out.values.resize(static_cast<std::size_t>(a.nnz()));
+    std::vector<int> next(out.col_ptr.begin(), out.col_ptr.end() - 1);
+    for (int i = 0; i < n; ++i)
+        for (int k = rp[static_cast<std::size_t>(i)]; k < rp[static_cast<std::size_t>(i) + 1];
+             ++k) {
+            const int j = ci[static_cast<std::size_t>(k)];
+            const int slot = next[static_cast<std::size_t>(j)]++;
+            out.row_idx[static_cast<std::size_t>(slot)] = i;
+            out.values[static_cast<std::size_t>(slot)] = vals[static_cast<std::size_t>(k)];
+        }
+    return out;
+}
+
+template <class T>
+std::vector<int> rcm_order(const Csc<T>& a) {
+    const int n = a.n;
+    // Symmetric adjacency of A + A^T (diagonal dropped).
+    std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j)
+        for (int p = a.col_ptr[static_cast<std::size_t>(j)];
+             p < a.col_ptr[static_cast<std::size_t>(j) + 1]; ++p) {
+            const int i = a.row_idx[static_cast<std::size_t>(p)];
+            if (i == j) continue;
+            adj[static_cast<std::size_t>(i)].push_back(j);
+            adj[static_cast<std::size_t>(j)].push_back(i);
+        }
+    for (auto& nb : adj) {
+        std::sort(nb.begin(), nb.end());
+        nb.erase(std::unique(nb.begin(), nb.end()), nb.end());
+    }
+    auto degree = [&](int v) { return static_cast<int>(adj[static_cast<std::size_t>(v)].size()); };
+
+    std::vector<int> order;
+    order.reserve(static_cast<std::size_t>(n));
+    std::vector<char> visited(static_cast<std::size_t>(n), 0);
+    std::vector<int> queue;
+    queue.reserve(static_cast<std::size_t>(n));
+    for (;;) {
+        // Root: unvisited node of minimum degree (pseudo-peripheral enough).
+        int root = -1;
+        for (int v = 0; v < n; ++v)
+            if (!visited[static_cast<std::size_t>(v)] && (root < 0 || degree(v) < degree(root)))
+                root = v;
+        if (root < 0) break;
+        queue.clear();
+        queue.push_back(root);
+        visited[static_cast<std::size_t>(root)] = 1;
+        for (std::size_t head = 0; head < queue.size(); ++head) {
+            const int v = queue[head];
+            order.push_back(v);
+            std::vector<int> next;
+            for (int w : adj[static_cast<std::size_t>(v)])
+                if (!visited[static_cast<std::size_t>(w)]) {
+                    visited[static_cast<std::size_t>(w)] = 1;
+                    next.push_back(w);
+                }
+            std::sort(next.begin(), next.end(),
+                      [&](int x, int y) { return degree(x) < degree(y); });
+            queue.insert(queue.end(), next.begin(), next.end());
+        }
+    }
+    std::reverse(order.begin(), order.end());
+    return order;
+}
+
+template std::vector<int> rcm_order(const Csc<double>&);
+template std::vector<int> rcm_order(const Csc<la::Complex>&);
+
+template <class T>
+SparseLu<T>::SparseLu(const Csc<T>& a) {
+    ATMOR_REQUIRE(a.n >= 1, "SparseLu: empty matrix");
+    ATMOR_REQUIRE(static_cast<int>(a.col_ptr.size()) == a.n + 1, "SparseLu: bad col_ptr");
+    n_ = a.n;
+    q_ = rcm_order(a);
+    // Permuted matrix B[i, j] = A[q[i], q[j]] (counting-sort rebuild).
+    std::vector<int> qi(static_cast<std::size_t>(n_));
+    for (int k = 0; k < n_; ++k) qi[static_cast<std::size_t>(q_[static_cast<std::size_t>(k)])] = k;
+    Csc<T> b;
+    b.n = n_;
+    b.col_ptr.assign(static_cast<std::size_t>(n_) + 1, 0);
+    for (int jo = 0; jo < n_; ++jo) {
+        const int jn = qi[static_cast<std::size_t>(jo)];
+        b.col_ptr[static_cast<std::size_t>(jn) + 1] +=
+            a.col_ptr[static_cast<std::size_t>(jo) + 1] - a.col_ptr[static_cast<std::size_t>(jo)];
+    }
+    for (int j = 0; j < n_; ++j)
+        b.col_ptr[static_cast<std::size_t>(j) + 1] += b.col_ptr[static_cast<std::size_t>(j)];
+    b.row_idx.resize(a.row_idx.size());
+    b.values.resize(a.values.size());
+    std::vector<int> next(b.col_ptr.begin(), b.col_ptr.end() - 1);
+    for (int jo = 0; jo < n_; ++jo) {
+        const int jn = qi[static_cast<std::size_t>(jo)];
+        for (int p = a.col_ptr[static_cast<std::size_t>(jo)];
+             p < a.col_ptr[static_cast<std::size_t>(jo) + 1]; ++p) {
+            const int slot = next[static_cast<std::size_t>(jn)]++;
+            b.row_idx[static_cast<std::size_t>(slot)] =
+                qi[static_cast<std::size_t>(a.row_idx[static_cast<std::size_t>(p)])];
+            b.values[static_cast<std::size_t>(slot)] = a.values[static_cast<std::size_t>(p)];
+        }
+    }
+    factor(b);
+}
+
+template <class T>
+void SparseLu<T>::factor(const Csc<T>& a) {
+    const int n = n_;
+    lp_.assign(static_cast<std::size_t>(n) + 1, 0);
+    up_.assign(static_cast<std::size_t>(n) + 1, 0);
+    pinv_.assign(static_cast<std::size_t>(n), -1);
+    li_.reserve(a.row_idx.size());
+    lx_.reserve(a.values.size());
+    ui_.reserve(a.row_idx.size());
+    ux_.reserve(a.values.size());
+
+    std::vector<T> x(static_cast<std::size_t>(n), T(0));
+    std::vector<char> mark(static_cast<std::size_t>(n), 0);
+    std::vector<int> xi(static_cast<std::size_t>(n));
+    std::vector<int> stack(static_cast<std::size_t>(n));
+    std::vector<int> pstack(static_cast<std::size_t>(n));
+
+    for (int k = 0; k < n; ++k) {
+        // --- Reach: nonzero pattern of L \ A(:,k), topological order in
+        // xi[top..n). DFS over the column graph of the L computed so far.
+        int top = n;
+        for (int p = a.col_ptr[static_cast<std::size_t>(k)];
+             p < a.col_ptr[static_cast<std::size_t>(k) + 1]; ++p) {
+            const int root = a.row_idx[static_cast<std::size_t>(p)];
+            if (mark[static_cast<std::size_t>(root)]) continue;
+            int head = 0;
+            stack[0] = root;
+            while (head >= 0) {
+                const int v = stack[static_cast<std::size_t>(head)];
+                if (!mark[static_cast<std::size_t>(v)]) {
+                    mark[static_cast<std::size_t>(v)] = 1;
+                    pstack[static_cast<std::size_t>(head)] =
+                        (pinv_[static_cast<std::size_t>(v)] < 0)
+                            ? 0
+                            : lp_[static_cast<std::size_t>(pinv_[static_cast<std::size_t>(v)])];
+                }
+                bool descended = false;
+                const int colv = pinv_[static_cast<std::size_t>(v)];
+                if (colv >= 0) {
+                    const int pend = lp_[static_cast<std::size_t>(colv) + 1];
+                    int& pp = pstack[static_cast<std::size_t>(head)];
+                    while (pp < pend) {
+                        const int w = li_[static_cast<std::size_t>(pp)];
+                        ++pp;
+                        if (!mark[static_cast<std::size_t>(w)]) {
+                            stack[static_cast<std::size_t>(++head)] = w;
+                            descended = true;
+                            break;
+                        }
+                    }
+                }
+                if (!descended) {
+                    xi[static_cast<std::size_t>(--top)] = v;
+                    --head;
+                }
+            }
+        }
+
+        // --- Numeric sparse triangular solve x = L \ A(:,k).
+        for (int p = a.col_ptr[static_cast<std::size_t>(k)];
+             p < a.col_ptr[static_cast<std::size_t>(k) + 1]; ++p)
+            x[static_cast<std::size_t>(a.row_idx[static_cast<std::size_t>(p)])] =
+                a.values[static_cast<std::size_t>(p)];
+        for (int p = top; p < n; ++p) {
+            const int i = xi[static_cast<std::size_t>(p)];
+            const int coli = pinv_[static_cast<std::size_t>(i)];
+            if (coli < 0) continue;
+            const T xi_val = x[static_cast<std::size_t>(i)];
+            if (xi_val == T(0)) continue;
+            for (int q = lp_[static_cast<std::size_t>(coli)] + 1;
+                 q < lp_[static_cast<std::size_t>(coli) + 1]; ++q)
+                x[static_cast<std::size_t>(li_[static_cast<std::size_t>(q)])] -=
+                    lx_[static_cast<std::size_t>(q)] * xi_val;
+        }
+
+        // --- Partial pivoting over the not-yet-pivotal rows.
+        int ipiv = -1;
+        double pivmag = -1.0;
+        for (int p = top; p < n; ++p) {
+            const int i = xi[static_cast<std::size_t>(p)];
+            if (pinv_[static_cast<std::size_t>(i)] < 0) {
+                const double t = std::abs(x[static_cast<std::size_t>(i)]);
+                if (t > pivmag) {
+                    pivmag = t;
+                    ipiv = i;
+                }
+            } else {
+                ui_.push_back(pinv_[static_cast<std::size_t>(i)]);
+                ux_.push_back(x[static_cast<std::size_t>(i)]);
+            }
+        }
+        ATMOR_CHECK(ipiv >= 0 && pivmag > 0.0,
+                    "SparseLu: matrix is numerically singular at column " << k);
+        const T pivot = x[static_cast<std::size_t>(ipiv)];
+        pinv_[static_cast<std::size_t>(ipiv)] = k;
+        li_.push_back(ipiv);
+        lx_.push_back(T(1));
+        for (int p = top; p < n; ++p) {
+            const int i = xi[static_cast<std::size_t>(p)];
+            if (pinv_[static_cast<std::size_t>(i)] < 0) {
+                li_.push_back(i);
+                lx_.push_back(x[static_cast<std::size_t>(i)] / pivot);
+            }
+            x[static_cast<std::size_t>(i)] = T(0);
+            mark[static_cast<std::size_t>(i)] = 0;
+        }
+        ui_.push_back(k);
+        ux_.push_back(pivot);
+        lp_[static_cast<std::size_t>(k) + 1] = static_cast<int>(li_.size());
+        up_[static_cast<std::size_t>(k) + 1] = static_cast<int>(ui_.size());
+    }
+
+    // Remap L's row indices from original to pivot order (CSparse fixup), so
+    // the solve phase works on a proper lower triangle.
+    for (auto& i : li_) i = pinv_[static_cast<std::size_t>(i)];
+}
+
+template <class T>
+std::vector<T> SparseLu<T>::solve(const std::vector<T>& b) const {
+    ATMOR_REQUIRE(static_cast<int>(b.size()) == n_, "SparseLu::solve: size mismatch");
+    const int n = n_;
+    std::vector<T> x(static_cast<std::size_t>(n));
+    // Compose the fill-reducing order with the pivot permutation on the way
+    // in: permuted row i carries original entry b[q_[i]].
+    for (int i = 0; i < n; ++i)
+        x[static_cast<std::size_t>(pinv_[static_cast<std::size_t>(i)])] =
+            b[static_cast<std::size_t>(q_[static_cast<std::size_t>(i)])];
+    // L y = P b (unit diagonal stored first in each column).
+    for (int j = 0; j < n; ++j) {
+        const T xj = x[static_cast<std::size_t>(j)];
+        if (xj == T(0)) continue;
+        for (int p = lp_[static_cast<std::size_t>(j)] + 1;
+             p < lp_[static_cast<std::size_t>(j) + 1]; ++p)
+            x[static_cast<std::size_t>(li_[static_cast<std::size_t>(p)])] -=
+                lx_[static_cast<std::size_t>(p)] * xj;
+    }
+    // U x = y (diagonal stored last in each column).
+    for (int j = n - 1; j >= 0; --j) {
+        x[static_cast<std::size_t>(j)] /= ux_[static_cast<std::size_t>(up_[static_cast<std::size_t>(j) + 1] - 1)];
+        const T xj = x[static_cast<std::size_t>(j)];
+        if (xj == T(0)) continue;
+        for (int p = up_[static_cast<std::size_t>(j)];
+             p < up_[static_cast<std::size_t>(j) + 1] - 1; ++p)
+            x[static_cast<std::size_t>(ui_[static_cast<std::size_t>(p)])] -=
+                ux_[static_cast<std::size_t>(p)] * xj;
+    }
+    // Back to the original index space.
+    std::vector<T> out(static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k)
+        out[static_cast<std::size_t>(q_[static_cast<std::size_t>(k)])] =
+            x[static_cast<std::size_t>(k)];
+    return out;
+}
+
+template <class T>
+double SparseLu<T>::pivot_ratio() const {
+    double lo = 0.0, hi = 0.0;
+    for (int j = 0; j < n_; ++j) {
+        const double d =
+            std::abs(ux_[static_cast<std::size_t>(up_[static_cast<std::size_t>(j) + 1] - 1)]);
+        if (j == 0) {
+            lo = hi = d;
+        } else {
+            lo = std::min(lo, d);
+            hi = std::max(hi, d);
+        }
+    }
+    return hi > 0.0 ? lo / hi : 0.0;
+}
+
+template class SparseLu<double>;
+template class SparseLu<la::Complex>;
+
+SpLu splu(const CsrMatrix& a) { return SpLu(csc_of(a)); }
+
+SpLu splu_shifted(const CsrMatrix& a, double shift) { return SpLu(shifted_csc(a, shift)); }
+
+ZSpLu splu_shifted(const CsrMatrix& a, la::Complex shift) {
+    return ZSpLu(shifted_csc(a, shift));
+}
+
+}  // namespace atmor::sparse

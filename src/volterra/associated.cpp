@@ -46,10 +46,20 @@ std::array<std::array<int, 3>, 6> permutations3(int i, int j, int k) {
 
 }  // namespace
 
-AssociatedTransform::AssociatedTransform(Qldae sys)
-    : sys_(std::move(sys)),
-      schur_(std::make_shared<const la::ComplexSchur>(sys_.g1())),
-      ks2_(std::make_shared<tensor::KronSum2Solver>(schur_)) {
+AssociatedTransform::AssociatedTransform(Qldae sys, std::shared_ptr<la::SolverBackend> backend)
+    : sys_(std::move(sys)), backend_(std::move(backend)) {
+    if (!backend_) backend_ = la::make_resolvent_backend(sys_.g1_op());
+}
+
+void AssociatedTransform::ensure_schur() const {
+    if (schur_) return;
+    // Reuse the backend's factors when it is Schur-based (dense default), so
+    // the O(n^3) decomposition happens exactly once per system.
+    if (auto* sb = dynamic_cast<la::SchurBackend*>(backend_.get()))
+        schur_ = sb->schur_for(sys_.g1_op());
+    else
+        schur_ = std::make_shared<const la::ComplexSchur>(sys_.g1());
+    ks2_ = std::make_shared<tensor::KronSum2Solver>(schur_);
     // Gt2 = [[G1, G2], [0, G1 (+) G1]] (eq. 17); the coupling block is G2's
     // matrix view. A quadratic-free system still gets a valid (zero) coupling.
     sparse::SparseTensor3 coupling = sys_.has_quadratic()
@@ -59,12 +69,33 @@ AssociatedTransform::AssociatedTransform(Qldae sys)
     gt2_ = std::make_shared<tensor::BlockTriangularSolver>(schur_, std::move(coupling), ks2_);
 }
 
+const std::shared_ptr<const la::ComplexSchur>& AssociatedTransform::schur_g1() const {
+    ensure_schur();
+    return schur_;
+}
+
+const std::shared_ptr<tensor::KronSum2Solver>& AssociatedTransform::kron_sum2() const {
+    ensure_schur();
+    return ks2_;
+}
+
+const std::shared_ptr<tensor::BlockTriangularSolver>& AssociatedTransform::gtilde2() const {
+    ensure_schur();
+    return gt2_;
+}
+
+la::ZVec AssociatedTransform::resolvent(Complex s, const ZVec& rhs) const {
+    return backend_->solve_shifted(sys_.g1_op(), s, rhs);
+}
+
 const std::shared_ptr<tensor::ShiftedSolver>& AssociatedTransform::m1_solver() const {
+    ensure_schur();
     if (!m1_) m1_ = std::make_shared<tensor::KronSumLeftSolver>(schur_, gt2_);
     return m1_;
 }
 
 const std::shared_ptr<tensor::ShiftedSolver>& AssociatedTransform::ks3_solver() const {
+    ensure_schur();
     if (!ks3_) ks3_ = tensor::make_kron_sum3(schur_);
     return ks3_;
 }
@@ -81,8 +112,8 @@ ZVec AssociatedTransform::sym_lift(int i, int j) const {
 ZVec AssociatedTransform::d0(int i, int j) const {
     ZVec v(static_cast<std::size_t>(sys_.order()), Complex(0));
     if (!sys_.has_bilinear()) return v;
-    la::Vec w = la::matvec(sys_.d1(i), sys_.b_col(j));
-    la::axpy(1.0, la::matvec(sys_.d1(j), sys_.b_col(i)), w);
+    la::Vec w = sys_.apply_d1(i, sys_.b_col(j));
+    la::axpy(1.0, sys_.apply_d1(j, sys_.b_col(i)), w);
     la::scale(0.5, w);
     return la::complexify(w);
 }
@@ -130,7 +161,7 @@ ZMatrix AssociatedTransform::h1(Complex s) const {
     const int n = sys_.order(), m = sys_.inputs();
     ZMatrix out(n, m);
     for (int i = 0; i < m; ++i)
-        out.set_col(i, schur_->solve_shifted(s, la::complexify(sys_.b_col(i))));
+        out.set_col(i, resolvent(s, la::complexify(sys_.b_col(i))));
     return out;
 }
 
@@ -142,10 +173,10 @@ ZMatrix AssociatedTransform::a2h2(Complex s) const {
         for (int j = i; j < m; ++j) {
             ZVec g = d0(i, j);
             if (sys_.has_quadratic()) {
-                const ZVec w = ks2_->solve(s, sym_lift(i, j));
+                const ZVec w = kron_sum2()->solve(s, sym_lift(i, j));
                 la::axpy(Complex(1), sys_.g2().apply_lifted(w), g);
             }
-            const ZVec col = schur_->solve_shifted(s, g);
+            const ZVec col = resolvent(s, g);
             out.set_col(i * m + j, col);
             if (i != j) out.set_col(j * m + i, col);
         }
@@ -177,7 +208,7 @@ ZMatrix AssociatedTransform::a3h3(Complex s) const {
                             la::axpy(w, sys_.g2().apply_lifted(slice_m2(u)), acc);
                         }
                         if (d1_part)
-                            la::axpy(w, la::matvec_rc(sys_.d1(as.a), d0(as.b, as.c)), acc);
+                            la::axpy(w, sys_.apply_d1(as.a, d0(as.b, as.c)), acc);
                     }
                 }
                 if (sys_.has_cubic()) {
@@ -191,7 +222,7 @@ ZMatrix AssociatedTransform::a3h3(Complex s) const {
                     const ZVec w3 = ks3_solver()->solve(s, gamma);
                     la::axpy(Complex(1), sys_.g3().apply_lifted(w3), acc);
                 }
-                const ZVec col = schur_->solve_shifted(s, acc);
+                const ZVec col = resolvent(s, acc);
                 // Symmetric in (i, j, k): replicate over all index orderings.
                 for (const auto& perm : permutations3(i, j, k))
                     out.set_col((perm[0] * m + perm[1]) * m + perm[2], col);
@@ -216,7 +247,7 @@ std::vector<ZMatrix> AssociatedTransform::h1_moments(int count, Complex sigma0) 
         ZMatrix mj(n, m);
         for (int i = 0; i < m; ++i) {
             cur[static_cast<std::size_t>(i)] =
-                schur_->solve_shifted(sigma0, cur[static_cast<std::size_t>(i)]);
+                resolvent(sigma0, cur[static_cast<std::size_t>(i)]);
             ZVec v = cur[static_cast<std::size_t>(i)];
             if (j % 2 == 1) la::scale(Complex(-1), v);
             mj.set_col(i, v);
@@ -238,7 +269,7 @@ std::vector<ZMatrix> AssociatedTransform::compose_with_leading_resolvent(
         for (int col = 0; col < cols; ++col) {
             ZVec cur = inner[static_cast<std::size_t>(c)].col(col);
             for (int j = c; j < count; ++j) {
-                cur = schur_->solve_shifted(sigma0, cur);  // cur = R^{j-c+1} inner_c
+                cur = resolvent(sigma0, cur);  // cur = R^{j-c+1} inner_c
                 const Complex sign = ((j - c) % 2 == 1) ? Complex(-1) : Complex(1);
                 for (int r = 0; r < n; ++r)
                     out[static_cast<std::size_t>(j)](r, col) +=
@@ -270,7 +301,7 @@ std::vector<ZMatrix> AssociatedTransform::a2h2_moments(int count, Complex sigma0
             }
             ZVec w = sym_lift(i, j);
             for (int c = 0; c < count; ++c) {
-                w = ks2_->solve(sigma0, w);
+                w = kron_sum2()->solve(sigma0, w);
                 ZVec g = sys_.g2().apply_lifted(w);
                 if (c % 2 == 1) la::scale(Complex(-1), g);
                 if (c == 0) la::axpy(Complex(1), dd, g);
@@ -301,7 +332,7 @@ std::vector<ZMatrix> AssociatedTransform::a3h3_moments(int count, Complex sigma0
                 for (const auto& as : dedup_assignments(i, j, k)) {
                     const Complex w(as.weight / 3.0, 0.0);
                     if (d1_part)
-                        la::axpy(w, la::matvec_rc(sys_.d1(as.a), d0(as.b, as.c)), cols[0]);
+                        la::axpy(w, sys_.apply_d1(as.a, d0(as.b, as.c)), cols[0]);
                     if (g2_part) {
                         ZVec u = tensor::kron(la::complexify(sys_.b_col(as.a)),
                                               btilde2(as.b, as.c));

@@ -26,6 +26,7 @@
 
 #include "la/matrix.hpp"
 #include "la/schur.hpp"
+#include "la/solver_backend.hpp"
 #include "tensor/structured.hpp"
 #include "volterra/qldae.hpp"
 
@@ -33,7 +34,15 @@ namespace atmor::volterra {
 
 class AssociatedTransform {
 public:
-    explicit AssociatedTransform(Qldae sys);
+    /// @param backend solver used for every n-dimensional resolvent
+    ///        (sI - G1)^{-1}. Defaults to sparse LU for sparse-first systems
+    ///        and Schur for dense ones (la::make_resolvent_backend). The
+    ///        n^2/n^3 Kronecker-structured solvers always need the Schur
+    ///        factors and build them lazily, only when A2(H2)/A3(H3) moments
+    ///        are actually requested -- a k1-only reduction of a sparse
+    ///        system never performs a dense n x n factorisation.
+    explicit AssociatedTransform(Qldae sys,
+                                 std::shared_ptr<la::SolverBackend> backend = nullptr);
 
     /// H1(s) = (sI - G1)^{-1} B : n x m.
     [[nodiscard]] la::ZMatrix h1(la::Complex s) const;
@@ -51,8 +60,11 @@ public:
     [[nodiscard]] std::vector<la::ZMatrix> a3h3_moments(int count, la::Complex sigma0) const;
 
     [[nodiscard]] const Qldae& system() const { return sys_; }
-    [[nodiscard]] const std::shared_ptr<const la::ComplexSchur>& schur_g1() const {
-        return schur_;
+    /// Schur factors of G1, built on first use (dense O(n^3) work).
+    [[nodiscard]] const std::shared_ptr<const la::ComplexSchur>& schur_g1() const;
+    /// The resolvent solver backend (shared; exposes cache statistics).
+    [[nodiscard]] const std::shared_ptr<la::SolverBackend>& backend() const {
+        return backend_;
     }
 
     /// b~2^{(ij)} = [sym D1 b ; sym b_i (x) b_j] of the eq.-17 realisation.
@@ -60,13 +72,10 @@ public:
     /// d0^{(ij)} = (D1_i b_j + D1_j b_i)/2 = h2^{(ij)}(0+, 0+) (the paper's D1 b).
     [[nodiscard]] la::ZVec d0(int i, int j) const;
 
-    /// The structured solvers (exposed for the MOR layer and diagnostics).
-    [[nodiscard]] const std::shared_ptr<tensor::KronSum2Solver>& kron_sum2() const {
-        return ks2_;
-    }
-    [[nodiscard]] const std::shared_ptr<tensor::BlockTriangularSolver>& gtilde2() const {
-        return gt2_;
-    }
+    /// The structured solvers (exposed for the MOR layer and diagnostics);
+    /// built lazily together with the Schur factors.
+    [[nodiscard]] const std::shared_ptr<tensor::KronSum2Solver>& kron_sum2() const;
+    [[nodiscard]] const std::shared_ptr<tensor::BlockTriangularSolver>& gtilde2() const;
 
 private:
     /// sym(b_i (x) b_j) lifted vector (length n^2).
@@ -76,6 +85,12 @@ private:
     [[nodiscard]] la::ZVec slice_m1(const la::ZVec& u) const;
     /// (c~2 (x) I) slice after commutation (read directly, no copy of u).
     [[nodiscard]] la::ZVec slice_m2(const la::ZVec& u) const;
+
+    /// (sI - G1)^{-1} rhs through the backend's factorization cache.
+    [[nodiscard]] la::ZVec resolvent(la::Complex s, const la::ZVec& rhs) const;
+
+    /// Build the Schur factors + Kronecker solvers on demand.
+    void ensure_schur() const;
 
     /// Lazily built big solvers.
     const std::shared_ptr<tensor::ShiftedSolver>& m1_solver() const;
@@ -87,9 +102,10 @@ private:
         const std::vector<la::ZMatrix>& inner, la::Complex sigma0) const;
 
     Qldae sys_;
-    std::shared_ptr<const la::ComplexSchur> schur_;
-    std::shared_ptr<tensor::KronSum2Solver> ks2_;
-    std::shared_ptr<tensor::BlockTriangularSolver> gt2_;
+    std::shared_ptr<la::SolverBackend> backend_;
+    mutable std::shared_ptr<const la::ComplexSchur> schur_;
+    mutable std::shared_ptr<tensor::KronSum2Solver> ks2_;
+    mutable std::shared_ptr<tensor::BlockTriangularSolver> gt2_;
     mutable std::shared_ptr<tensor::ShiftedSolver> m1_;   // G1 (+) Gt2
     mutable std::shared_ptr<tensor::ShiftedSolver> ks3_;  // (+)^3 G1
 };

@@ -6,23 +6,42 @@
 namespace atmor::volterra {
 
 Qldae::Qldae(la::Matrix g1, sparse::SparseTensor3 g2, la::Matrix b, la::Matrix c)
-    : Qldae(std::move(g1), std::move(g2), sparse::SparseTensor4(), {}, std::move(b),
-            std::move(c)) {}
+    : Qldae(std::move(g1), std::move(g2), sparse::SparseTensor4(), std::vector<la::Matrix>{},
+            std::move(b), std::move(c)) {}
 
 Qldae::Qldae(la::Matrix g1, sparse::SparseTensor3 g2, sparse::SparseTensor4 g3,
              std::vector<la::Matrix> d1, la::Matrix b, la::Matrix c)
-    : g1_(std::move(g1)),
-      g2_(std::move(g2)),
+    : g2_(std::move(g2)),
       g3_(std::move(g3)),
-      d1_(std::move(d1)),
-      b_(std::move(b)),
-      c_(std::move(c)) {
+      has_bilinear_(!d1.empty()),
+      d1_dense_(std::move(d1)) {
+    g1_dense_ = std::make_shared<const la::Matrix>(std::move(g1));
+    g1_op_ = std::make_shared<const la::DenseOperator>(g1_dense_);
+    b_dense_ = std::make_shared<const la::Matrix>(std::move(b));
+    c_dense_ = std::make_shared<const la::Matrix>(std::move(c));
+    inputs_ = b_dense_->cols();
+    outputs_ = c_dense_->rows();
+    validate();
+}
+
+Qldae::Qldae(sparse::CsrMatrix g1, sparse::SparseTensor3 g2, sparse::SparseTensor4 g3,
+             std::vector<sparse::CsrMatrix> d1, sparse::CsrMatrix b, sparse::CsrMatrix c)
+    : g2_(std::move(g2)),
+      g3_(std::move(g3)),
+      has_bilinear_(!d1.empty()),
+      d1_csr_(std::move(d1)) {
+    g1_csr_ = std::make_shared<const sparse::CsrMatrix>(std::move(g1));
+    g1_op_ = std::make_shared<const la::SparseOperator>(g1_csr_);
+    b_csr_ = std::make_shared<const sparse::CsrMatrix>(std::move(b));
+    c_csr_ = std::make_shared<const sparse::CsrMatrix>(std::move(c));
+    inputs_ = b_csr_->cols();
+    outputs_ = c_csr_->rows();
     validate();
 }
 
 void Qldae::validate() const {
-    const int n = g1_.rows();
-    ATMOR_REQUIRE(g1_.square(), "Qldae: G1 must be square");
+    const int n = g1_op_->rows();
+    ATMOR_REQUIRE(g1_op_->square(), "Qldae: G1 must be square");
     ATMOR_REQUIRE(n > 0, "Qldae: empty system");
     if (!g2_.empty() || g2_.rows() > 0) {
         ATMOR_REQUIRE(g2_.rows() == n && g2_.n1() == n && g2_.n2() == n,
@@ -31,39 +50,124 @@ void Qldae::validate() const {
     if (!g3_.empty() || g3_.n() > 0) {
         ATMOR_REQUIRE(g3_.n() == n, "Qldae: G3 must be n x n x n x n");
     }
-    ATMOR_REQUIRE(b_.rows() == n, "Qldae: B rows must equal n");
-    ATMOR_REQUIRE(b_.cols() >= 1, "Qldae: at least one input required");
-    ATMOR_REQUIRE(c_.cols() == n, "Qldae: C cols must equal n");
-    ATMOR_REQUIRE(c_.rows() >= 1, "Qldae: at least one output required");
-    if (!d1_.empty()) {
-        ATMOR_REQUIRE(static_cast<int>(d1_.size()) == b_.cols(),
-                      "Qldae: need one D1 matrix per input, got " << d1_.size() << " for "
-                                                                  << b_.cols() << " inputs");
-        for (const auto& d : d1_)
-            ATMOR_REQUIRE(d.rows() == n && d.cols() == n, "Qldae: D1 must be n x n");
+    const int b_rows = is_sparse() ? b_csr_->rows() : b_dense_->rows();
+    const int c_cols = is_sparse() ? c_csr_->cols() : c_dense_->cols();
+    ATMOR_REQUIRE(b_rows == n, "Qldae: B rows must equal n");
+    ATMOR_REQUIRE(inputs_ >= 1, "Qldae: at least one input required");
+    ATMOR_REQUIRE(c_cols == n, "Qldae: C cols must equal n");
+    ATMOR_REQUIRE(outputs_ >= 1, "Qldae: at least one output required");
+    if (has_bilinear_) {
+        const std::size_t count = is_sparse() ? d1_csr_.size() : d1_dense_.size();
+        ATMOR_REQUIRE(static_cast<int>(count) == inputs_,
+                      "Qldae: need one D1 matrix per input, got " << count << " for "
+                                                                  << inputs_ << " inputs");
+        if (is_sparse()) {
+            for (const auto& d : d1_csr_)
+                ATMOR_REQUIRE(d.rows() == n && d.cols() == n, "Qldae: D1 must be n x n");
+        } else {
+            for (const auto& d : d1_dense_)
+                ATMOR_REQUIRE(d.rows() == n && d.cols() == n, "Qldae: D1 must be n x n");
+        }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Dense mirrors (lazy).
+// ---------------------------------------------------------------------------
+
+const la::Matrix& Qldae::g1() const {
+    if (!g1_dense_) g1_dense_ = std::make_shared<const la::Matrix>(g1_csr_->to_dense());
+    return *g1_dense_;
+}
+
+const la::Matrix& Qldae::b() const {
+    if (!b_dense_) b_dense_ = std::make_shared<const la::Matrix>(b_csr_->to_dense());
+    return *b_dense_;
+}
+
+const la::Matrix& Qldae::c() const {
+    if (!c_dense_) c_dense_ = std::make_shared<const la::Matrix>(c_csr_->to_dense());
+    return *c_dense_;
 }
 
 const la::Matrix& Qldae::d1(int input) const {
     ATMOR_REQUIRE(input >= 0 && input < inputs(), "Qldae::d1: input index out of range");
     static const la::Matrix empty;
-    if (d1_.empty()) {
+    if (!has_bilinear_) {
         return empty;  // caller checks has_bilinear() or handles 0x0
     }
-    return d1_[static_cast<std::size_t>(input)];
+    if (d1_dense_.empty()) d1_dense_.resize(static_cast<std::size_t>(inputs_));
+    la::Matrix& slot = d1_dense_[static_cast<std::size_t>(input)];
+    if (slot.rows() == 0 && is_sparse())
+        slot = d1_csr_[static_cast<std::size_t>(input)].to_dense();
+    return slot;
 }
+
+// ---------------------------------------------------------------------------
+// Operator applications.
+// ---------------------------------------------------------------------------
+
+la::Vec Qldae::apply_d1(int input, const la::Vec& x) const {
+    ATMOR_REQUIRE(input >= 0 && input < inputs(), "Qldae::apply_d1: input index out of range");
+    if (!has_bilinear_) return la::Vec(static_cast<std::size_t>(order()), 0.0);
+    if (is_sparse()) return d1_csr_[static_cast<std::size_t>(input)].matvec(x);
+    return la::matvec(d1_dense_[static_cast<std::size_t>(input)], x);
+}
+
+la::ZVec Qldae::apply_d1(int input, const la::ZVec& x) const {
+    ATMOR_REQUIRE(input >= 0 && input < inputs(), "Qldae::apply_d1: input index out of range");
+    if (!has_bilinear_) return la::ZVec(static_cast<std::size_t>(order()), la::Complex(0));
+    if (is_sparse()) return d1_csr_[static_cast<std::size_t>(input)].matvec(x);
+    return la::matvec_rc(d1_dense_[static_cast<std::size_t>(input)], x);
+}
+
+la::Vec Qldae::apply_c(const la::Vec& x) const {
+    if (is_sparse()) return c_csr_->matvec(x);
+    return la::matvec(*c_dense_, x);
+}
+
+la::Vec Qldae::b_col(int input) const {
+    ATMOR_REQUIRE(input >= 0 && input < inputs(), "Qldae::b_col: input index out of range");
+    if (is_sparse()) return b_csr_->col(input);
+    return b_dense_->col(input);
+}
+
+// ---------------------------------------------------------------------------
+// rhs / Jacobian.
+// ---------------------------------------------------------------------------
 
 la::Vec Qldae::rhs(const la::Vec& x, const la::Vec& u) const {
     ATMOR_REQUIRE(static_cast<int>(x.size()) == order(), "Qldae::rhs: state size mismatch");
     ATMOR_REQUIRE(static_cast<int>(u.size()) == inputs(), "Qldae::rhs: input size mismatch");
-    la::Vec f = la::matvec(g1_, x);
+    la::Vec f = apply_g1(x);
     if (has_quadratic()) la::axpy(1.0, g2_.apply_quadratic(x), f);
     if (has_cubic()) la::axpy(1.0, g3_.apply_cubic(x), f);
+    bool any_input = false;
     for (int i = 0; i < inputs(); ++i) {
         const double ui = u[static_cast<std::size_t>(i)];
-        if (ui != 0.0) {
-            if (has_bilinear()) la::axpy(ui, la::matvec(d1_[static_cast<std::size_t>(i)], x), f);
-            for (int r = 0; r < order(); ++r) f[static_cast<std::size_t>(r)] += b_(r, i) * ui;
+        if (ui == 0.0) continue;
+        any_input = true;
+        if (has_bilinear()) la::axpy(ui, apply_d1(i, x), f);
+    }
+    if (any_input) {
+        if (is_sparse()) {
+            const auto& rp = b_csr_->row_ptr();
+            const auto& ci = b_csr_->col_idx();
+            const auto& vals = b_csr_->values();
+            for (int r = 0; r < order(); ++r)
+                for (int k = rp[static_cast<std::size_t>(r)];
+                     k < rp[static_cast<std::size_t>(r) + 1]; ++k)
+                    f[static_cast<std::size_t>(r)] +=
+                        vals[static_cast<std::size_t>(k)] *
+                        u[static_cast<std::size_t>(ci[static_cast<std::size_t>(k)])];
+        } else {
+            const la::Matrix& bm = *b_dense_;
+            for (int i = 0; i < inputs(); ++i) {
+                const double ui = u[static_cast<std::size_t>(i)];
+                if (ui == 0.0) continue;
+                for (int r = 0; r < order(); ++r)
+                    f[static_cast<std::size_t>(r)] += bm(r, i) * ui;
+            }
         }
     }
     return f;
@@ -72,20 +176,75 @@ la::Vec Qldae::rhs(const la::Vec& x, const la::Vec& u) const {
 la::Matrix Qldae::jacobian(const la::Vec& x, const la::Vec& u) const {
     ATMOR_REQUIRE(static_cast<int>(x.size()) == order(), "Qldae::jacobian: state size mismatch");
     ATMOR_REQUIRE(static_cast<int>(u.size()) == inputs(), "Qldae::jacobian: input size mismatch");
-    la::Matrix jac = g1_;
+    la::Matrix jac = g1();
     if (has_quadratic()) jac += g2_.jacobian(x);
     if (has_cubic()) jac += g3_.jacobian(x);
     if (has_bilinear()) {
         for (int i = 0; i < inputs(); ++i) {
             const double ui = u[static_cast<std::size_t>(i)];
             if (ui != 0.0) {
-                la::Matrix d = d1_[static_cast<std::size_t>(i)];
+                la::Matrix d = d1(i);
                 d *= ui;
                 jac += d;
             }
         }
     }
     return jac;
+}
+
+sparse::CooBuilder Qldae::jacobian_coo(const la::Vec& x, const la::Vec& u, double scale) const {
+    ATMOR_REQUIRE(static_cast<int>(x.size()) == order(),
+                  "Qldae::jacobian_coo: state size mismatch");
+    ATMOR_REQUIRE(static_cast<int>(u.size()) == inputs(),
+                  "Qldae::jacobian_coo: input size mismatch");
+    const int n = order();
+    sparse::CooBuilder coo(n, n);
+    auto stamp_csr = [&](const sparse::CsrMatrix& m, double alpha) {
+        const auto& rp = m.row_ptr();
+        const auto& ci = m.col_idx();
+        const auto& vals = m.values();
+        for (int r = 0; r < m.rows(); ++r)
+            for (int k = rp[static_cast<std::size_t>(r)];
+                 k < rp[static_cast<std::size_t>(r) + 1]; ++k)
+                coo.add(r, ci[static_cast<std::size_t>(k)],
+                        alpha * vals[static_cast<std::size_t>(k)]);
+    };
+    auto stamp_dense = [&](const la::Matrix& m, double alpha) {
+        for (int r = 0; r < m.rows(); ++r)
+            for (int col = 0; col < m.cols(); ++col)
+                if (m(r, col) != 0.0) coo.add(r, col, alpha * m(r, col));
+    };
+    if (is_sparse())
+        stamp_csr(*g1_csr_, scale);
+    else
+        stamp_dense(*g1_dense_, scale);
+    if (has_quadratic()) {
+        for (const auto& e : g2_.entries()) {
+            coo.add(e.row, e.i, scale * e.value * x[static_cast<std::size_t>(e.j)]);
+            coo.add(e.row, e.j, scale * e.value * x[static_cast<std::size_t>(e.i)]);
+        }
+    }
+    if (has_cubic()) {
+        for (const auto& e : g3_.entries()) {
+            const double xi = x[static_cast<std::size_t>(e.i)];
+            const double xj = x[static_cast<std::size_t>(e.j)];
+            const double xk = x[static_cast<std::size_t>(e.k)];
+            coo.add(e.row, e.i, scale * e.value * xj * xk);
+            coo.add(e.row, e.j, scale * e.value * xi * xk);
+            coo.add(e.row, e.k, scale * e.value * xi * xj);
+        }
+    }
+    if (has_bilinear()) {
+        for (int i = 0; i < inputs(); ++i) {
+            const double ui = u[static_cast<std::size_t>(i)];
+            if (ui == 0.0) continue;
+            if (is_sparse())
+                stamp_csr(d1_csr_[static_cast<std::size_t>(i)], scale * ui);
+            else
+                stamp_dense(d1(i), scale * ui);
+        }
+    }
+    return coo;
 }
 
 la::Matrix state_selector(int n, int state_index) {

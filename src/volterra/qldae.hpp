@@ -7,11 +7,21 @@
 // absorbed into the other operators); builders that start from C x' = f(x, u)
 // premultiply the inverse during construction (see circuits::).
 // G3 extends the paper's QLDAE to the cubic ODEs of its Sec. 3.4.
+//
+// Storage is SPARSE-FIRST: G1, B, C and the D1 blocks live behind
+// la::LinearOperator (CSR when the builder stamped COO entries, dense row-
+// major otherwise), so the MOR and transient layers solve/apply through
+// la::SolverBackend without densifying. The legacy dense accessors g1()/b()/
+// c()/d1() materialise (and cache) a dense mirror on first use -- tests,
+// diagnostics and genuinely dense paths keep working unchanged.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "la/matrix.hpp"
+#include "la/operator.hpp"
+#include "sparse/csr.hpp"
 #include "sparse/tensor3.hpp"
 #include "sparse/tensor4.hpp"
 
@@ -19,32 +29,54 @@ namespace atmor::volterra {
 
 class Qldae {
 public:
-    /// Quadratic system without bilinear input coupling (D1 = 0).
+    /// Quadratic system without bilinear input coupling (D1 = 0), dense.
     Qldae(la::Matrix g1, sparse::SparseTensor3 g2, la::Matrix b, la::Matrix c);
 
-    /// Full form. d1 must be empty or have one matrix per input column.
+    /// Full dense form. d1 must be empty or have one matrix per input column.
     Qldae(la::Matrix g1, sparse::SparseTensor3 g2, sparse::SparseTensor4 g3,
           std::vector<la::Matrix> d1, la::Matrix b, la::Matrix c);
 
-    [[nodiscard]] int order() const { return g1_.rows(); }    ///< state dimension n
-    [[nodiscard]] int inputs() const { return b_.cols(); }    ///< m
-    [[nodiscard]] int outputs() const { return c_.rows(); }   ///< l
+    /// Sparse-first form: CSR stamps straight from the circuit builders.
+    Qldae(sparse::CsrMatrix g1, sparse::SparseTensor3 g2, sparse::SparseTensor4 g3,
+          std::vector<sparse::CsrMatrix> d1, sparse::CsrMatrix b, sparse::CsrMatrix c);
 
-    [[nodiscard]] const la::Matrix& g1() const { return g1_; }
-    [[nodiscard]] const sparse::SparseTensor3& g2() const { return g2_; }
-    [[nodiscard]] const sparse::SparseTensor4& g3() const { return g3_; }
-    [[nodiscard]] const la::Matrix& b() const { return b_; }
-    [[nodiscard]] const la::Matrix& c() const { return c_; }
+    [[nodiscard]] int order() const { return g1_op_->rows(); }  ///< state dimension n
+    [[nodiscard]] int inputs() const { return inputs_; }        ///< m
+    [[nodiscard]] int outputs() const { return outputs_; }      ///< l
 
-    [[nodiscard]] bool has_quadratic() const { return !g2_.empty(); }
-    [[nodiscard]] bool has_cubic() const { return !g3_.empty(); }
-    [[nodiscard]] bool has_bilinear() const { return !d1_.empty(); }
+    /// True when the system was stamped sparsely (CSR-backed operators).
+    [[nodiscard]] bool is_sparse() const { return g1_csr_ != nullptr; }
 
+    // -- Operator views (the hot-path API; never densifies). ---------------
+    [[nodiscard]] const la::LinearOperator& g1_op() const { return *g1_op_; }
+    [[nodiscard]] const std::shared_ptr<const la::LinearOperator>& g1_op_ptr() const {
+        return g1_op_;
+    }
+    /// CSR stamp of G1 (nullptr for dense-constructed systems).
+    [[nodiscard]] const sparse::CsrMatrix* g1_csr() const { return g1_csr_.get(); }
+
+    [[nodiscard]] la::Vec apply_g1(const la::Vec& x) const { return g1_op_->apply(x); }
+    [[nodiscard]] la::ZVec apply_g1(const la::ZVec& x) const { return g1_op_->apply(x); }
+    [[nodiscard]] la::Vec apply_d1(int input, const la::Vec& x) const;
+    [[nodiscard]] la::ZVec apply_d1(int input, const la::ZVec& x) const;
+    [[nodiscard]] la::Vec apply_c(const la::Vec& x) const;
+
+    // -- Legacy dense accessors (materialised lazily, cached). -------------
+    [[nodiscard]] const la::Matrix& g1() const;
+    [[nodiscard]] const la::Matrix& b() const;
+    [[nodiscard]] const la::Matrix& c() const;
     /// D1 matrix of input i (zero-sized systems return a zero matrix view).
     [[nodiscard]] const la::Matrix& d1(int input) const;
 
+    [[nodiscard]] const sparse::SparseTensor3& g2() const { return g2_; }
+    [[nodiscard]] const sparse::SparseTensor4& g3() const { return g3_; }
+
+    [[nodiscard]] bool has_quadratic() const { return !g2_.empty(); }
+    [[nodiscard]] bool has_cubic() const { return !g3_.empty(); }
+    [[nodiscard]] bool has_bilinear() const { return has_bilinear_; }
+
     /// Input column b_i.
-    [[nodiscard]] la::Vec b_col(int input) const { return b_.col(input); }
+    [[nodiscard]] la::Vec b_col(int input) const;
 
     /// Right-hand side f(x, u).
     [[nodiscard]] la::Vec rhs(const la::Vec& x, const la::Vec& u) const;
@@ -53,18 +85,36 @@ public:
     ///   G1 + G2 (I (x) x + x (x) I) + G3(...) + sum_i D1_i u_i.
     [[nodiscard]] la::Matrix jacobian(const la::Vec& x, const la::Vec& u) const;
 
+    /// Sparse COO stamp of scale * df/dx at (x, u) -- the implicit
+    /// integrators feed this to the sparse solver backend instead of
+    /// materialising a dense Jacobian.
+    [[nodiscard]] sparse::CooBuilder jacobian_coo(const la::Vec& x, const la::Vec& u,
+                                                  double scale = 1.0) const;
+
     /// Output y = C x.
-    [[nodiscard]] la::Vec output(const la::Vec& x) const { return la::matvec(c_, x); }
+    [[nodiscard]] la::Vec output(const la::Vec& x) const { return apply_c(x); }
 
 private:
     void validate() const;
 
-    la::Matrix g1_;
+    std::shared_ptr<const la::LinearOperator> g1_op_;
+    std::shared_ptr<const sparse::CsrMatrix> g1_csr_;  // set iff sparse-first
+    mutable std::shared_ptr<const la::Matrix> g1_dense_;
+
     sparse::SparseTensor3 g2_;
     sparse::SparseTensor4 g3_;
-    std::vector<la::Matrix> d1_;
-    la::Matrix b_;
-    la::Matrix c_;
+
+    bool has_bilinear_ = false;
+    std::vector<sparse::CsrMatrix> d1_csr_;            // sparse-first storage
+    mutable std::vector<la::Matrix> d1_dense_;         // dense storage / lazy mirror
+
+    std::shared_ptr<const sparse::CsrMatrix> b_csr_;
+    mutable std::shared_ptr<const la::Matrix> b_dense_;
+    std::shared_ptr<const sparse::CsrMatrix> c_csr_;
+    mutable std::shared_ptr<const la::Matrix> c_dense_;
+
+    int inputs_ = 0;
+    int outputs_ = 0;
 };
 
 /// Convenience: single-output row selecting one state.

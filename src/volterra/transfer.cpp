@@ -9,11 +9,13 @@ using la::Complex;
 using la::ZMatrix;
 using la::ZVec;
 
-TransferEvaluator::TransferEvaluator(Qldae sys)
-    : sys_(std::move(sys)), schur_(std::make_shared<const la::ComplexSchur>(sys_.g1())) {}
+TransferEvaluator::TransferEvaluator(Qldae sys, std::shared_ptr<la::SolverBackend> backend)
+    : sys_(std::move(sys)), backend_(std::move(backend)) {
+    if (!backend_) backend_ = la::make_resolvent_backend(sys_.g1_op());
+}
 
 ZVec TransferEvaluator::resolvent(Complex s, const ZVec& rhs) const {
-    return schur_->solve_shifted(s, rhs);
+    return backend_->solve_shifted(sys_.g1_op(), s, rhs);
 }
 
 ZVec TransferEvaluator::h1_col(Complex s, int input) const {
@@ -36,8 +38,8 @@ ZVec TransferEvaluator::h2_col(Complex s1, Complex s2, int i, int j) const {
         la::axpy(Complex(1), sys_.g2().apply(hj, hi), v);
     }
     if (sys_.has_bilinear()) {
-        la::axpy(Complex(1), la::matvec_rc(sys_.d1(i), hj), v);
-        la::axpy(Complex(1), la::matvec_rc(sys_.d1(j), hi), v);
+        la::axpy(Complex(1), sys_.apply_d1(i, hj), v);
+        la::axpy(Complex(1), sys_.apply_d1(j, hi), v);
     }
     la::scale(Complex(0.5), v);
     return resolvent(s1 + s2, v);
@@ -80,7 +82,7 @@ ZMatrix TransferEvaluator::h3(Complex s1, Complex s2, Complex s3) const {
                         la::axpy(Complex(1), sys_.g2().apply(h2bc, h1a), acc);
                     }
                     if (sys_.has_bilinear())
-                        la::axpy(Complex(1), la::matvec_rc(sys_.d1(as.a), h2bc), acc);
+                        la::axpy(Complex(1), sys_.apply_d1(as.a, h2bc), acc);
                 }
                 if (sys_.has_cubic()) {
                     // (1/2) sum over the 6 permutations of {(i,s1),(j,s2),(k,s3)}.

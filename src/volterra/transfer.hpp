@@ -13,14 +13,17 @@
 #include <memory>
 
 #include "la/matrix.hpp"
-#include "la/schur.hpp"
+#include "la/solver_backend.hpp"
 #include "volterra/qldae.hpp"
 
 namespace atmor::volterra {
 
 class TransferEvaluator {
 public:
-    explicit TransferEvaluator(Qldae sys);
+    /// @param backend resolvent solver; defaults to sparse LU for sparse
+    ///        systems and Schur for dense ones (factor G1 once, then every
+    ///        shift s1 + s2 + ... is a cheap cached/triangular solve).
+    explicit TransferEvaluator(Qldae sys, std::shared_ptr<la::SolverBackend> backend = nullptr);
 
     /// H1(s): n x m.
     [[nodiscard]] la::ZMatrix h1(la::Complex s) const;
@@ -38,6 +41,9 @@ public:
     [[nodiscard]] la::ZMatrix output_h3(la::Complex s1, la::Complex s2, la::Complex s3) const;
 
     [[nodiscard]] const Qldae& system() const { return sys_; }
+    [[nodiscard]] const std::shared_ptr<la::SolverBackend>& backend() const {
+        return backend_;
+    }
 
 private:
     [[nodiscard]] la::ZVec resolvent(la::Complex s, const la::ZVec& rhs) const;
@@ -45,7 +51,7 @@ private:
     [[nodiscard]] la::ZVec h2_col(la::Complex s1, la::Complex s2, int i, int j) const;
 
     Qldae sys_;
-    std::shared_ptr<const la::ComplexSchur> schur_;
+    std::shared_ptr<la::SolverBackend> backend_;
 };
 
 /// Steady-state harmonic prediction for a single-tone input

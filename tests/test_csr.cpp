@@ -82,5 +82,69 @@ TEST(Csr, DropTolerance) {
     EXPECT_EQ(CsrMatrix::from_dense(d, 1e-12).nnz(), 1);
 }
 
+TEST(Csr, EmptyMatrixEdgeCases) {
+    // No entries at all: matvec maps zeros to zeros, to_dense round-trips.
+    const CsrMatrix s(CooBuilder(3, 4));
+    EXPECT_EQ(s.nnz(), 0);
+    const Vec y = s.matvec(Vec(4, 1.0));
+    EXPECT_LT(la::norm_inf(y), 0.0 + 1e-300);
+    EXPECT_EQ(s.to_dense().rows(), 3);
+    EXPECT_EQ(s.to_dense().cols(), 4);
+    // Zero-dimension matrix is representable too.
+    const CsrMatrix z(CooBuilder(0, 0));
+    EXPECT_EQ(z.nnz(), 0);
+    EXPECT_TRUE(z.matvec(Vec{}).empty());
+    // Default-constructed CSR behaves like 0 x 0.
+    const CsrMatrix dflt;
+    EXPECT_EQ(dflt.rows(), 0);
+    EXPECT_EQ(dflt.nnz(), 0);
+}
+
+TEST(Csr, DenseRoundTrip) {
+    util::Rng rng(1103);
+    Matrix d = test::random_matrix(7, 9, rng);
+    d(2, 3) = 0.0;  // make sure structural zeros are preserved as absent
+    const CsrMatrix s = CsrMatrix::from_dense(d);
+    const Matrix back = s.to_dense();
+    ASSERT_EQ(back.rows(), d.rows());
+    ASSERT_EQ(back.cols(), d.cols());
+    double max_err = 0.0;
+    for (int i = 0; i < d.rows(); ++i)
+        for (int j = 0; j < d.cols(); ++j) max_err = std::max(max_err, std::abs(back(i, j) - d(i, j)));
+    EXPECT_EQ(max_err, 0.0);  // exact: values are copied, never recomputed
+}
+
+TEST(Csr, ColumnExtraction) {
+    CooBuilder coo(3, 2);
+    coo.add(0, 1, 2.0);
+    coo.add(2, 1, -3.0);
+    coo.add(2, 1, 1.0);  // duplicate sums into the same slot
+    coo.add(1, 0, 5.0);
+    const CsrMatrix s(coo);
+    const Vec c1 = s.col(1);
+    EXPECT_DOUBLE_EQ(c1[0], 2.0);
+    EXPECT_DOUBLE_EQ(c1[1], 0.0);
+    EXPECT_DOUBLE_EQ(c1[2], -2.0);
+    EXPECT_THROW(s.col(2), util::PreconditionError);
+}
+
+TEST(Csr, RawArraysAreConsistent) {
+    CooBuilder coo(3, 3);
+    coo.add(1, 0, 1.0);
+    coo.add(0, 2, 2.0);
+    coo.add(2, 2, 3.0);
+    const CsrMatrix s(coo);
+    const auto& rp = s.row_ptr();
+    ASSERT_EQ(rp.size(), 4u);
+    EXPECT_EQ(rp[3], s.nnz());
+    // Row pointers are monotone and col indices sorted within each row.
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_LE(rp[static_cast<std::size_t>(i)], rp[static_cast<std::size_t>(i) + 1]);
+        for (int k = rp[static_cast<std::size_t>(i)] + 1; k < rp[static_cast<std::size_t>(i) + 1]; ++k)
+            EXPECT_LT(s.col_idx()[static_cast<std::size_t>(k) - 1],
+                      s.col_idx()[static_cast<std::size_t>(k)]);
+    }
+}
+
 }  // namespace
 }  // namespace atmor

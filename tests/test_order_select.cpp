@@ -35,7 +35,9 @@ TEST(OrderSelect, HankelValuesPositiveDescending) {
     ASSERT_EQ(hsv.size(), 10u);
     for (std::size_t i = 0; i < hsv.size(); ++i) {
         EXPECT_GE(hsv[i], 0.0);
-        if (i > 0) EXPECT_LE(hsv[i], hsv[i - 1] + 1e-12);
+        if (i > 0) {
+            EXPECT_LE(hsv[i], hsv[i - 1] + 1e-12);
+        }
     }
     EXPECT_GT(hsv[0], 0.0);
 }
@@ -51,7 +53,9 @@ TEST(OrderSelect, NearlyLinearSystemNeedsFewNonlinearMoments) {
     const auto sel = core::select_orders(at, 4, 4, 0, 1e-6, la::Complex(0, 0));
     EXPECT_GE(sel.k1, 1);
     // All second-order singular values are tiny in absolute terms.
-    if (!sel.sv2.empty()) EXPECT_LT(sel.sv2[0] * 0.0 + 0.0, 1.0);  // structural smoke
+    if (!sel.sv2.empty()) {
+        EXPECT_LT(sel.sv2[0] * 0.0 + 0.0, 1.0);  // structural smoke
+    }
 }
 
 }  // namespace

@@ -1,0 +1,293 @@
+// The tentpole seam: LinearOperator + SolverBackend with the factorization
+// cache keyed by (operator, shift), and the sparse LU underneath it.
+#include <gtest/gtest.h>
+
+#include "la/lu.hpp"
+#include "la/operator.hpp"
+#include "la/schur.hpp"
+#include "la/solver_backend.hpp"
+#include "la/vector_ops.hpp"
+#include "sparse/splu.hpp"
+#include "test_helpers.hpp"
+
+namespace atmor {
+namespace {
+
+using la::Complex;
+using la::Matrix;
+using la::Vec;
+using la::ZVec;
+
+Matrix random_sparse_stable(int n, double density, util::Rng& rng) {
+    Matrix a(n, n);
+    const int per_row = std::max(1, static_cast<int>(density * n));
+    for (int i = 0; i < n; ++i) {
+        for (int t = 0; t < per_row; ++t) a(i, rng.uniform_int(0, n - 1)) = rng.gaussian();
+        a(i, i) -= 4.0 + per_row;  // diagonally dominant => stable, well conditioned
+    }
+    return a;
+}
+
+TEST(SparseLu, MatchesDenseLuOnRandomSparseMatrix) {
+    util::Rng rng(42);
+    const int n = 40;
+    const Matrix a = random_sparse_stable(n, 0.1, rng);
+    const sparse::CsrMatrix s = sparse::CsrMatrix::from_dense(a);
+    const Vec b = test::random_vector(n, rng);
+
+    const Vec x_sparse = sparse::splu(s).solve(b);
+    const Vec x_dense = la::solve(a, b);
+    EXPECT_LT(la::dist2(x_sparse, x_dense), 1e-10);
+}
+
+TEST(SparseLu, ShiftedRealFactorisation) {
+    util::Rng rng(43);
+    const int n = 30;
+    const Matrix a = random_sparse_stable(n, 0.15, rng);
+    const sparse::CsrMatrix s = sparse::CsrMatrix::from_dense(a);
+    const Vec b = test::random_vector(n, rng);
+    const double sigma = 0.7;
+
+    // Reference: dense (sigma I - A) solve.
+    Matrix shifted = a;
+    shifted *= -1.0;
+    for (int i = 0; i < n; ++i) shifted(i, i) += sigma;
+    const Vec ref = la::solve(shifted, b);
+
+    const Vec x = sparse::splu_shifted(s, sigma).solve(b);
+    EXPECT_LT(la::dist2(x, ref), 1e-10);
+}
+
+TEST(SparseLu, ComplexShiftMatchesSchur) {
+    util::Rng rng(44);
+    const int n = 25;
+    const Matrix a = test::random_stable_matrix(n, rng);
+    const sparse::CsrMatrix s = sparse::CsrMatrix::from_dense(a);
+    const ZVec b = test::random_zvector(n, rng);
+    const Complex sigma(0.4, 1.3);
+
+    const ZVec ref = la::ComplexSchur(a).solve_shifted(sigma, b);
+    const ZVec x = sparse::splu_shifted(s, sigma).solve(b);
+    EXPECT_LT(la::dist2(x, ref), 1e-9);
+}
+
+TEST(SparseLu, RequiresPivotingOnZeroDiagonal) {
+    // [[0 1], [1 0]] has a structurally zero diagonal: natural-order LU
+    // without pivoting would break down immediately.
+    sparse::CooBuilder coo(2, 2);
+    coo.add(0, 1, 1.0);
+    coo.add(1, 0, 1.0);
+    const sparse::CsrMatrix s(coo);
+    const Vec x = sparse::splu(s).solve({3.0, 5.0});
+    EXPECT_DOUBLE_EQ(x[0], 5.0);
+    EXPECT_DOUBLE_EQ(x[1], 3.0);
+}
+
+TEST(SparseLu, SingularMatrixThrows) {
+    sparse::CooBuilder coo(3, 3);
+    coo.add(0, 0, 1.0);
+    coo.add(1, 1, 1.0);  // column/row 2 empty => structurally singular
+    const sparse::CsrMatrix s(coo);
+    EXPECT_THROW(sparse::splu(s), util::InternalError);
+}
+
+TEST(SparseLu, BandedSystemHasNoFill) {
+    // Tridiagonal: natural-order LU stays tridiagonal (no fill-in), which is
+    // the structural bet the sparse-first pipeline makes on MNA ladders.
+    const int n = 200;
+    sparse::CooBuilder coo(n, n);
+    for (int i = 0; i < n; ++i) {
+        coo.add(i, i, 4.0);
+        if (i > 0) coo.add(i, i - 1, -1.0);
+        if (i + 1 < n) coo.add(i, i + 1, -1.0);
+    }
+    const sparse::CsrMatrix s(coo);
+    const sparse::SpLu lu = sparse::splu(s);
+    EXPECT_LE(lu.factor_nnz(), 4 * n);  // L: diag + subdiag, U: diag + superdiag
+    EXPECT_GT(lu.pivot_ratio(), 0.1);
+}
+
+TEST(Operator, DenseAndSparseAgree) {
+    util::Rng rng(45);
+    const Matrix a = random_sparse_stable(12, 0.2, rng);
+    const la::DenseOperator dop{a};
+    const la::SparseOperator sop{sparse::CsrMatrix::from_dense(a)};
+    const Vec x = test::random_vector(12, rng);
+    EXPECT_LT(la::dist2(dop.apply(x), sop.apply(x)), 1e-13);
+    EXPECT_TRUE(sop.is_sparse());
+    EXPECT_FALSE(dop.is_sparse());
+    EXPECT_NE(dop.id(), sop.id());
+}
+
+TEST(Operator, ShiftedViewAppliesResolventLhs) {
+    util::Rng rng(46);
+    const Matrix a = test::random_stable_matrix(8, rng);
+    auto base = la::make_dense_operator(a);
+    const Complex s(0.5, 0.25);
+    const la::ShiftedOperator shifted(base, s);
+    const ZVec x = test::random_zvector(8, rng);
+    ZVec ref = la::matvec_rc(a, x);
+    for (std::size_t i = 0; i < ref.size(); ++i) ref[i] = s * x[i] - ref[i];
+    EXPECT_LT(la::dist2(shifted.apply(x), ref), 1e-13);
+}
+
+class BackendCase : public ::testing::TestWithParam<int> {};
+
+std::shared_ptr<la::SolverBackend> make_backend(int which) {
+    switch (which) {
+        case 0: return std::make_shared<la::DenseLuBackend>();
+        case 1: return std::make_shared<la::SparseLuBackend>();
+        default: return std::make_shared<la::SchurBackend>();
+    }
+}
+
+TEST_P(BackendCase, ShiftedSolveMatchesOneShotDense) {
+    util::Rng rng(47);
+    const int n = 20;
+    const Matrix a = test::random_stable_matrix(n, rng);
+    auto sp = la::make_sparse_operator(sparse::CsrMatrix::from_dense(a));
+    auto backend = make_backend(GetParam());
+    const Complex sigma(0.3, 0.9);
+    const ZVec b = test::random_zvector(n, rng);
+
+    const ZVec x = backend->solve_shifted(*sp, sigma, b);
+    const ZVec ref = la::ComplexSchur(a).solve_shifted(sigma, b);
+    EXPECT_LT(la::dist2(x, ref), 1e-9);
+
+    // Real-shift real solve agrees with dense one-shot la::solve.
+    Matrix shifted = a;
+    shifted *= -1.0;
+    for (int i = 0; i < n; ++i) shifted(i, i) += 2.0;
+    const Vec rb = test::random_vector(n, rng);
+    EXPECT_LT(la::dist2(backend->solve_shifted(*sp, 2.0, rb), la::solve(shifted, rb)), 1e-9);
+
+    // Plain solve A x = b.
+    EXPECT_LT(la::dist2(backend->solve(*sp, rb), la::solve(a, rb)), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendCase, ::testing::Values(0, 1, 2));
+
+TEST(SolverCache, HitAndMissSemantics) {
+    util::Rng rng(48);
+    const int n = 15;
+    auto op1 = la::make_dense_operator(test::random_stable_matrix(n, rng));
+    auto op2 = la::make_dense_operator(test::random_stable_matrix(n, rng));
+    la::DenseLuBackend backend;
+    const ZVec b = test::random_zvector(n, rng);
+    const Complex s1(1.0, 0.0), s2(2.0, 0.5);
+
+    (void)backend.solve_shifted(*op1, s1, b);
+    EXPECT_EQ(backend.stats().factorizations, 1);
+    EXPECT_EQ(backend.stats().cache_hits, 0);
+
+    // Same (operator, shift): cache hit, no new factorisation.
+    (void)backend.solve_shifted(*op1, s1, b);
+    EXPECT_EQ(backend.stats().factorizations, 1);
+    EXPECT_EQ(backend.stats().cache_hits, 1);
+
+    // New shift on the same operator: miss.
+    (void)backend.solve_shifted(*op1, s2, b);
+    EXPECT_EQ(backend.stats().factorizations, 2);
+
+    // Different operator, same shift: miss.
+    (void)backend.solve_shifted(*op2, s1, b);
+    EXPECT_EQ(backend.stats().factorizations, 3);
+
+    // All three cached entries replay as hits.
+    (void)backend.solve_shifted(*op1, s2, b);
+    (void)backend.solve_shifted(*op2, s1, b);
+    EXPECT_EQ(backend.stats().factorizations, 3);
+    EXPECT_EQ(backend.stats().cache_hits, 3);
+    EXPECT_EQ(backend.stats().solves, 6);
+
+    backend.clear_cache();
+    (void)backend.solve_shifted(*op1, s1, b);
+    EXPECT_EQ(backend.stats().factorizations, 4);
+}
+
+TEST(SolverCache, EvictionIsFifoAndHandlesStayValid) {
+    util::Rng rng(49);
+    const int n = 10;
+    auto op = la::make_dense_operator(test::random_stable_matrix(n, rng));
+    la::DenseLuBackend backend(2);  // tiny cache
+    const ZVec b = test::random_zvector(n, rng);
+
+    auto f1 = backend.factorization(*op, Complex(1.0, 0.0));
+    (void)backend.factorization(*op, Complex(2.0, 0.0));
+    EXPECT_EQ(backend.cached_count(), 2u);
+    (void)backend.factorization(*op, Complex(3.0, 0.0));  // evicts shift 1
+    EXPECT_EQ(backend.cached_count(), 2u);
+
+    // Shift 1 was evicted => re-factoring it is a miss...
+    const long before = backend.stats().factorizations;
+    (void)backend.factorization(*op, Complex(1.0, 0.0));
+    EXPECT_EQ(backend.stats().factorizations, before + 1);
+    // ...but the handle we kept still solves correctly.
+    const ZVec x = f1->solve(b);
+    const ZVec ref = backend.solve_shifted(*op, Complex(1.0, 0.0), b);
+    EXPECT_LT(la::dist2(x, ref), 1e-12);
+}
+
+TEST(SolverCache, CorrectnessAgainstOneShotSolveAfterManyReplays) {
+    // Factor once, solve many: every replayed solve must equal the one-shot
+    // la::solve answer, or the cache is silently corrupting the pipeline.
+    util::Rng rng(50);
+    const int n = 18;
+    const Matrix a = random_sparse_stable(n, 0.2, rng);
+    auto op = la::make_sparse_operator(sparse::CsrMatrix::from_dense(a));
+    la::SparseLuBackend backend;
+    Matrix shifted = a;
+    shifted *= -1.0;
+    for (int i = 0; i < n; ++i) shifted(i, i) += 1.5;
+
+    for (int t = 0; t < 20; ++t) {
+        const Vec b = test::random_vector(n, rng);
+        EXPECT_LT(la::dist2(backend.solve_shifted(*op, 1.5, b), la::solve(shifted, b)), 1e-9);
+    }
+    EXPECT_EQ(backend.stats().factorizations, 1);
+    EXPECT_EQ(backend.stats().cache_hits, 19);
+}
+
+TEST(SolverCache, FactorizeBypassesCache) {
+    // Throwaway operators (per-refactor Newton Jacobians) must not occupy
+    // cache slots their never-recurring ids can't hit again.
+    util::Rng rng(52);
+    const int n = 8;
+    auto op = la::make_dense_operator(test::random_stable_matrix(n, rng));
+    la::DenseLuBackend backend;
+    auto f = backend.factorize(*op, Complex(1.0, 0.0));
+    EXPECT_EQ(backend.stats().factorizations, 1);
+    EXPECT_EQ(backend.cached_count(), 0u);
+    const Vec b = test::random_vector(n, rng);
+    EXPECT_LT(la::dist2(f->solve(b), backend.solve_shifted(*op, 1.0, b)), 1e-12);
+}
+
+TEST(Factorization, PivotRatioFlagsNearSingularShift) {
+    // A = diag(1, 2): shift 1 + 1e-14 is numerically on top of an eigenvalue.
+    la::Matrix a(2, 2);
+    a(0, 0) = 1.0;
+    a(1, 1) = 2.0;
+    auto op = la::make_sparse_operator(sparse::CsrMatrix::from_dense(a));
+    la::SparseLuBackend sparse_backend;
+    EXPECT_LT(sparse_backend.factorization(*op, Complex(1.0 + 1e-14, 0.0))->pivot_ratio(),
+              1e-12);
+    EXPECT_GT(sparse_backend.factorization(*op, Complex(3.0, 0.0))->pivot_ratio(), 1e-3);
+    la::SchurBackend schur_backend;
+    EXPECT_LT(schur_backend.factorization(*op, Complex(1.0 + 1e-14, 0.0))->pivot_ratio(),
+              1e-12);
+}
+
+TEST(SchurBackend, OneSchurManyShifts) {
+    util::Rng rng(51);
+    const int n = 16;
+    const Matrix a = test::random_stable_matrix(n, rng);
+    auto op = la::make_dense_operator(a);
+    la::SchurBackend backend;
+    const ZVec b = test::random_zvector(n, rng);
+    for (int k = 1; k <= 5; ++k)
+        (void)backend.solve_shifted(*op, Complex(0.1 * k, 0.2 * k), b);
+    EXPECT_EQ(backend.schur_count(), 1);  // one O(n^3) factorisation total
+}
+
+}  // namespace
+}  // namespace atmor
