@@ -27,6 +27,7 @@
 
 int main(int argc, char** argv) {
     using namespace atmor;
+    bench::init_threads(argc, argv);
     const int base = bench::arg_int(argc, argv, 1, 8);
 
     std::printf("=== Ablation: eq. 17 coupled vs eq. 18 Sylvester-decoupled ===\n");

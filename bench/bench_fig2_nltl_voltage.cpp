@@ -18,6 +18,7 @@
 
 int main(int argc, char** argv) {
     using namespace atmor;
+    bench::init_threads(argc, argv);
     const int stages = bench::arg_int(argc, argv, 1, 100);
 
     std::printf("=== Fig. 2: NLTL with voltage source (QLDAE with D1) ===\n");

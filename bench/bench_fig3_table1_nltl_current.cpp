@@ -21,6 +21,7 @@
 
 int main(int argc, char** argv) {
     using namespace atmor;
+    bench::init_threads(argc, argv);
     const int stages = bench::arg_int(argc, argv, 1, 35);
 
     std::printf("=== Fig. 3 + Table 1 (Sect. 3.2): NLTL with current source ===\n");

@@ -18,6 +18,7 @@
 
 int main(int argc, char** argv) {
     using namespace atmor;
+    bench::init_threads(argc, argv);
     const int k3 = bench::arg_int(argc, argv, 1, 1);
 
     std::printf("=== Fig. 4 + Table 1 (Sect. 3.3): MISO RF receiver ===\n");

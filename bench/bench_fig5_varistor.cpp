@@ -17,6 +17,7 @@
 
 int main(int argc, char** argv) {
     using namespace atmor;
+    bench::init_threads(argc, argv);
     circuits::VaristorOptions copt;
     copt.sections = bench::arg_int(argc, argv, 1, 51);
 

@@ -15,8 +15,10 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "circuits/nltl.hpp"
 #include "core/sylvester_decouple.hpp"
 #include "la/expm.hpp"
@@ -85,17 +87,10 @@ struct CompareRow {
     double matvec_speedup = 0;
 };
 
-/// Best-of-3 wall time of fn() (minimum filters scheduler noise).
+/// Median-of-5 wall time (shared bench_util helper).
 template <class Fn>
 double timed(Fn&& fn) {
-    double best = 0.0;
-    for (int rep = 0; rep < 3; ++rep) {
-        util::Timer t;
-        fn();
-        const double s = t.seconds();
-        if (rep == 0 || s < best) best = s;
-    }
-    return best;
+    return bench::median_timed(std::forward<Fn>(fn));
 }
 
 CompareRow compare_at(int n) {
@@ -311,6 +306,7 @@ BENCHMARK(BM_SolvePi)->Arg(20)->Arg(40);
 }  // namespace
 
 int main(int argc, char** argv) {
+    atmor::bench::init_threads(argc, argv);
     bool micro = false;
     std::string json_path = "BENCH_la_kernels.json";
     std::vector<char*> passthrough;

@@ -24,6 +24,7 @@
 
 int main(int argc, char** argv) {
     using namespace atmor;
+    bench::init_threads(argc, argv);
     const int stages = bench::arg_int(argc, argv, 1, 25);
 
     std::printf("=== Remark 3: multipoint expansion of the associated TFs ===\n");

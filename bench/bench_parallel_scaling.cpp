@@ -1,0 +1,217 @@
+// Parallel + blocked execution layer scaling bench.
+//
+// Measures, on the n=2000 lifted NLTL operator (the paper's large sparse
+// workload):
+//   1. Multi-RHS blocking: 16 resolvent right-hand sides solved through one
+//      cached sparse-LU factorisation at block sizes {1, 4, 16} -- the
+//      single-pass-over-the-factors amortisation, single threaded.
+//   2. Multipoint moment generation (core::reduce_linear over 8 expansion
+//      points) at {1, 2, 4, 8} threads -- the work-stealing fan-out.
+//   3. Frequency-grid H1 sweep (32 points) at {1, 2, 4, 8} threads.
+//   4. Batched transient scenarios (8 pulse waveforms sharing one warm
+//      Jacobian factorisation) at {1, 2, 4, 8} threads.
+// It also verifies that the parallel pipeline is EXACT: the 8-thread reduced
+// model is compared entry-wise against the 1-thread one.
+//
+// Writes BENCH_parallel_scaling.json next to the working directory (same
+// contract as BENCH_la_kernels.json).
+//
+//   usage: bench_parallel_scaling [stages] [--threads N] [--json=PATH]
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "circuits/nltl.hpp"
+#include "circuits/waveforms.hpp"
+#include "core/atmor.hpp"
+#include "la/solver_backend.hpp"
+#include "ode/transient.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "volterra/transfer.hpp"
+
+namespace {
+
+using namespace atmor;
+
+double max_abs_diff(const la::Matrix& a, const la::Matrix& b) {
+    double m = 0.0;
+    for (int i = 0; i < a.rows(); ++i)
+        for (int j = 0; j < a.cols(); ++j) m = std::max(m, std::abs(a(i, j) - b(i, j)));
+    return m;
+}
+
+std::vector<la::Complex> expansion_points8() {
+    std::vector<la::Complex> pts;
+    for (int p = 0; p < 8; ++p) pts.emplace_back(0.6 + 0.25 * p, 0.5 * p);
+    return pts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace atmor;
+    const int requested_threads = bench::init_threads(argc, argv);
+    int stages = 1000;
+    std::string json_path = "BENCH_parallel_scaling.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--json=", 7) == 0)
+            json_path = argv[i] + 7;
+        else if (argv[i][0] != '-' && i == 1)
+            stages = std::atoi(argv[i]);
+    }
+
+    circuits::NltlOptions copt;
+    copt.stages = stages;
+    const volterra::Qldae sys = circuits::current_source_line(copt).to_qldae();
+    const int n = sys.order();
+    std::printf("=== parallel + blocked scaling on lifted NLTL (n = %d, %d hw threads) ===\n",
+                n, requested_threads);
+
+    // ---------------------------------------------------------------------
+    // 1. Multi-RHS blocking, single threaded: 16 RHS through one cached
+    //    factorisation, in blocks of 1 / 4 / 16. Real shift + real RHS --
+    //    the Newton-step / real-moment-chain workload shape. Many repeats of
+    //    the 16-RHS batch amortise timer noise at this granularity.
+    // ---------------------------------------------------------------------
+    util::ThreadPool::set_global_threads(1);
+    const std::vector<int> block_sizes = {1, 4, 16};
+    constexpr int kRhs = 16;
+    la::Matrix rhs(n, kRhs);
+    {
+        util::Rng rng(42);
+        for (int i = 0; i < n; ++i)
+            for (int j = 0; j < kRhs; ++j) rhs(i, j) = rng.gaussian();
+    }
+    la::SparseLuBackend block_backend;
+    constexpr double kSigma = 1.0;
+    (void)block_backend.factorization(sys.g1_op(), la::Complex(kSigma, 0.0));  // warm
+
+    std::vector<double> block_times;
+    std::printf("\n-- multi-RHS blocking (16 RHS, cached sparse LU, 1 thread) --\n");
+    const int batch_reps = std::max(1, 100000 / n);
+    for (int bs : block_sizes) {
+        const double t = bench::median_timed([&] {
+            for (int rep = 0; rep < batch_reps; ++rep)
+                for (int lo = 0; lo < kRhs; lo += bs) {
+                    if (bs == 1) {
+                        (void)block_backend.solve_shifted(sys.g1_op(), kSigma, rhs.col(lo));
+                    } else {
+                        (void)block_backend.solve_shifted(sys.g1_op(), kSigma,
+                                                          la::submatrix(rhs, 0, lo, n, bs));
+                    }
+                }
+        });
+        block_times.push_back(t / batch_reps);
+        std::printf("block %2d : %.3e s  (speedup vs block 1: %.2fx)\n", bs,
+                    block_times.back(), block_times.front() / block_times.back());
+    }
+    const double block_speedup = block_times.front() / block_times.back();
+
+    // ---------------------------------------------------------------------
+    // 2. Multipoint moment generation across threads.
+    // ---------------------------------------------------------------------
+    const std::vector<int> thread_counts = {1, 2, 4, 8};
+    const std::vector<la::Complex> points = expansion_points8();
+
+    auto run_reduce = [&] {
+        core::AtMorOptions mor;
+        mor.k1 = 6;
+        mor.k2 = 0;
+        mor.k3 = 0;
+        mor.expansion_points = points;
+        return core::reduce_associated(sys, mor);
+    };
+
+    std::printf("\n-- multipoint moment generation (8 expansion points, k1 = 6) --\n");
+    std::vector<double> mor_times;
+    core::MorResult rom_serial = run_reduce();  // thread count 1 state below re-times it
+    for (int tc : thread_counts) {
+        util::ThreadPool::set_global_threads(tc);
+        const double t = bench::median_timed([&] { (void)run_reduce(); });
+        mor_times.push_back(t);
+        std::printf("threads %d : %.3e s  (speedup: %.2fx)\n", tc, t, mor_times.front() / t);
+    }
+
+    // Determinism check: 8-thread reduced model vs 1-thread reduced model.
+    util::ThreadPool::set_global_threads(1);
+    rom_serial = run_reduce();
+    util::ThreadPool::set_global_threads(8);
+    const core::MorResult rom_parallel = run_reduce();
+    double rom_diff = max_abs_diff(rom_serial.rom.g1(), rom_parallel.rom.g1());
+    rom_diff = std::max(rom_diff, max_abs_diff(rom_serial.v, rom_parallel.v));
+    std::printf("parallel-vs-serial reduced model max|diff| = %.3e (order %d vs %d)\n",
+                rom_diff, rom_serial.order, rom_parallel.order);
+
+    // ---------------------------------------------------------------------
+    // 3. Frequency-grid H1 sweep across threads.
+    // ---------------------------------------------------------------------
+    std::vector<la::Complex> grid;
+    for (int g = 0; g < 32; ++g) grid.emplace_back(0.05 * (g + 1), 0.4 * (g + 1));
+    std::printf("\n-- H1 frequency sweep (32 grid points) --\n");
+    std::vector<double> sweep_times;
+    for (int tc : thread_counts) {
+        util::ThreadPool::set_global_threads(tc);
+        const volterra::TransferEvaluator te(sys);  // fresh cache per config
+        const double t = bench::median_timed([&] { (void)te.output_h1_sweep(grid); });
+        sweep_times.push_back(t);
+        std::printf("threads %d : %.3e s  (speedup: %.2fx)\n", tc, t,
+                    sweep_times.front() / t);
+    }
+
+    // ---------------------------------------------------------------------
+    // 4. Batched transient scenarios across threads.
+    // ---------------------------------------------------------------------
+    std::vector<ode::InputFn> scenarios;
+    for (int s = 0; s < 8; ++s)
+        scenarios.push_back(
+            circuits::pulse_input(0.2 + 0.02 * s, 0.2, 0.3, 0.8 + 0.1 * s, 0.3));
+    ode::TransientOptions topt;
+    topt.t_end = 2.0;
+    topt.dt = 2e-3;
+    topt.method = ode::Method::trapezoidal;
+    topt.record_stride = 10;
+    std::printf("\n-- batched transients (8 pulse scenarios, shared warm Jacobian) --\n");
+    std::vector<double> batch_times;
+    for (int tc : thread_counts) {
+        util::ThreadPool::set_global_threads(tc);
+        const double t =
+            bench::median_timed([&] { (void)ode::simulate_batch(sys, scenarios, topt); }, 3);
+        batch_times.push_back(t);
+        std::printf("threads %d : %.3e s  (speedup: %.2fx)\n", tc, t,
+                    batch_times.front() / t);
+    }
+
+    util::ThreadPool::set_global_threads(requested_threads);
+
+    // ---------------------------------------------------------------------
+    // JSON artifact.
+    // ---------------------------------------------------------------------
+    std::ofstream out(json_path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+    }
+    out << "{\n  \"bench\": \"parallel_scaling\",\n  \"workload\": \"nltl_lifted\",\n"
+        << "  \"n\": " << n << ",\n  \"hardware_threads\": " << requested_threads << ",\n"
+        << "  \"block_solve\": {\"rhs\": " << kRhs << ", \"block_sizes\": [1, 4, 16], "
+        << "\"seconds\": [" << block_times[0] << ", " << block_times[1] << ", "
+        << block_times[2] << "], \"block16_speedup\": " << block_speedup << "},\n";
+    auto emit_scaling = [&](const char* name, const std::vector<double>& times,
+                            const char* tail) {
+        out << "  \"" << name << "\": {\"threads\": [1, 2, 4, 8], \"seconds\": [";
+        for (std::size_t i = 0; i < times.size(); ++i)
+            out << times[i] << (i + 1 < times.size() ? ", " : "");
+        out << "], \"speedup_8t\": " << times.front() / times.back() << "}" << tail << "\n";
+    };
+    emit_scaling("multipoint_moments", mor_times, ",");
+    emit_scaling("h1_sweep", sweep_times, ",");
+    emit_scaling("transient_batch", batch_times, ",");
+    out << "  \"parallel_vs_serial_rom_max_abs_diff\": " << rom_diff << "\n}\n";
+    std::printf("\nwrote %s\n", json_path.c_str());
+    return 0;
+}

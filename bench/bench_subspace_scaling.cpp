@@ -19,6 +19,7 @@
 
 int main(int argc, char** argv) {
     using namespace atmor;
+    bench::init_threads(argc, argv);
     const int stages = bench::arg_int(argc, argv, 1, 20);
 
     std::printf("=== Remark 1: subspace growth, proposed vs NORM ===\n");

@@ -1,13 +1,18 @@
 // Shared helpers for the figure/table reproduction benches.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "ode/transient.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace atmor::bench {
 
@@ -15,6 +20,49 @@ namespace atmor::bench {
 inline int arg_int(int argc, char** argv, int position, int fallback) {
     if (argc > position) return std::atoi(argv[position]);
     return fallback;
+}
+
+/// Median-of-5 wall time of fn() in seconds. The median filters both
+/// scheduler noise (which the old best-of-3 handled) and one-off cache-warm
+/// effects in either direction, so run-to-run bench deltas are meaningful.
+template <class Fn>
+inline double median_timed(Fn&& fn, int reps = 5) {
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(reps));
+    for (int rep = 0; rep < reps; ++rep) {
+        util::Timer t;
+        fn();
+        samples.push_back(t.seconds());
+    }
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+}
+
+/// Shared thread-count override for all benches: `--threads N` (or
+/// `--threads=N`) on the command line wins, else the ATMOR_NUM_THREADS
+/// environment variable, else hardware concurrency. Sizes the global pool
+/// immediately and returns the count. The consumed flag is REMOVED from
+/// argv/argc, so the benches' positional `arg_int` parsing never sees it.
+/// Call once at the top of main(), before reading other arguments.
+inline int init_threads(int& argc, char** argv) {
+    int threads = 0;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0) {
+            // Swallow the flag even when the value is missing, so a malformed
+            // "--threads" never leaks into positional parsing downstream.
+            if (i + 1 < argc) threads = std::atoi(argv[++i]);
+        } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+            threads = std::atoi(argv[i] + 10);
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    if (threads <= 0) threads = util::ThreadPool::default_thread_count();
+    util::ThreadPool::set_global_threads(threads);
+    return threads;
 }
 
 /// Print two transient traces plus the pointwise relative error, downsampled

@@ -3,6 +3,7 @@
 #include "core/projection.hpp"
 #include "la/orth.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace atmor::core {
@@ -46,13 +47,21 @@ MorResult reduce_associated(const volterra::AssociatedTransform& at, const AtMor
     } else {
         // Large sparse k1-only path: no eigenvalue sweep, but each expansion
         // point's factorisation is probed for near-singularity (this also
-        // warms the backend cache the moment chains will replay).
-        for (const la::Complex s0 : opt.expansion_points) {
-            const double ratio = la::shift_pivot_ratio(*at.backend(), sys.g1_op(), s0);
-            ATMOR_REQUIRE(ratio > 1e-12,
+        // warms the backend cache the moment chains will replay). The probes
+        // ARE the per-point factor work, so they fan out across the pool.
+        const long npts = static_cast<long>(opt.expansion_points.size());
+        const std::vector<double> ratios = util::ThreadPool::global().parallel_map<double>(
+            0, npts, [&](long p) {
+                return la::shift_pivot_ratio(
+                    *at.backend(), sys.g1_op(),
+                    opt.expansion_points[static_cast<std::size_t>(p)]);
+            });
+        for (long p = 0; p < npts; ++p) {
+            ATMOR_REQUIRE(ratios[static_cast<std::size_t>(p)] > 1e-12,
                           "reduce_associated: expansion point "
-                              << s0 << " is numerically too close to the spectrum of G1 "
-                              "(pivot ratio " << ratio
+                              << opt.expansion_points[static_cast<std::size_t>(p)]
+                              << " is numerically too close to the spectrum of G1 "
+                              "(pivot ratio " << ratios[static_cast<std::size_t>(p)]
                               << "); pick a shifted expansion point");
         }
     }
@@ -71,34 +80,49 @@ MorResult reduce_associated(const volterra::AssociatedTransform& at, const AtMor
             }
         }
     }
-    for (const la::Complex sigma0 : opt.expansion_points) {
-        for (const auto& mom : at.h1_moments(opt.k1, sigma0)) {
+    // Moment generation fans out across expansion points (Remark 3: the
+    // points are independent). Each worker runs the full per-point chain --
+    // its own factorisation plus blocked moment solves -- against the shared
+    // thread-safe backend. The basis is then assembled SERIALLY in point
+    // order below, so the reduced model is identical to a serial run.
+    struct PointMoments {
+        std::vector<la::ZMatrix> h1, a2h2, a3h3;
+    };
+    const long npoints = static_cast<long>(opt.expansion_points.size());
+    const std::vector<PointMoments> moments =
+        util::ThreadPool::global().parallel_map<PointMoments>(0, npoints, [&](long p) {
+            const la::Complex sigma0 = opt.expansion_points[static_cast<std::size_t>(p)];
+            PointMoments mm;
+            mm.h1 = at.h1_moments(opt.k1, sigma0);
+            if (opt.k2 > 0) mm.a2h2 = at.a2h2_moments(opt.k2, sigma0);
+            if (opt.k3 > 0) mm.a3h3 = at.a3h3_moments(opt.k3, sigma0);
+            return mm;
+        });
+
+    for (const PointMoments& mm : moments) {
+        for (const auto& mom : mm.h1) {
             for (int col = 0; col < mom.cols(); ++col) {
                 basis.add_complex(mom.col(col));
                 ++raw;
             }
         }
-        if (opt.k2 > 0) {
-            for (const auto& mom : at.a2h2_moments(opt.k2, sigma0)) {
-                // Input pairs (i, j) and (j, i) share a column; add i <= j only.
-                const int m = sys.inputs();
-                for (int i = 0; i < m; ++i)
-                    for (int j = i; j < m; ++j) {
-                        basis.add_complex(mom.col(i * m + j));
+        for (const auto& mom : mm.a2h2) {
+            // Input pairs (i, j) and (j, i) share a column; add i <= j only.
+            const int m = sys.inputs();
+            for (int i = 0; i < m; ++i)
+                for (int j = i; j < m; ++j) {
+                    basis.add_complex(mom.col(i * m + j));
+                    ++raw;
+                }
+        }
+        for (const auto& mom : mm.a3h3) {
+            const int m = sys.inputs();
+            for (int i = 0; i < m; ++i)
+                for (int j = i; j < m; ++j)
+                    for (int k = j; k < m; ++k) {
+                        basis.add_complex(mom.col((i * m + j) * m + k));
                         ++raw;
                     }
-            }
-        }
-        if (opt.k3 > 0) {
-            for (const auto& mom : at.a3h3_moments(opt.k3, sigma0)) {
-                const int m = sys.inputs();
-                for (int i = 0; i < m; ++i)
-                    for (int j = i; j < m; ++j)
-                        for (int k = j; k < m; ++k) {
-                            basis.add_complex(mom.col((i * m + j) * m + k));
-                            ++raw;
-                        }
-            }
         }
     }
     ATMOR_CHECK(basis.size() >= 1, "reduce_associated: basis collapsed to zero vectors");

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <map>
+#include <set>
 #include <tuple>
 #include <utility>
 
@@ -11,6 +12,7 @@
 #include "la/solver_backend.hpp"
 #include "la/vector_ops.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace atmor::core {
@@ -32,10 +34,19 @@ double multinomial3(int c1, int c2, int c3) {
     return binomial(c1 + c2 + c3, c1) * binomial(c2 + c3, c2);
 }
 
-/// Recursive multivariate moment engine with memoisation. All moments are
-/// n-vectors obtained from n-dimensional triangular solves -- cheap per
-/// vector, which is why NORM's moment generation beats the proposed method's
-/// on wall time even though its subspace is much larger.
+using M2Key = std::tuple<int, int, int, int>;
+
+/// Multivariate moment engine. All moments are n-vectors obtained from
+/// n-dimensional solves -- cheap per vector, which is why NORM's moment
+/// generation beats the proposed method's on wall time even though its
+/// subspace is much larger.
+///
+/// Parallel protocol: ensure_m1() first (blocked resolvent chains), then
+/// prefill_m2() for every M2 tuple that will be read -- the prefill computes
+/// tuples in parallel and inserts serially, after which m1/m2 lookups are
+/// pure reads and m3()/reads can fan out across threads. Values are
+/// identical to the lazy serial path: the same solve sequences run, only
+/// batched and reordered across independent tuples.
 class Engine {
 public:
     Engine(const Qldae& sys, Complex s0, std::shared_ptr<la::SolverBackend> backend = nullptr)
@@ -54,37 +65,63 @@ public:
         return v;
     }
 
-    const ZVec& m1(int i, int a) {
-        const auto key = std::make_tuple(i, a);
-        auto it = m1_.find(key);
-        if (it != m1_.end()) return it->second;
-        ZVec v = f_apply(1, a, la::complexify(sys_.b_col(i)));
-        return m1_.emplace(key, std::move(v)).first->second;
+    /// Precompute m1(i, a) for all inputs i and orders a < max_order with one
+    /// blocked resolvent chain: the m-column B block is solved once per
+    /// order, exactly the iterates R^{a+1} b_i the per-vector f_apply would
+    /// produce. Idempotent; must run before any m2/m3 evaluation.
+    void ensure_m1(int max_order) {
+        const int n = sys_.order(), m = sys_.inputs();
+        if (m1_orders_ >= max_order) return;
+        ZMatrix cur(n, m);
+        for (int i = 0; i < m; ++i) cur.set_col(i, la::complexify(sys_.b_col(i)));
+        // Redo the chain from order 0: the chain is cheap (one blocked solve
+        // per order) and restarting keeps the iterates identical to a single
+        // longer chain.
+        for (int a = 0; a < max_order; ++a) {
+            cur = backend_->solve_shifted(sys_.g1_op(), s0_, cur);
+            for (int i = 0; i < m; ++i) {
+                ZVec v = cur.col(i);
+                if (a % 2 == 1) la::scale(Complex(-1), v);
+                m1_[std::make_tuple(i, a)] = std::move(v);
+            }
+        }
+        m1_orders_ = max_order;
     }
 
-    ZVec w2(int i, int j, int a, int b) {
+    /// Read-only m1 lookup (requires ensure_m1). Safe to call concurrently.
+    const ZVec& m1_at(int i, int a) const {
+        auto it = m1_.find(std::make_tuple(i, a));
+        ATMOR_CHECK(it != m1_.end(), "norm::Engine: m1(" << i << "," << a
+                                                         << ") read before ensure_m1");
+        return it->second;
+    }
+
+    ZVec w2(int i, int j, int a, int b) const {
         const int n = sys_.order();
         ZVec v(static_cast<std::size_t>(n), Complex(0));
         if (sys_.has_quadratic()) {
-            la::axpy(Complex(1), sys_.g2().apply(m1(i, a), m1(j, b)), v);
-            la::axpy(Complex(1), sys_.g2().apply(m1(j, b), m1(i, a)), v);
+            la::axpy(Complex(1), sys_.g2().apply(m1_at(i, a), m1_at(j, b)), v);
+            la::axpy(Complex(1), sys_.g2().apply(m1_at(j, b), m1_at(i, a)), v);
         }
         if (sys_.has_bilinear()) {
-            if (a == 0) la::axpy(Complex(1), sys_.apply_d1(i, m1(j, b)), v);
-            if (b == 0) la::axpy(Complex(1), sys_.apply_d1(j, m1(i, a)), v);
+            if (a == 0) la::axpy(Complex(1), sys_.apply_d1(i, m1_at(j, b)), v);
+            if (b == 0) la::axpy(Complex(1), sys_.apply_d1(j, m1_at(i, a)), v);
         }
         return v;
     }
 
-    const ZVec& m2(int i, int j, int a, int b) {
-        // Canonical under joint swap (i,a) <-> (j,b).
+    /// Canonical form under the joint swap (i,a) <-> (j,b).
+    static M2Key m2_key(int i, int j, int a, int b) {
         if (std::make_pair(i, a) > std::make_pair(j, b)) {
             std::swap(i, j);
             std::swap(a, b);
         }
-        const auto key = std::make_tuple(i, j, a, b);
-        auto it = m2_.find(key);
-        if (it != m2_.end()) return it->second;
+        return std::make_tuple(i, j, a, b);
+    }
+
+    /// The m2 value from scratch (reads m1 only; safe concurrently).
+    ZVec compute_m2(const M2Key& key) const {
+        const auto [i, j, a, b] = key;
         const int n = sys_.order();
         ZVec acc(static_cast<std::size_t>(n), Complex(0));
         for (int c = 0; c <= a; ++c)
@@ -92,10 +129,40 @@ public:
                 ZVec term = f_apply(2, c + d, w2(i, j, a - c, b - d));
                 la::axpy(Complex(0.5 * binomial(c + d, c)), term, acc);
             }
-        return m2_.emplace(key, std::move(acc)).first->second;
+        return acc;
     }
 
-    ZVec w3(int i, int j, int k, int a, int b, int c) {
+    /// Memoised m2 (serial path; fills on miss).
+    const ZVec& m2(int i, int j, int a, int b) {
+        const M2Key key = m2_key(i, j, a, b);
+        auto it = m2_.find(key);
+        if (it != m2_.end()) return it->second;
+        return m2_.emplace(key, compute_m2(key)).first->second;
+    }
+
+    /// Read-only m2 lookup (requires prefill; safe concurrently).
+    const ZVec& m2_at(int i, int j, int a, int b) const {
+        auto it = m2_.find(m2_key(i, j, a, b));
+        ATMOR_CHECK(it != m2_.end(), "norm::Engine: m2 read before prefill");
+        return it->second;
+    }
+
+    /// Compute every listed canonical m2 tuple in parallel, then insert in
+    /// list order (single-writer; values independent so the order only fixes
+    /// the map layout).
+    void prefill_m2(const std::vector<M2Key>& keys, util::ThreadPool& pool) {
+        std::vector<M2Key> missing;
+        for (const M2Key& k : keys)
+            if (m2_.find(k) == m2_.end()) missing.push_back(k);
+        if (missing.empty()) return;
+        std::vector<ZVec> vals = pool.parallel_map<ZVec>(
+            0, static_cast<long>(missing.size()),
+            [&](long p) { return compute_m2(missing[static_cast<std::size_t>(p)]); });
+        for (std::size_t p = 0; p < missing.size(); ++p)
+            m2_.emplace(missing[p], std::move(vals[p]));
+    }
+
+    ZVec w3(int i, int j, int k, int a, int b, int c) const {
         const int n = sys_.order();
         ZVec v(static_cast<std::size_t>(n), Complex(0));
         if (sys_.has_quadratic()) {
@@ -103,14 +170,14 @@ public:
                 la::axpy(Complex(1), sys_.g2().apply(x, y), v);
                 la::axpy(Complex(1), sys_.g2().apply(y, x), v);
             };
-            add_pair(m1(i, a), m2(j, k, b, c));
-            add_pair(m1(j, b), m2(i, k, a, c));
-            add_pair(m1(k, c), m2(i, j, a, b));
+            add_pair(m1_at(i, a), m2_at(j, k, b, c));
+            add_pair(m1_at(j, b), m2_at(i, k, a, c));
+            add_pair(m1_at(k, c), m2_at(i, j, a, b));
         }
         if (sys_.has_bilinear()) {
-            if (a == 0) la::axpy(Complex(1), sys_.apply_d1(i, m2(j, k, b, c)), v);
-            if (b == 0) la::axpy(Complex(1), sys_.apply_d1(j, m2(i, k, a, c)), v);
-            if (c == 0) la::axpy(Complex(1), sys_.apply_d1(k, m2(i, j, a, b)), v);
+            if (a == 0) la::axpy(Complex(1), sys_.apply_d1(i, m2_at(j, k, b, c)), v);
+            if (b == 0) la::axpy(Complex(1), sys_.apply_d1(j, m2_at(i, k, a, c)), v);
+            if (c == 0) la::axpy(Complex(1), sys_.apply_d1(k, m2_at(i, j, a, b)), v);
         }
         if (sys_.has_cubic()) {
             // (1/2) sum over the 6 permutations of the (input, exponent) pairs.
@@ -119,16 +186,19 @@ public:
                                      {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
             for (const auto& perm : perms) {
                 la::axpy(Complex(0.5),
-                         sys_.g3().apply(m1(p[perm[0]].first, p[perm[0]].second),
-                                         m1(p[perm[1]].first, p[perm[1]].second),
-                                         m1(p[perm[2]].first, p[perm[2]].second)),
+                         sys_.g3().apply(m1_at(p[perm[0]].first, p[perm[0]].second),
+                                         m1_at(p[perm[1]].first, p[perm[1]].second),
+                                         m1_at(p[perm[2]].first, p[perm[2]].second)),
                          v);
             }
         }
         return v;
     }
 
-    ZVec m3(int i, int j, int k, int a, int b, int c) {
+    /// Requires ensure_m1 and (when the system has G2/D1 terms) m2 prefill
+    /// for every tuple w3 will read; reads only after that, so m3 values can
+    /// be computed concurrently.
+    ZVec m3(int i, int j, int k, int a, int b, int c) const {
         const int n = sys_.order();
         ZVec acc(static_cast<std::size_t>(n), Complex(0));
         for (int c1 = 0; c1 <= a; ++c1)
@@ -140,20 +210,45 @@ public:
         return acc;
     }
 
+    /// The m2 tuples m3(i,j,k,a,b,c) reads, canonicalised (mirrors w3).
+    void collect_m3_m2_reads(int i, int j, int k, int a, int b, int c,
+                             std::set<M2Key>& out) const {
+        if (!sys_.has_quadratic() && !sys_.has_bilinear()) return;
+        for (int a2 = 0; a2 <= a; ++a2)
+            for (int b2 = 0; b2 <= b; ++b2)
+                for (int c2 = 0; c2 <= c; ++c2) {
+                    // Mirrors w3: the bilinear branch only reads the pair
+                    // whose excluded exponent is zero.
+                    if (sys_.has_quadratic() || a2 == 0) out.insert(m2_key(j, k, b2, c2));
+                    if (sys_.has_quadratic() || b2 == 0) out.insert(m2_key(i, k, a2, c2));
+                    if (sys_.has_quadratic() || c2 == 0) out.insert(m2_key(i, j, a2, b2));
+                }
+    }
+
     const Qldae& system() const { return sys_; }
+    /// Warm the backend cache for the shifts {1..max_mult}*s0 serially, so
+    /// the parallel tuple sweeps replay cached factors instead of racing to
+    /// factor the same shift on every thread.
+    void prefactor_shifts(int max_mult) const {
+        for (int mult = 1; mult <= max_mult; ++mult)
+            (void)backend_->factorization(sys_.g1_op(),
+                                          static_cast<double>(mult) * s0_);
+    }
 
 private:
     const Qldae& sys_;
     std::shared_ptr<la::SolverBackend> backend_;
     Complex s0_;
+    int m1_orders_ = 0;
     std::map<std::tuple<int, int>, ZVec> m1_;
-    std::map<std::tuple<int, int, int, int>, ZVec> m2_;
+    std::map<M2Key, ZVec> m2_;
 };
 
 }  // namespace
 
 ZMatrix norm_h2_moment(const Qldae& sys, int a, int b, Complex sigma0) {
     Engine eng(sys, sigma0);
+    eng.ensure_m1(std::max(a, b) + 1);
     const int m = sys.inputs();
     ZMatrix out(sys.order(), m * m);
     for (int i = 0; i < m; ++i)
@@ -163,7 +258,15 @@ ZMatrix norm_h2_moment(const Qldae& sys, int a, int b, Complex sigma0) {
 
 ZMatrix norm_h3_moment(const Qldae& sys, int a, int b, int c, Complex sigma0) {
     Engine eng(sys, sigma0);
+    eng.ensure_m1(std::max({a, b, c}) + 1);
     const int m = sys.inputs();
+    // Serial prefill of the m2 tuples m3 will read (lazy fill via m2()).
+    std::set<M2Key> reads;
+    for (int i = 0; i < m; ++i)
+        for (int j = 0; j < m; ++j)
+            for (int k = 0; k < m; ++k) eng.collect_m3_m2_reads(i, j, k, a, b, c, reads);
+    for (const M2Key& key : reads)
+        (void)eng.m2(std::get<0>(key), std::get<1>(key), std::get<2>(key), std::get<3>(key));
     ZMatrix out(sys.order(), m * m * m);
     for (int i = 0; i < m; ++i)
         for (int j = 0; j < m; ++j)
@@ -203,36 +306,53 @@ MorResult reduce_norm(const Qldae& sys, const NormOptions& opt) {
         }
     }
     util::Timer timer;
+    util::ThreadPool& pool = util::ThreadPool::global();
     Engine eng(sys, opt.sigma0, backend);
     const int m = sys.inputs();
     la::BasisBuilder basis(sys.order(), opt.deflation_tol);
     int raw = 0;
 
-    // H1 moments.
+    const bool h2_active = (sys.has_quadratic() || sys.has_bilinear()) && opt.q2 > 0;
+    const bool h3_active =
+        (sys.has_quadratic() || sys.has_bilinear() || sys.has_cubic()) && opt.q3 > 0;
+    eng.prefactor_shifts(h3_active ? 3 : (h2_active ? 2 : 1));
+    // Only the active moment blocks read beyond the q1 chain.
+    eng.ensure_m1(std::max({opt.q1, h2_active ? opt.q2 : 0, h3_active ? opt.q3 : 0}));
+
+    // H1 moments (read from the blocked-chain prefill).
     for (int a = 0; a < opt.q1; ++a)
         for (int i = 0; i < m; ++i) {
-            basis.add_complex(eng.m1(i, a));
+            basis.add_complex(eng.m1_at(i, a));
             ++raw;
         }
 
     const bool box = opt.moment_set == NormOptions::MomentSet::box;
 
     // H2 multivariate moments: (input, exponent) pairs deduplicated under the
-    // joint swap symmetry.
+    // joint swap symmetry. Tuples are enumerated first, computed in parallel
+    // (each is independent given m1), then added in enumeration order -- the
+    // subspace is identical to the serial build.
     if (sys.has_quadratic() || sys.has_bilinear()) {
+        std::vector<M2Key> h2_tuples;
         for (int i = 0; i < m; ++i)
             for (int j = 0; j < m; ++j)
                 for (int a = 0; a < opt.q2; ++a)
                     for (int b = 0; b < opt.q2; ++b) {
                         if (std::make_pair(i, a) > std::make_pair(j, b)) continue;
                         if (!box && a + b >= opt.q2) continue;
-                        basis.add_complex(eng.m2(i, j, a, b));
-                        ++raw;
+                        h2_tuples.push_back(std::make_tuple(i, j, a, b));
                     }
+        eng.prefill_m2(h2_tuples, pool);
+        for (const M2Key& key : h2_tuples) {
+            basis.add_complex(eng.m2_at(std::get<0>(key), std::get<1>(key), std::get<2>(key),
+                                        std::get<3>(key)));
+            ++raw;
+        }
     }
 
     // H3 multivariate moments.
     if (sys.has_quadratic() || sys.has_bilinear() || sys.has_cubic()) {
+        std::vector<std::array<int, 6>> h3_tuples;
         for (int i = 0; i < m; ++i)
             for (int j = 0; j < m; ++j)
                 for (int k = 0; k < m; ++k)
@@ -244,9 +364,24 @@ MorResult reduce_norm(const Qldae& sys, const NormOptions& opt) {
                                 const auto p3 = std::make_pair(k, c);
                                 if (p1 > p2 || p2 > p3) continue;  // sorted reps only
                                 if (!box && a + b + c >= opt.q3) continue;
-                                basis.add_complex(eng.m3(i, j, k, a, b, c));
-                                ++raw;
+                                h3_tuples.push_back({i, j, k, a, b, c});
                             }
+        // The inner m2 tuples every m3 evaluation reads, prefetched so the
+        // m3 fan-out below is read-only on the memo tables.
+        std::set<M2Key> m2_reads;
+        for (const auto& t : h3_tuples)
+            eng.collect_m3_m2_reads(t[0], t[1], t[2], t[3], t[4], t[5], m2_reads);
+        eng.prefill_m2(std::vector<M2Key>(m2_reads.begin(), m2_reads.end()), pool);
+
+        const std::vector<ZVec> m3_vals = pool.parallel_map<ZVec>(
+            0, static_cast<long>(h3_tuples.size()), [&](long p) {
+                const auto& t = h3_tuples[static_cast<std::size_t>(p)];
+                return eng.m3(t[0], t[1], t[2], t[3], t[4], t[5]);
+            });
+        for (const ZVec& v : m3_vals) {
+            basis.add_complex(v);
+            ++raw;
+        }
     }
 
     ATMOR_CHECK(basis.size() >= 1, "reduce_norm: basis collapsed to zero vectors");

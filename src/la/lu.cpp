@@ -71,8 +71,39 @@ std::vector<T> LuFactorization<T>::solve(std::vector<T> b) const {
 template <class T>
 DenseMatrix<T> LuFactorization<T>::solve(const DenseMatrix<T>& b) const {
     ATMOR_REQUIRE(b.rows() == dim(), "rhs rows mismatch");
-    DenseMatrix<T> x(b.rows(), b.cols());
-    for (int j = 0; j < b.cols(); ++j) x.set_col(j, solve(b.col(j)));
+    const int n = dim();
+    const int k = b.cols();
+    // Blocked substitution: one pass over the packed factors serves all k
+    // right-hand sides, with k-wide contiguous row updates. Column c matches
+    // solve(b.col(c)) bit for bit (same per-column operation order).
+    DenseMatrix<T> x(n, k);
+    for (int i = 0; i < n; ++i) {
+        const T* src = b.row_ptr(perm_[static_cast<std::size_t>(i)]);
+        T* dst = x.row_ptr(i);
+        for (int c = 0; c < k; ++c) dst[c] = src[c];
+    }
+    // Forward substitution (unit lower).
+    for (int i = 1; i < n; ++i) {
+        const T* ri = lu_.row_ptr(i);
+        T* xi = x.row_ptr(i);
+        for (int j = 0; j < i; ++j) {
+            const T m = ri[j];
+            const T* xj = x.row_ptr(j);
+            for (int c = 0; c < k; ++c) xi[c] -= m * xj[c];
+        }
+    }
+    // Backward substitution.
+    for (int i = n - 1; i >= 0; --i) {
+        const T* ri = lu_.row_ptr(i);
+        T* xi = x.row_ptr(i);
+        for (int j = i + 1; j < n; ++j) {
+            const T m = ri[j];
+            const T* xj = x.row_ptr(j);
+            for (int c = 0; c < k; ++c) xi[c] -= m * xj[c];
+        }
+        const T d = ri[i];
+        for (int c = 0; c < k; ++c) xi[c] /= d;
+    }
     return x;
 }
 

@@ -6,6 +6,7 @@
 // the design goal is correctness and clarity, not BLAS-level throughput.
 #pragma once
 
+#include <algorithm>
 #include <complex>
 #include <initializer_list>
 #include <vector>
@@ -152,6 +153,36 @@ DenseMatrix<T> matmul(const DenseMatrix<T>& a, const DenseMatrix<T>& b) {
             if (aik == T(0)) continue;
             const T* bk = b.row_ptr(k);
             for (int j = 0; j < m; ++j) ci[j] += aik * bk[j];
+        }
+    }
+    return c;
+}
+
+/// Cache-tiled GEMM for large operands (Galerkin projection's V^T (A V)).
+/// Tiles ascend in k, and within each tile k ascends, so every output element
+/// accumulates its products in exactly matmul's order -- the two agree bit
+/// for bit; the tiling only keeps the active panels of A and B in cache.
+template <class T>
+DenseMatrix<T> matmul_blocked(const DenseMatrix<T>& a, const DenseMatrix<T>& b) {
+    ATMOR_REQUIRE(a.cols() == b.rows(), "matmul_blocked: inner dimensions " << a.cols()
+                                                                            << " vs " << b.rows());
+    constexpr int kTileI = 48;
+    constexpr int kTileK = 48;
+    DenseMatrix<T> c(a.rows(), b.cols());
+    const int n = a.rows(), k_dim = a.cols(), m = b.cols();
+    for (int k0 = 0; k0 < k_dim; k0 += kTileK) {
+        const int k1 = std::min(k_dim, k0 + kTileK);
+        for (int i0 = 0; i0 < n; i0 += kTileI) {
+            const int i1 = std::min(n, i0 + kTileI);
+            for (int i = i0; i < i1; ++i) {
+                T* ci = c.row_ptr(i);
+                for (int k = k0; k < k1; ++k) {
+                    const T aik = a(i, k);
+                    if (aik == T(0)) continue;
+                    const T* bk = b.row_ptr(k);
+                    for (int j = 0; j < m; ++j) ci[j] += aik * bk[j];
+                }
+            }
         }
     }
     return c;

@@ -12,6 +12,18 @@ namespace atmor::la {
 
 namespace {
 
+/// Split an n x k complex block into its real/imaginary parts and recombine.
+ZMatrix join_complex(const Matrix& re, const Matrix& im) {
+    ZMatrix out(re.rows(), re.cols());
+    for (int i = 0; i < re.rows(); ++i) {
+        const double* r = re.row_ptr(i);
+        const double* m = im.row_ptr(i);
+        Complex* o = out.row_ptr(i);
+        for (int j = 0; j < re.cols(); ++j) o[j] = Complex(r[j], m[j]);
+    }
+    return out;
+}
+
 /// Real-arithmetic factorisation of (s*I - A), s real. Complex right-hand
 /// sides split into two real solves (4x fewer real multiplies than a complex
 /// factorisation would spend).
@@ -28,6 +40,11 @@ public:
         for (std::size_t i = 0; i < b.size(); ++i) out[i] = Complex(re[i], im[i]);
         return out;
     }
+    /// Blocked: one factor-pass per real/imaginary block.
+    [[nodiscard]] Matrix solve(const Matrix& b) const override { return f_.solve(b); }
+    [[nodiscard]] ZMatrix solve(const ZMatrix& b) const override {
+        return join_complex(f_.solve(real_part(b)), f_.solve(imag_part(b)));
+    }
     [[nodiscard]] double pivot_ratio() const override { return f_.pivot_ratio(); }
 
 private:
@@ -41,6 +58,10 @@ public:
     [[nodiscard]] int dim() const override { return f_.dim(); }
     [[nodiscard]] ZVec solve(const ZVec& b) const override { return f_.solve(b); }
     [[nodiscard]] Vec solve(const Vec&) const override {
+        ATMOR_CHECK(false, "Factorization: real solve requires a real shift");
+    }
+    [[nodiscard]] ZMatrix solve(const ZMatrix& b) const override { return f_.solve(b); }
+    [[nodiscard]] Matrix solve(const Matrix&) const override {
         ATMOR_CHECK(false, "Factorization: real solve requires a real shift");
     }
     [[nodiscard]] double pivot_ratio() const override { return f_.pivot_ratio(); }
@@ -61,6 +82,8 @@ public:
         ATMOR_CHECK(shift_.imag() == 0.0, "SchurFactorization: real solve needs real shift");
         return real_part(schur_->solve_shifted(shift_, complexify(b)));
     }
+    // Block solves use the base column-wise default: the triangular backsolve
+    // is already O(n^2) per column with no index traversal to amortise.
     [[nodiscard]] double pivot_ratio() const override {
         // Distance of the shift to the spectrum, normalised by the farthest
         // eigenvalue: the triangular backsolve's effective pivot ratio.
@@ -102,6 +125,18 @@ ZMatrix dense_shifted(const LinearOperator& a, Complex s) {
 
 }  // namespace
 
+ZMatrix Factorization::solve(const ZMatrix& b) const {
+    ZMatrix x(b.rows(), b.cols());
+    for (int j = 0; j < b.cols(); ++j) x.set_col(j, solve(b.col(j)));
+    return x;
+}
+
+Matrix Factorization::solve(const Matrix& b) const {
+    Matrix x(b.rows(), b.cols());
+    for (int j = 0; j < b.cols(); ++j) x.set_col(j, solve(b.col(j)));
+    return x;
+}
+
 std::size_t SolverBackend::KeyHash::operator()(const Key& k) const {
     std::size_t h = std::hash<std::uint64_t>()(k.id);
     h ^= std::hash<double>()(k.re) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
@@ -117,13 +152,22 @@ std::shared_ptr<const Factorization> SolverBackend::factorization(const LinearOp
                                                                   Complex shift) {
     ATMOR_REQUIRE(a.square(), "SolverBackend: operator must be square");
     const Key key{a.id(), shift.real(), shift.imag()};
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-        ++stats_.cache_hits;
-        return it->second;
+    {
+        std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+        auto it = cache_.find(key);
+        if (it != cache_.end()) {
+            cache_hits_.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
     }
+    // Factor OUTSIDE the lock so distinct shifts factor concurrently. Two
+    // threads racing on the same brand-new key both pay the factor cost; the
+    // insert below hands the loser the winner's (identical-input) handle.
     auto f = factor(a, shift);
-    ++stats_.factorizations;
+    factorizations_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::shared_mutex> lock(cache_mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
     if (cache_.size() >= max_cached_) {
         cache_.erase(insertion_order_.front());
         insertion_order_.pop_front();
@@ -136,17 +180,27 @@ std::shared_ptr<const Factorization> SolverBackend::factorization(const LinearOp
 std::shared_ptr<const Factorization> SolverBackend::factorize(const LinearOperator& a,
                                                               Complex shift) {
     ATMOR_REQUIRE(a.square(), "SolverBackend: operator must be square");
-    ++stats_.factorizations;
+    factorizations_.fetch_add(1, std::memory_order_relaxed);
     return factor(a, shift);
 }
 
 ZVec SolverBackend::solve_shifted(const LinearOperator& a, Complex shift, const ZVec& b) {
-    ++stats_.solves;
+    solves_.fetch_add(1, std::memory_order_relaxed);
     return factorization(a, shift)->solve(b);
 }
 
 Vec SolverBackend::solve_shifted(const LinearOperator& a, double shift, const Vec& b) {
-    ++stats_.solves;
+    solves_.fetch_add(1, std::memory_order_relaxed);
+    return factorization(a, Complex(shift, 0.0))->solve(b);
+}
+
+ZMatrix SolverBackend::solve_shifted(const LinearOperator& a, Complex shift, const ZMatrix& b) {
+    solves_.fetch_add(b.cols(), std::memory_order_relaxed);
+    return factorization(a, shift)->solve(b);
+}
+
+Matrix SolverBackend::solve_shifted(const LinearOperator& a, double shift, const Matrix& b) {
+    solves_.fetch_add(b.cols(), std::memory_order_relaxed);
     return factorization(a, Complex(shift, 0.0))->solve(b);
 }
 
@@ -157,9 +211,23 @@ Vec SolverBackend::solve(const LinearOperator& a, const Vec& b) {
     return x;
 }
 
+SolverStats SolverBackend::stats() const {
+    SolverStats s;
+    s.factorizations = factorizations_.load(std::memory_order_relaxed);
+    s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+    s.solves = solves_.load(std::memory_order_relaxed);
+    return s;
+}
+
 void SolverBackend::clear_cache() {
+    std::unique_lock<std::shared_mutex> lock(cache_mutex_);
     cache_.clear();
     insertion_order_.clear();
+}
+
+std::size_t SolverBackend::cached_count() const {
+    std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+    return cache_.size();
 }
 
 std::shared_ptr<const Factorization> DenseLuBackend::factor(const LinearOperator& a,
@@ -187,10 +255,17 @@ std::shared_ptr<const Factorization> SparseLuBackend::factor(const LinearOperato
 }
 
 std::shared_ptr<const ComplexSchur> SchurBackend::schur_for(const LinearOperator& a) {
+    {
+        std::lock_guard<std::mutex> lock(schur_mutex_);
+        auto it = schur_.find(a.id());
+        if (it != schur_.end()) return it->second;
+    }
+    // Decompose outside the lock (dense O(n^3)); first insertion wins.
+    auto s = std::make_shared<const ComplexSchur>(a.to_dense());
+    std::lock_guard<std::mutex> lock(schur_mutex_);
     auto it = schur_.find(a.id());
     if (it != schur_.end()) return it->second;
-    auto s = std::make_shared<const ComplexSchur>(a.to_dense());
-    ++schur_count_;
+    schur_count_.fetch_add(1, std::memory_order_relaxed);
     if (schur_.size() >= max_cached()) {
         schur_.erase(schur_order_.front());
         schur_order_.pop_front();

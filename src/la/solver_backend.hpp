@@ -7,6 +7,18 @@
 // "factor once per expansion point / Newton Jacobian, solve thousands of
 // times" pattern the associated-transform method depends on.
 //
+// Backends are THREAD-SAFE: the cache map sits behind a shared mutex (solves
+// replaying a cached factorisation only take the read side) and the stats
+// counters are atomics, so the parallel fan-out layers (multipoint moments,
+// frequency sweeps, batched transients) can share one backend across worker
+// threads. Factorization handles themselves are immutable after construction
+// and safe to solve against concurrently.
+//
+// Right-hand sides come in two granularities: single vectors, and n x k
+// BLOCKS that make one pass over the factors per block (see SparseLu /
+// LuFactorization blocked solves) -- column c of a block solve is bit-for-bit
+// identical to the corresponding single-RHS solve.
+//
 // Three interchangeable backends:
 //  * DenseLuBackend  -- dense partial-pivot LU; O(n^3) per (op, shift).
 //  * SparseLuBackend -- sparse LU (sparse/splu.hpp); O(nnz + fill) per
@@ -17,8 +29,11 @@
 //                       sweeps, associated-transform moment chains).
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "la/matrix.hpp"
@@ -28,7 +43,8 @@ namespace atmor::la {
 
 class ComplexSchur;
 
-/// A reusable factorisation of (shift*I - A).
+/// A reusable factorisation of (shift*I - A). Immutable: concurrent solve()
+/// calls from multiple threads are safe.
 class Factorization {
 public:
     virtual ~Factorization() = default;
@@ -37,6 +53,11 @@ public:
     [[nodiscard]] virtual ZVec solve(const ZVec& b) const = 0;
     /// Real solve; requires the factorisation's shift to be real.
     [[nodiscard]] virtual Vec solve(const Vec& b) const = 0;
+    /// Blocked multi-RHS solves (B is n x k). The default forwards column by
+    /// column; LU-based factorisations override with a single-pass blocked
+    /// backsolve. Column c always equals solve(B.col(c)) bit for bit.
+    [[nodiscard]] virtual ZMatrix solve(const ZMatrix& b) const;
+    [[nodiscard]] virtual Matrix solve(const Matrix& b) const;
     /// Cheap conditioning probe in [0, 1]: min/max pivot magnitude (LU) or
     /// normalised spectral distance of the shift (Schur). Values near 0 mean
     /// the shifted matrix is numerically singular and solves are garbage.
@@ -57,7 +78,10 @@ public:
     explicit SolverBackend(std::size_t max_cached = 16);
     virtual ~SolverBackend() = default;
 
-    /// Cached factorisation of (shift*I - A); factors on first use.
+    /// Cached factorisation of (shift*I - A); factors on first use. Safe to
+    /// call concurrently: lookups take a shared lock, and a miss factors
+    /// outside any lock (two threads racing on the same new key both factor;
+    /// the first insertion wins and both receive the same handle).
     [[nodiscard]] std::shared_ptr<const Factorization> factorization(const LinearOperator& a,
                                                                      Complex shift);
 
@@ -72,16 +96,25 @@ public:
     [[nodiscard]] ZVec solve_shifted(const LinearOperator& a, Complex shift, const ZVec& b);
     [[nodiscard]] Vec solve_shifted(const LinearOperator& a, double shift, const Vec& b);
 
+    /// Blocked multi-RHS solves (shift*I - A) X = B through the cache; one
+    /// factor-pass per block. Counts B.cols() towards stats().solves.
+    [[nodiscard]] ZMatrix solve_shifted(const LinearOperator& a, Complex shift,
+                                        const ZMatrix& b);
+    [[nodiscard]] Matrix solve_shifted(const LinearOperator& a, double shift, const Matrix& b);
+
     /// Solve A x = b (factors the shift-0 resolvent and negates).
     [[nodiscard]] Vec solve(const LinearOperator& a, const Vec& b);
 
-    [[nodiscard]] const SolverStats& stats() const { return stats_; }
+    /// Snapshot of the counters (atomics read individually; a snapshot taken
+    /// while other threads solve is approximate but never torn per-field).
+    [[nodiscard]] SolverStats stats() const;
     void clear_cache();
-    [[nodiscard]] std::size_t cached_count() const { return cache_.size(); }
+    [[nodiscard]] std::size_t cached_count() const;
     [[nodiscard]] virtual const char* name() const = 0;
 
 protected:
-    /// Factor (shift*I - A) from scratch (cache miss path).
+    /// Factor (shift*I - A) from scratch (cache miss path). Must be safe to
+    /// call concurrently for different (a, shift) pairs.
     [[nodiscard]] virtual std::shared_ptr<const Factorization> factor(const LinearOperator& a,
                                                                       Complex shift) = 0;
 
@@ -98,10 +131,13 @@ private:
         std::size_t operator()(const Key& k) const;
     };
 
+    mutable std::shared_mutex cache_mutex_;
     std::unordered_map<Key, std::shared_ptr<const Factorization>, KeyHash> cache_;
     std::deque<Key> insertion_order_;
     std::size_t max_cached_;
-    SolverStats stats_;
+    std::atomic<long> factorizations_{0};
+    std::atomic<long> cache_hits_{0};
+    std::atomic<long> solves_{0};
 };
 
 /// Dense LU per (operator, shift). Real shifts factor in real arithmetic.
@@ -139,7 +175,7 @@ public:
     [[nodiscard]] std::shared_ptr<const ComplexSchur> schur_for(const LinearOperator& a);
 
     /// Number of distinct operators factorised (each one dense O(n^3) work).
-    [[nodiscard]] long schur_count() const { return schur_count_; }
+    [[nodiscard]] long schur_count() const { return schur_count_.load(); }
 
 protected:
     [[nodiscard]] std::shared_ptr<const Factorization> factor(const LinearOperator& a,
@@ -147,10 +183,11 @@ protected:
 
 private:
     // Bounded like the base cache (FIFO); live shared_ptr handles survive
-    // eviction, only the slot is reclaimed.
+    // eviction, only the slot is reclaimed. Guarded by schur_mutex_.
+    std::mutex schur_mutex_;
     std::unordered_map<std::uint64_t, std::shared_ptr<const ComplexSchur>> schur_;
     std::deque<std::uint64_t> schur_order_;
-    long schur_count_ = 0;
+    std::atomic<long> schur_count_{0};
 };
 
 /// Conditioning of (shift*I - A) through the backend's cache: the cached

@@ -8,6 +8,7 @@
 #include "la/solver_backend.hpp"
 #include "la/vector_ops.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace atmor::ode {
@@ -139,10 +140,31 @@ TransientResult run_rkf45(const Qldae& sys, const InputFn& u, const TransientOpt
     return res;
 }
 
+/// The scaled Newton-system operator theta*h*J stamped at a linearisation
+/// point; I - theta*h*J is then (shift*I - A) with shift = 1. Sparse systems
+/// stamp the Jacobian as COO; dense systems materialise it.
+std::shared_ptr<const la::LinearOperator> stamp_newton_operator(const Qldae& sys,
+                                                                const Vec& x_lin,
+                                                                const Vec& u_lin,
+                                                                double theta_h) {
+    if (sys.is_sparse()) {
+        return la::make_sparse_operator(
+            sparse::CsrMatrix(sys.jacobian_coo(x_lin, u_lin, theta_h)));
+    }
+    Matrix j = sys.jacobian(x_lin, u_lin);
+    j *= theta_h;
+    return la::make_dense_operator(std::move(j));
+}
+
 /// Implicit one-step methods (trapezoidal / backward Euler) with a modified
 /// Newton corrector. theta = 1/2 gives trapezoidal, theta = 1 backward Euler.
+/// @param warm optional pre-built factorisation of I - theta*h*J shared
+///        read-only with other scenarios of a batch; this run refactors
+///        privately the moment convergence degrades.
 TransientResult run_implicit(const Qldae& sys, const InputFn& u, const TransientOptions& opt,
-                             Vec x, double theta) {
+                             Vec x, double theta,
+                             std::shared_ptr<la::SolverBackend> backend = nullptr,
+                             std::shared_ptr<const la::Factorization> warm = nullptr) {
     TransientResult res;
     const long nsteps = std::lround(std::ceil(opt.t_end / opt.dt));
     const double h = opt.t_end / static_cast<double>(nsteps);
@@ -150,22 +172,12 @@ TransientResult run_implicit(const Qldae& sys, const InputFn& u, const Transient
 
     // Newton matrix I - theta*h*J == (shift*I - A) with shift = 1 and
     // A = theta*h*J: exactly the shifted form the solver backend caches.
-    // Sparse systems stamp the Jacobian as COO and factor through sparse LU;
-    // dense systems go through dense LU. Either way the factorisation is
-    // reused across Newton iterations and steps until `refactor` is called.
-    std::shared_ptr<la::SolverBackend> backend =
-        opt.backend ? opt.backend : la::make_default_backend(sys.g1_op());
-    std::shared_ptr<const la::Factorization> jac_fact;
+    // The factorisation is reused across Newton iterations and steps until
+    // `refactor` is called.
+    if (!backend) backend = opt.backend ? opt.backend : la::make_default_backend(sys.g1_op());
+    std::shared_ptr<const la::Factorization> jac_fact = std::move(warm);
     auto refactor = [&](const Vec& x_lin, const Vec& u_lin) {
-        std::shared_ptr<const la::LinearOperator> a_op;
-        if (sys.is_sparse()) {
-            a_op = la::make_sparse_operator(
-                sparse::CsrMatrix(sys.jacobian_coo(x_lin, u_lin, theta * h)));
-        } else {
-            Matrix j = sys.jacobian(x_lin, u_lin);
-            j *= theta * h;
-            a_op = la::make_dense_operator(std::move(j));
-        }
+        const auto a_op = stamp_newton_operator(sys, x_lin, u_lin, theta * h);
         // Uncached factorisation: the operator is freshly stamped, so its id
         // would never be looked up again and would only pollute the cache.
         jac_fact = backend->factorize(*a_op, la::Complex(1.0, 0.0));
@@ -243,6 +255,58 @@ TransientResult simulate(const Qldae& sys, const InputFn& input, const Transient
     }
     res.solve_seconds = timer.seconds();
     return res;
+}
+
+std::vector<TransientResult> simulate_batch(const Qldae& sys, const std::vector<InputFn>& inputs,
+                                            const TransientOptions& opt, const la::Vec& x0) {
+    ATMOR_REQUIRE(opt.t_end > 0.0 && opt.dt > 0.0, "simulate_batch: need positive t_end and dt");
+    ATMOR_REQUIRE(opt.record_stride >= 1, "simulate_batch: record_stride >= 1");
+    const Vec x = x0.empty() ? Vec(static_cast<std::size_t>(sys.order()), 0.0) : x0;
+    ATMOR_REQUIRE(static_cast<int>(x.size()) == sys.order(), "simulate_batch: x0 size mismatch");
+    if (inputs.empty()) return {};
+    for (const InputFn& u : inputs)
+        ATMOR_REQUIRE(static_cast<int>(u(0.0).size()) == sys.inputs(),
+                      "simulate_batch: input arity mismatch");
+
+    const bool implicit =
+        opt.method == Method::trapezoidal || opt.method == Method::backward_euler;
+    const double theta = opt.method == Method::backward_euler ? 1.0 : 0.5;
+
+    // One Jacobian factorisation, stamped at the shared initial state, serves
+    // every scenario as its Newton warm start. The handle is immutable, so
+    // the threads solve against it concurrently without locking; scenarios
+    // whose waveforms drive the state far from the linearisation point
+    // refactor privately inside run_implicit.
+    std::shared_ptr<la::SolverBackend> backend;
+    std::shared_ptr<const la::Factorization> warm;
+    if (implicit) {
+        backend = opt.backend ? opt.backend : la::make_default_backend(sys.g1_op());
+        const long nsteps = std::lround(std::ceil(opt.t_end / opt.dt));
+        const double h = opt.t_end / static_cast<double>(nsteps);
+        const auto a_op = stamp_newton_operator(sys, x, inputs[0](0.0), theta * h);
+        warm = backend->factorize(*a_op, la::Complex(1.0, 0.0));
+    }
+
+    return util::ThreadPool::global().parallel_map<TransientResult>(
+        0, static_cast<long>(inputs.size()), [&](long p) {
+            const InputFn& u = inputs[static_cast<std::size_t>(p)];
+            util::Timer timer;
+            TransientResult res;
+            switch (opt.method) {
+                case Method::rk4:
+                    res = run_rk4(sys, u, opt, x);
+                    break;
+                case Method::rkf45:
+                    res = run_rkf45(sys, u, opt, x);
+                    break;
+                case Method::trapezoidal:
+                case Method::backward_euler:
+                    res = run_implicit(sys, u, opt, x, theta, backend, warm);
+                    break;
+            }
+            res.solve_seconds = timer.seconds();
+            return res;
+        });
 }
 
 double peak_relative_error(const TransientResult& reference, const TransientResult& test,

@@ -65,6 +65,19 @@ struct TransientResult {
 TransientResult simulate(const volterra::Qldae& sys, const InputFn& input,
                          const TransientOptions& opt, const la::Vec& x0 = {});
 
+/// Batched scenario runner: simulate many input waveforms of the SAME system
+/// in parallel on the global thread pool. For the implicit methods, one
+/// Newton Jacobian is stamped at (x0, inputs[0](0)) and its factorisation is
+/// shared read-only across all scenarios/threads as their warm start; a
+/// scenario whose Newton degrades refactors privately (modified-Newton
+/// recovery), so outlier waveforms never perturb the others. Results land in
+/// input order, and each trace is identical to the corresponding serial
+/// simulate() call with the same warm start.
+std::vector<TransientResult> simulate_batch(const volterra::Qldae& sys,
+                                            const std::vector<InputFn>& inputs,
+                                            const TransientOptions& opt,
+                                            const la::Vec& x0 = {});
+
 /// Peak relative error between two recorded output traces, normalised by the
 /// peak magnitude of the reference (the error measure of the paper's figures).
 double peak_relative_error(const TransientResult& reference, const TransientResult& test,

@@ -79,6 +79,37 @@ la::ZVec CsrMatrix::matvec(const la::ZVec& x) const {
     return y;
 }
 
+namespace {
+
+template <class T>
+la::DenseMatrix<T> spmm(int rows, int cols, const std::vector<int>& row_ptr,
+                        const std::vector<int>& col_idx, const std::vector<double>& values,
+                        const la::DenseMatrix<T>& x) {
+    ATMOR_REQUIRE(x.rows() == cols, "CsrMatrix::matmul: shape mismatch");
+    const int k = x.cols();
+    la::DenseMatrix<T> y(rows, k);
+    for (int i = 0; i < rows; ++i) {
+        T* yi = y.row_ptr(i);
+        for (int p = row_ptr[static_cast<std::size_t>(i)];
+             p < row_ptr[static_cast<std::size_t>(i) + 1]; ++p) {
+            const double v = values[static_cast<std::size_t>(p)];
+            const T* xj = x.row_ptr(col_idx[static_cast<std::size_t>(p)]);
+            for (int c = 0; c < k; ++c) yi[c] += v * xj[c];
+        }
+    }
+    return y;
+}
+
+}  // namespace
+
+la::Matrix CsrMatrix::matmul(const la::Matrix& x) const {
+    return spmm(rows_, cols_, row_ptr_, col_idx_, values_, x);
+}
+
+la::ZMatrix CsrMatrix::matmul(const la::ZMatrix& x) const {
+    return spmm(rows_, cols_, row_ptr_, col_idx_, values_, x);
+}
+
 la::Vec CsrMatrix::matvec_transposed(const la::Vec& x) const {
     ATMOR_REQUIRE(static_cast<int>(x.size()) == rows_,
                   "CsrMatrix::matvec_transposed: size mismatch");

@@ -52,6 +52,13 @@ public:
     [[nodiscard]] la::ZVec matvec(const la::ZVec& x) const;
     [[nodiscard]] la::Vec matvec_transposed(const la::Vec& x) const;
 
+    /// Sparse times dense block (SpMM): Y = A X with X of shape cols x k.
+    /// Each CSR entry is loaded once and applied across a contiguous k-wide
+    /// row of X -- the multi-vector analogue of matvec, used by the blocked
+    /// Galerkin projection. Column c equals matvec(X.col(c)) bit for bit.
+    [[nodiscard]] la::Matrix matmul(const la::Matrix& x) const;
+    [[nodiscard]] la::ZMatrix matmul(const la::ZMatrix& x) const;
+
     [[nodiscard]] la::Matrix to_dense() const;
 
     /// Scaled addition into a dense accumulator: acc += alpha * this.

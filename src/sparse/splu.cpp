@@ -184,6 +184,10 @@ SparseLu<T>::SparseLu(const Csc<T>& a) {
         }
     }
     factor(b);
+    src_.resize(static_cast<std::size_t>(n_));
+    for (int i = 0; i < n_; ++i)
+        src_[static_cast<std::size_t>(pinv_[static_cast<std::size_t>(i)])] =
+            q_[static_cast<std::size_t>(i)];
 }
 
 template <class T>
@@ -338,6 +342,48 @@ std::vector<T> SparseLu<T>::solve(const std::vector<T>& b) const {
         out[static_cast<std::size_t>(q_[static_cast<std::size_t>(k)])] =
             x[static_cast<std::size_t>(k)];
     return out;
+}
+
+template <class T>
+la::DenseMatrix<T> SparseLu<T>::solve(const la::DenseMatrix<T>& b) const {
+    ATMOR_REQUIRE(b.rows() == n_, "SparseLu::solve: block row mismatch");
+    const int n = n_;
+    const int k = b.cols();
+    // Working storage is laid out in OUTPUT index order (pivot-space row j at
+    // storage row q_[j]), so the result needs no final permute pass: x IS the
+    // answer when the substitution finishes. Row-major, so every factor entry
+    // applies across a contiguous k-wide row.
+    la::DenseMatrix<T> x(n, k);
+    for (int j = 0; j < n; ++j) {
+        const T* src = b.row_ptr(src_[static_cast<std::size_t>(j)]);
+        T* dst = x.row_ptr(q_[static_cast<std::size_t>(j)]);
+        for (int c = 0; c < k; ++c) dst[c] = src[c];
+    }
+    // L Y = P B: one traversal of L's entries, each applied across the block.
+    for (int j = 0; j < n; ++j) {
+        const T* xj = x.row_ptr(q_[static_cast<std::size_t>(j)]);
+        for (int p = lp_[static_cast<std::size_t>(j)] + 1;
+             p < lp_[static_cast<std::size_t>(j) + 1]; ++p) {
+            const T l = lx_[static_cast<std::size_t>(p)];
+            T* xi = x.row_ptr(
+                q_[static_cast<std::size_t>(li_[static_cast<std::size_t>(p)])]);
+            for (int c = 0; c < k; ++c) xi[c] -= l * xj[c];
+        }
+    }
+    // U X = Y.
+    for (int j = n - 1; j >= 0; --j) {
+        const T d = ux_[static_cast<std::size_t>(up_[static_cast<std::size_t>(j) + 1] - 1)];
+        T* xj = x.row_ptr(q_[static_cast<std::size_t>(j)]);
+        for (int c = 0; c < k; ++c) xj[c] /= d;
+        for (int p = up_[static_cast<std::size_t>(j)];
+             p < up_[static_cast<std::size_t>(j) + 1] - 1; ++p) {
+            const T u = ux_[static_cast<std::size_t>(p)];
+            T* xi = x.row_ptr(
+                q_[static_cast<std::size_t>(ui_[static_cast<std::size_t>(p)])]);
+            for (int c = 0; c < k; ++c) xi[c] -= u * xj[c];
+        }
+    }
+    return x;
 }
 
 template <class T>

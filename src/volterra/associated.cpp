@@ -52,6 +52,7 @@ AssociatedTransform::AssociatedTransform(Qldae sys, std::shared_ptr<la::SolverBa
 }
 
 void AssociatedTransform::ensure_schur() const {
+    std::lock_guard<std::mutex> lock(lazy_mutex_);
     if (schur_) return;
     // Reuse the backend's factors when it is Schur-based (dense default), so
     // the O(n^3) decomposition happens exactly once per system.
@@ -90,12 +91,14 @@ la::ZVec AssociatedTransform::resolvent(Complex s, const ZVec& rhs) const {
 
 const std::shared_ptr<tensor::ShiftedSolver>& AssociatedTransform::m1_solver() const {
     ensure_schur();
+    std::lock_guard<std::mutex> lock(lazy_mutex_);
     if (!m1_) m1_ = std::make_shared<tensor::KronSumLeftSolver>(schur_, gt2_);
     return m1_;
 }
 
 const std::shared_ptr<tensor::ShiftedSolver>& AssociatedTransform::ks3_solver() const {
     ensure_schur();
+    std::lock_guard<std::mutex> lock(lazy_mutex_);
     if (!ks3_) ks3_ = tensor::make_kron_sum3(schur_);
     return ks3_;
 }
@@ -159,10 +162,10 @@ ZVec AssociatedTransform::slice_m2(const ZVec& u) const {
 
 ZMatrix AssociatedTransform::h1(Complex s) const {
     const int n = sys_.order(), m = sys_.inputs();
-    ZMatrix out(n, m);
-    for (int i = 0; i < m; ++i)
-        out.set_col(i, resolvent(s, la::complexify(sys_.b_col(i))));
-    return out;
+    // All m input columns in one blocked solve (single factor pass).
+    ZMatrix b(n, m);
+    for (int i = 0; i < m; ++i) b.set_col(i, la::complexify(sys_.b_col(i)));
+    return backend_->solve_shifted(sys_.g1_op(), s, b);
 }
 
 ZMatrix AssociatedTransform::a2h2(Complex s) const {
@@ -241,17 +244,14 @@ std::vector<ZMatrix> AssociatedTransform::h1_moments(int count, Complex sigma0) 
     const int n = sys_.order(), m = sys_.inputs();
     std::vector<ZMatrix> out;
     out.reserve(static_cast<std::size_t>(count));
-    std::vector<ZVec> cur(static_cast<std::size_t>(m));
-    for (int i = 0; i < m; ++i) cur[static_cast<std::size_t>(i)] = la::complexify(sys_.b_col(i));
+    // The whole m-column B block rides the resolvent chain together: one
+    // factor pass per moment order instead of m.
+    ZMatrix cur(n, m);
+    for (int i = 0; i < m; ++i) cur.set_col(i, la::complexify(sys_.b_col(i)));
     for (int j = 0; j < count; ++j) {
-        ZMatrix mj(n, m);
-        for (int i = 0; i < m; ++i) {
-            cur[static_cast<std::size_t>(i)] =
-                resolvent(sigma0, cur[static_cast<std::size_t>(i)]);
-            ZVec v = cur[static_cast<std::size_t>(i)];
-            if (j % 2 == 1) la::scale(Complex(-1), v);
-            mj.set_col(i, v);
-        }
+        cur = backend_->solve_shifted(sys_.g1_op(), sigma0, cur);
+        ZMatrix mj = cur;
+        if (j % 2 == 1) mj *= Complex(-1);
         out.push_back(std::move(mj));
     }
     return out;
@@ -266,14 +266,16 @@ std::vector<ZMatrix> AssociatedTransform::compose_with_leading_resolvent(
     const int cols = count > 0 ? inner[0].cols() : 0;
     std::vector<ZMatrix> out(static_cast<std::size_t>(count), ZMatrix(n, cols));
     for (int c = 0; c < count; ++c) {
-        for (int col = 0; col < cols; ++col) {
-            ZVec cur = inner[static_cast<std::size_t>(c)].col(col);
-            for (int j = c; j < count; ++j) {
-                cur = resolvent(sigma0, cur);  // cur = R^{j-c+1} inner_c
-                const Complex sign = ((j - c) % 2 == 1) ? Complex(-1) : Complex(1);
-                for (int r = 0; r < n; ++r)
-                    out[static_cast<std::size_t>(j)](r, col) +=
-                        sign * cur[static_cast<std::size_t>(r)];
+        // All columns of inner_c ride the resolvent chain as one block.
+        ZMatrix cur = inner[static_cast<std::size_t>(c)];
+        for (int j = c; j < count; ++j) {
+            cur = backend_->solve_shifted(sys_.g1_op(), sigma0, cur);  // R^{j-c+1} inner_c
+            const Complex sign = ((j - c) % 2 == 1) ? Complex(-1) : Complex(1);
+            ZMatrix& oj = out[static_cast<std::size_t>(j)];
+            for (int r = 0; r < n; ++r) {
+                const Complex* cr = cur.row_ptr(r);
+                Complex* orow = oj.row_ptr(r);
+                for (int col = 0; col < cols; ++col) orow[col] += sign * cr[col];
             }
         }
     }

@@ -103,6 +103,11 @@ private:
 
     Qldae sys_;
     std::shared_ptr<la::SolverBackend> backend_;
+    /// Guards the lazy construction of the Schur factors and the structured
+    /// solvers below, so moment generation can fan out across threads (the
+    /// multipoint loop in core::reduce_associated). Once built, the solvers
+    /// are immutable and solved against without locking.
+    mutable std::mutex lazy_mutex_;
     mutable std::shared_ptr<const la::ComplexSchur> schur_;
     mutable std::shared_ptr<tensor::KronSum2Solver> ks2_;
     mutable std::shared_ptr<tensor::BlockTriangularSolver> gt2_;

@@ -75,17 +75,24 @@ void Qldae::validate() const {
 // Dense mirrors (lazy).
 // ---------------------------------------------------------------------------
 
+// Each lazy mirror materialises at most once under dense_mutex_; afterwards
+// the returned references are immutable, so concurrent readers (the parallel
+// sweep and fan-out layers) are safe.
+
 const la::Matrix& Qldae::g1() const {
+    std::lock_guard<std::mutex> lock(*dense_mutex_);
     if (!g1_dense_) g1_dense_ = std::make_shared<const la::Matrix>(g1_csr_->to_dense());
     return *g1_dense_;
 }
 
 const la::Matrix& Qldae::b() const {
+    std::lock_guard<std::mutex> lock(*dense_mutex_);
     if (!b_dense_) b_dense_ = std::make_shared<const la::Matrix>(b_csr_->to_dense());
     return *b_dense_;
 }
 
 const la::Matrix& Qldae::c() const {
+    std::lock_guard<std::mutex> lock(*dense_mutex_);
     if (!c_dense_) c_dense_ = std::make_shared<const la::Matrix>(c_csr_->to_dense());
     return *c_dense_;
 }
@@ -96,6 +103,7 @@ const la::Matrix& Qldae::d1(int input) const {
     if (!has_bilinear_) {
         return empty;  // caller checks has_bilinear() or handles 0x0
     }
+    std::lock_guard<std::mutex> lock(*dense_mutex_);
     if (d1_dense_.empty()) d1_dense_.resize(static_cast<std::size_t>(inputs_));
     la::Matrix& slot = d1_dense_[static_cast<std::size_t>(input)];
     if (slot.rows() == 0 && is_sparse())

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "la/matrix.hpp"
@@ -112,6 +113,12 @@ private:
     mutable std::shared_ptr<const la::Matrix> b_dense_;
     std::shared_ptr<const sparse::CsrMatrix> c_csr_;
     mutable std::shared_ptr<const la::Matrix> c_dense_;
+
+    /// Guards the lazy dense mirrors (g1()/b()/c()/d1()) so the parallel
+    /// sweep/fan-out layers can hit a shared Qldae from worker threads. Held
+    /// in a shared_ptr so Qldae stays copyable; copies sharing the mutex is
+    /// harmless (it only serialises first-use materialisation).
+    mutable std::shared_ptr<std::mutex> dense_mutex_ = std::make_shared<std::mutex>();
 
     int inputs_ = 0;
     int outputs_ = 0;

@@ -2,6 +2,7 @@
 
 #include "la/vector_ops.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace atmor::volterra {
 
@@ -24,9 +25,10 @@ ZVec TransferEvaluator::h1_col(Complex s, int input) const {
 
 ZMatrix TransferEvaluator::h1(Complex s) const {
     const int n = sys_.order(), m = sys_.inputs();
-    ZMatrix out(n, m);
-    for (int i = 0; i < m; ++i) out.set_col(i, h1_col(s, i));
-    return out;
+    // All m input columns through one blocked resolvent solve.
+    ZMatrix b(n, m);
+    for (int i = 0; i < m; ++i) b.set_col(i, la::complexify(sys_.b_col(i)));
+    return backend_->solve_shifted(sys_.g1_op(), s, b);
 }
 
 ZVec TransferEvaluator::h2_col(Complex s1, Complex s2, int i, int j) const {
@@ -114,6 +116,27 @@ ZMatrix map_output(const la::Matrix& c, const ZMatrix& x) {
 
 ZMatrix TransferEvaluator::output_h1(Complex s) const { return map_output(sys_.c(), h1(s)); }
 
+std::vector<ZMatrix> TransferEvaluator::h1_sweep(const std::vector<Complex>& grid) const {
+    return util::ThreadPool::global().parallel_map<ZMatrix>(
+        0, static_cast<long>(grid.size()),
+        [&](long p) { return h1(grid[static_cast<std::size_t>(p)]); });
+}
+
+std::vector<ZMatrix> TransferEvaluator::output_h1_sweep(const std::vector<Complex>& grid) const {
+    return util::ThreadPool::global().parallel_map<ZMatrix>(
+        0, static_cast<long>(grid.size()),
+        [&](long p) { return output_h1(grid[static_cast<std::size_t>(p)]); });
+}
+
+std::vector<ZMatrix> TransferEvaluator::output_h2_diagonal_sweep(
+    const std::vector<Complex>& grid) const {
+    return util::ThreadPool::global().parallel_map<ZMatrix>(
+        0, static_cast<long>(grid.size()), [&](long p) {
+            const Complex s = grid[static_cast<std::size_t>(p)];
+            return output_h2(s, s);
+        });
+}
+
 ZMatrix TransferEvaluator::output_h2(Complex s1, Complex s2) const {
     return map_output(sys_.c(), h2(s1, s2));
 }
@@ -141,6 +164,17 @@ HarmonicPrediction predict_harmonics(const TransferEvaluator& te, double omega,
     // e^{3jwt}: H3(jw, jw, jw) (A/2)^3.
     p.third = half * half * half * te.output_h3(jw, jw, jw)(output, triple);
     return p;
+}
+
+std::vector<HarmonicPrediction> predict_harmonics_sweep(const TransferEvaluator& te,
+                                                        const std::vector<double>& omegas,
+                                                        double amplitude, int input,
+                                                        int output) {
+    return util::ThreadPool::global().parallel_map<HarmonicPrediction>(
+        0, static_cast<long>(omegas.size()), [&](long p) {
+            return predict_harmonics(te, omegas[static_cast<std::size_t>(p)], amplitude, input,
+                                     output);
+        });
 }
 
 }  // namespace atmor::volterra

@@ -40,6 +40,18 @@ public:
     [[nodiscard]] la::ZMatrix output_h2(la::Complex s1, la::Complex s2) const;
     [[nodiscard]] la::ZMatrix output_h3(la::Complex s1, la::Complex s2, la::Complex s3) const;
 
+    /// Frequency-grid sweeps, parallelised across grid points on the global
+    /// thread pool. Each point is an independent resolvent workload (its own
+    /// factorisation under sparse LU, a shared triangular backsolve under
+    /// Schur), so the sweep scales with cores; results land in grid order
+    /// and match the pointwise evaluations exactly.
+    [[nodiscard]] std::vector<la::ZMatrix> h1_sweep(const std::vector<la::Complex>& grid) const;
+    [[nodiscard]] std::vector<la::ZMatrix> output_h1_sweep(
+        const std::vector<la::Complex>& grid) const;
+    /// Diagonal H2 sweep: H2(s, s) at each grid point.
+    [[nodiscard]] std::vector<la::ZMatrix> output_h2_diagonal_sweep(
+        const std::vector<la::Complex>& grid) const;
+
     [[nodiscard]] const Qldae& system() const { return sys_; }
     [[nodiscard]] const std::shared_ptr<la::SolverBackend>& backend() const {
         return backend_;
@@ -67,5 +79,12 @@ struct HarmonicPrediction {
 
 HarmonicPrediction predict_harmonics(const TransferEvaluator& te, double omega,
                                      double amplitude, int input = 0, int output = 0);
+
+/// Harmonic predictions over a frequency grid, parallelised across the grid
+/// (the paper's distortion-vs-frequency curves). Results land in grid order.
+std::vector<HarmonicPrediction> predict_harmonics_sweep(const TransferEvaluator& te,
+                                                        const std::vector<double>& omegas,
+                                                        double amplitude, int input = 0,
+                                                        int output = 0);
 
 }  // namespace atmor::volterra

@@ -6,6 +6,7 @@
 #include "core/norm.hpp"
 #include "la/vector_ops.hpp"
 #include "test_qldae_helpers.hpp"
+#include "util/thread_pool.hpp"
 #include "volterra/associated.hpp"
 #include "volterra/transfer.hpp"
 
@@ -178,6 +179,37 @@ TEST(AtMor, ReduceLinearIsK1Only) {
     const Qldae sys = test::random_qldae(opt, rng);
     const MorResult res = core::reduce_linear(sys, 4);
     EXPECT_EQ(res.raw_vectors, 4);
+}
+
+TEST(AtMor, ParallelPipelineProducesIdenticalReducedModel) {
+    // The multipoint fan-out must be EXACT: every matrix of the reduced
+    // model built on a wide pool equals the single-threaded build bit for
+    // bit (blocked solves are bit-equal to single solves, and the basis is
+    // assembled in deterministic point order).
+    util::Rng rng(2407);
+    test::QldaeOptions opt;
+    opt.n = 16;
+    const Qldae sys = test::random_qldae(opt, rng);
+    AtMorOptions mor;
+    mor.k1 = 3;
+    mor.k2 = 2;
+    mor.k3 = 1;
+    mor.expansion_points = {Complex(0.9, 0.0), Complex(1.1, 0.7), Complex(0.7, 1.9),
+                            Complex(1.4, 0.3)};
+
+    util::ThreadPool::set_global_threads(1);
+    const MorResult serial = core::reduce_associated(sys, mor);
+    util::ThreadPool::set_global_threads(4);
+    const MorResult parallel = core::reduce_associated(sys, mor);
+    util::ThreadPool::set_global_threads(util::ThreadPool::default_thread_count());
+
+    ASSERT_EQ(serial.order, parallel.order);
+    for (int i = 0; i < serial.v.rows(); ++i)
+        for (int j = 0; j < serial.v.cols(); ++j) EXPECT_EQ(serial.v(i, j), parallel.v(i, j));
+    const la::Matrix& g1s = serial.rom.g1();
+    const la::Matrix& g1p = parallel.rom.g1();
+    for (int i = 0; i < g1s.rows(); ++i)
+        for (int j = 0; j < g1s.cols(); ++j) EXPECT_EQ(g1s(i, j), g1p(i, j));
 }
 
 TEST(AtMor, InvalidOptionsThrow) {

@@ -4,6 +4,7 @@
 #include "core/norm.hpp"
 #include "la/vector_ops.hpp"
 #include "test_qldae_helpers.hpp"
+#include "util/thread_pool.hpp"
 #include "volterra/transfer.hpp"
 
 namespace atmor {
@@ -119,6 +120,33 @@ TEST(NormMor, ReducesAndMatchesH1) {
                                        mr[static_cast<std::size_t>(j)].col(0));
         EXPECT_LT(la::dist2(yf, yr), 1e-8 * (1.0 + la::norm2(yf)));
     }
+}
+
+TEST(NormMor, ParallelPipelineProducesIdenticalReducedModel) {
+    // The m2/m3 tuple fan-out and the blocked m1 chains must leave the NORM
+    // subspace bit-for-bit unchanged versus a single-threaded build.
+    util::Rng rng(2505);
+    test::QldaeOptions opt;
+    opt.n = 12;
+    const Qldae sys = test::random_qldae(opt, rng);
+    NormOptions norm;
+    norm.q1 = 3;
+    norm.q2 = 2;
+    norm.q3 = 2;
+
+    util::ThreadPool::set_global_threads(1);
+    const auto serial = core::reduce_norm(sys, norm);
+    util::ThreadPool::set_global_threads(4);
+    const auto parallel = core::reduce_norm(sys, norm);
+    util::ThreadPool::set_global_threads(util::ThreadPool::default_thread_count());
+
+    ASSERT_EQ(serial.order, parallel.order);
+    for (int i = 0; i < serial.v.rows(); ++i)
+        for (int j = 0; j < serial.v.cols(); ++j) EXPECT_EQ(serial.v(i, j), parallel.v(i, j));
+    const la::Matrix& g1s = serial.rom.g1();
+    const la::Matrix& g1p = parallel.rom.g1();
+    for (int i = 0; i < g1s.rows(); ++i)
+        for (int j = 0; j < g1s.cols(); ++j) EXPECT_EQ(g1s(i, j), g1p(i, j));
 }
 
 TEST(NormMor, BoxLargerThanSimplex) {

@@ -78,7 +78,7 @@ TEST(SparseLu, RequiresPivotingOnZeroDiagonal) {
     coo.add(0, 1, 1.0);
     coo.add(1, 0, 1.0);
     const sparse::CsrMatrix s(coo);
-    const Vec x = sparse::splu(s).solve({3.0, 5.0});
+    const Vec x = sparse::splu(s).solve(Vec{3.0, 5.0});
     EXPECT_DOUBLE_EQ(x[0], 5.0);
     EXPECT_DOUBLE_EQ(x[1], 3.0);
 }

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace atmor {
+namespace {
+
+using util::ThreadPool;
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+    ThreadPool pool(4);
+    constexpr long kN = 10000;
+    std::vector<std::atomic<int>> hits(kN);
+    for (auto& h : hits) h.store(0);
+    pool.parallel_for(0, kN, [&](long i) { hits[static_cast<std::size_t>(i)].fetch_add(1); });
+    for (long i = 0; i < kN; ++i) EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1);
+}
+
+TEST(ThreadPool, EmptyAndSingleIterationRanges) {
+    ThreadPool pool(4);
+    int count = 0;
+    pool.parallel_for(5, 5, [&](long) { ++count; });
+    EXPECT_EQ(count, 0);
+    pool.parallel_for(7, 8, [&](long i) {
+        EXPECT_EQ(i, 7);
+        ++count;
+    });
+    EXPECT_EQ(count, 1);
+}
+
+TEST(ThreadPool, ExceptionsPropagateToCaller) {
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallel_for(0, 1000,
+                          [&](long i) {
+                              if (i == 513) throw std::runtime_error("boom at 513");
+                          }),
+        std::runtime_error);
+    // The pool survives a failed batch and keeps scheduling.
+    std::atomic<long> sum{0};
+    pool.parallel_for(0, 100, [&](long i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 99L * 100 / 2);
+}
+
+TEST(ThreadPool, FirstExceptionWinsAndWorkersDrain) {
+    ThreadPool pool(4);
+    std::atomic<int> executed{0};
+    try {
+        pool.parallel_for(0, 5000, [&](long) {
+            executed.fetch_add(1);
+            throw std::runtime_error("every iteration throws");
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error&) {
+    }
+    // Cancellation stops remaining chunks: far fewer than all iterations ran.
+    EXPECT_GE(executed.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+    ThreadPool pool(4);
+    constexpr long kOuter = 16, kInner = 64;
+    std::vector<std::atomic<int>> hits(kOuter * kInner);
+    for (auto& h : hits) h.store(0);
+    pool.parallel_for(0, kOuter, [&](long o) {
+        // The nested loop must neither deadlock nor double-run indices.
+        pool.parallel_for(0, kInner, [&](long i) {
+            hits[static_cast<std::size_t>(o * kInner + i)].fetch_add(1);
+        });
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelMapPreservesIndexOrder) {
+    ThreadPool pool(4);
+    const std::vector<long> squares =
+        pool.parallel_map<long>(0, 1000, [](long i) { return i * i; });
+    ASSERT_EQ(squares.size(), 1000u);
+    for (long i = 0; i < 1000; ++i) EXPECT_EQ(squares[static_cast<std::size_t>(i)], i * i);
+}
+
+TEST(ThreadPool, ReductionIsDeterministicAcrossThreadCounts) {
+    // Floating-point addition is not associative, so a reduction that
+    // combined in completion order would drift between runs. The ordered
+    // reduction must match the strictly serial fold bit for bit, at every
+    // pool width.
+    constexpr long kN = 20000;
+    auto term = [](long i) {
+        return std::pow(-1.0, static_cast<double>(i)) / (2.0 * static_cast<double>(i) + 1.0);
+    };
+    double serial = 0.0;
+    for (long i = 0; i < kN; ++i) serial += term(i);
+
+    for (int threads : {1, 2, 4, 8}) {
+        ThreadPool pool(threads);
+        const double parallel = pool.parallel_reduce<double>(
+            0, kN, 0.0, term, [](double a, double b) { return a + b; });
+        EXPECT_EQ(parallel, serial) << "threads = " << threads;
+    }
+}
+
+TEST(ThreadPool, OrderedReductionOnNonCommutativeCombine) {
+    ThreadPool pool(4);
+    const std::string joined = pool.parallel_reduce<std::string>(
+        0, 26, std::string(),
+        [](long i) { return std::string(1, static_cast<char>('a' + i)); },
+        [](std::string a, std::string b) { return a + b; });
+    EXPECT_EQ(joined, "abcdefghijklmnopqrstuvwxyz");
+}
+
+TEST(ThreadPool, UnevenTasksAllComplete) {
+    // Work stealing: one chunk is 100x the cost of the others; the loop must
+    // still cover everything (and not lose the cheap tail behind the hog).
+    ThreadPool pool(4);
+    std::atomic<long> sum{0};
+    pool.parallel_for(0, 256, [&](long i) {
+        volatile double burn = 0.0;
+        const int iters = (i == 0) ? 200000 : 2000;
+        for (int t = 0; t < iters; ++t) burn += std::sqrt(static_cast<double>(t));
+        sum.fetch_add(i);
+    });
+    EXPECT_EQ(sum.load(), 255L * 256 / 2);
+}
+
+TEST(ThreadPool, GlobalPoolResizes) {
+    ThreadPool::set_global_threads(3);
+    EXPECT_EQ(ThreadPool::global().size(), 3);
+    ThreadPool::set_global_threads(1);
+    EXPECT_EQ(ThreadPool::global().size(), 1);
+    // Width-1 pools run everything on the caller.
+    long count = 0;
+    ThreadPool::global().parallel_for(0, 10, [&](long) { ++count; });
+    EXPECT_EQ(count, 10);
+    ThreadPool::set_global_threads(ThreadPool::default_thread_count());
+}
+
+}  // namespace
+}  // namespace atmor

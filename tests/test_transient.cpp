@@ -5,6 +5,7 @@
 #include "la/vector_ops.hpp"
 #include "ode/transient.hpp"
 #include "test_qldae_helpers.hpp"
+#include "util/thread_pool.hpp"
 
 namespace atmor {
 namespace {
@@ -141,6 +142,88 @@ TEST(Transient, PeakRelativeErrorOfIdenticalTracesIsZero) {
     opt.method = Method::rk4;
     const auto a = ode::simulate(sys, [](double) { return Vec{1.0}; }, opt);
     EXPECT_DOUBLE_EQ(ode::peak_relative_error(a, a), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Batched scenario runner.
+// ---------------------------------------------------------------------------
+
+TEST(TransientBatch, ExplicitBatchMatchesSerialBitForBit) {
+    // rk4 has no warm-start coupling between scenarios: each batched trace
+    // must equal its serial counterpart exactly.
+    const Qldae sys = scalar_decay(2.0);
+    TransientOptions opt;
+    opt.t_end = 1.0;
+    opt.dt = 1e-3;
+    opt.method = Method::rk4;
+    std::vector<ode::InputFn> inputs;
+    for (int s = 0; s < 5; ++s)
+        inputs.push_back([s](double) { return Vec{1.0 + 0.1 * s}; });
+    const auto batch = ode::simulate_batch(sys, inputs, opt);
+    ASSERT_EQ(batch.size(), inputs.size());
+    for (std::size_t s = 0; s < inputs.size(); ++s) {
+        const auto serial = ode::simulate(sys, inputs[s], opt);
+        ASSERT_EQ(batch[s].t.size(), serial.t.size());
+        for (std::size_t r = 0; r < serial.t.size(); ++r)
+            EXPECT_EQ(batch[s].y[r][0], serial.y[r][0]) << "scenario " << s << " record " << r;
+    }
+}
+
+TEST(TransientBatch, ImplicitBatchSharesWarmJacobianAndConverges) {
+    const Qldae sys = scalar_decay(2.0);
+    TransientOptions opt;
+    opt.t_end = 1.0;
+    opt.dt = 1e-3;
+    opt.method = Method::trapezoidal;
+    std::vector<ode::InputFn> inputs;
+    for (int s = 0; s < 4; ++s)
+        inputs.push_back([s](double t) { return Vec{std::sin((1.0 + s) * t)}; });
+    const auto batch = ode::simulate_batch(sys, inputs, opt);
+    ASSERT_EQ(batch.size(), inputs.size());
+    for (std::size_t s = 0; s < inputs.size(); ++s) {
+        // Linear system + shared warm Jacobian: no scenario should have
+        // needed a private refactor.
+        EXPECT_EQ(batch[s].factorizations, 0) << "scenario " << s;
+        const auto serial = ode::simulate(sys, inputs[s], opt);
+        ASSERT_EQ(batch[s].t.size(), serial.t.size());
+        for (std::size_t r = 0; r < serial.t.size(); ++r)
+            EXPECT_NEAR(batch[s].y[r][0], serial.y[r][0], 1e-9);
+    }
+}
+
+TEST(TransientBatch, DeterministicAcrossThreadCounts) {
+    const Qldae sys = scalar_decay(3.0);
+    TransientOptions opt;
+    opt.t_end = 0.5;
+    opt.dt = 1e-3;
+    opt.method = Method::trapezoidal;
+    std::vector<ode::InputFn> inputs;
+    for (int s = 0; s < 6; ++s)
+        inputs.push_back([s](double t) { return Vec{std::cos((1.0 + 0.5 * s) * t)}; });
+
+    util::ThreadPool::set_global_threads(1);
+    const auto serial = ode::simulate_batch(sys, inputs, opt);
+    util::ThreadPool::set_global_threads(4);
+    const auto parallel = ode::simulate_batch(sys, inputs, opt);
+    util::ThreadPool::set_global_threads(util::ThreadPool::default_thread_count());
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t s = 0; s < serial.size(); ++s) {
+        ASSERT_EQ(serial[s].t.size(), parallel[s].t.size());
+        for (std::size_t r = 0; r < serial[s].t.size(); ++r)
+            EXPECT_EQ(serial[s].y[r][0], parallel[s].y[r][0])
+                << "scenario " << s << " record " << r;
+    }
+}
+
+TEST(TransientBatch, EmptyBatchAndArityValidation) {
+    const Qldae sys = scalar_decay(1.0);
+    TransientOptions opt;
+    opt.t_end = 1.0;
+    opt.dt = 1e-2;
+    EXPECT_TRUE(ode::simulate_batch(sys, {}, opt).empty());
+    std::vector<ode::InputFn> bad = {[](double) { return Vec{1.0, 2.0}; }};
+    EXPECT_THROW(ode::simulate_batch(sys, bad, opt), util::PreconditionError);
 }
 
 }  // namespace
