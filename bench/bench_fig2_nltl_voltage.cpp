@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
     copt.stages = stages;
     const auto line = circuits::voltage_source_line(copt);
     const auto full = line.to_qldae();
+    std::printf("circuit %s (voltage source)\n", copt.key().c_str());
     std::printf("stages = %d -> lifted n = %d, D1 present: %s\n", stages, full.order(),
                 full.has_bilinear() ? "yes" : "no");
 

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
     circuits::NltlOptions copt;
     copt.stages = stages;
     const auto full = circuits::current_source_line(copt).to_qldae();
+    std::printf("circuit %s (current source)\n", copt.key().c_str());
     std::printf("stages = %d -> lifted n = %d (paper: 70), D1 present: %s\n", stages,
                 full.order(), full.has_bilinear() ? "yes" : "no");
 

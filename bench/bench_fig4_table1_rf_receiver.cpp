@@ -22,7 +22,9 @@ int main(int argc, char** argv) {
     const int k3 = bench::arg_int(argc, argv, 1, 1);
 
     std::printf("=== Fig. 4 + Table 1 (Sect. 3.3): MISO RF receiver ===\n");
-    const auto full = circuits::rf_receiver();
+    const circuits::RfReceiverOptions copt;
+    const auto full = circuits::rf_receiver(copt);
+    std::printf("circuit %s\n", copt.key().c_str());
     std::printf("n = %d (paper: 173), inputs = %d, D1 = 0: %s\n", full.order(), full.inputs(),
                 full.has_bilinear() ? "no" : "yes");
 

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
     std::printf("=== Fig. 5: ZnO varistor surge protector (cubic ODE) ===\n");
     const auto circuit = circuits::varistor_circuit(copt);
     const auto& full = circuit.system;
+    std::printf("circuit %s\n", copt.key().c_str());
     std::printf("n = %d (paper: 102), cubic: %s, DC output %.1f V (200 V bias)\n",
                 full.order(), full.has_cubic() ? "yes" : "no",
                 1e3 * circuit.output_bias_kv);

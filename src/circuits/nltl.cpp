@@ -1,5 +1,6 @@
 #include "circuits/nltl.hpp"
 
+#include "circuits/options_key.hpp"
 #include "sparse/csr.hpp"
 #include "util/check.hpp"
 #include "volterra/qldae.hpp"
@@ -85,6 +86,13 @@ ExpNodalSystem current_source_line(const NltlOptions& opt) {
 
     return ExpNodalSystem(Vec(static_cast<std::size_t>(n), opt.capacitance),
                           sparse::CsrMatrix(a), b, output_map(opt), std::move(diodes));
+}
+
+std::string NltlOptions::key() const {
+    using detail::key_num;
+    return "nltl[stages=" + key_num(stages) + ",r=" + key_num(resistance) +
+           ",c=" + key_num(capacitance) + ",alpha=" + key_num(diode_alpha) +
+           ",is=" + key_num(diode_is) + ",out=" + key_num(output_node) + "]";
 }
 
 }  // namespace atmor::circuits

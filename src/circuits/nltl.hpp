@@ -14,6 +14,8 @@
 //    reports.
 #pragma once
 
+#include <string>
+
 #include "circuits/exp_system.hpp"
 
 namespace atmor::circuits {
@@ -29,6 +31,12 @@ struct NltlOptions {
     /// the far end of a 100-stage unit-RC line is diffusion-dominated and
     /// barely responds within the plotted 30 ns window.
     int output_node = 0;
+
+    /// Stable parameter key (every field, declaration order): the circuit
+    /// half of a rom::Registry key, and the label the benches print instead
+    /// of ad-hoc per-bench strings. Doubles print shortest-round-trip, so
+    /// equal options always collide and distinct options never do.
+    [[nodiscard]] std::string key() const;
 };
 
 /// Sec. 3.1 configuration (voltage-type source, D1 != 0 after lifting).

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "circuits/options_key.hpp"
 #include "sparse/csr.hpp"
 #include "util/check.hpp"
 
@@ -98,6 +99,14 @@ volterra::Qldae rf_receiver(const RfReceiverOptions& opt) {
 
     return volterra::Qldae(sparse::CsrMatrix(g1), std::move(g2), sparse::SparseTensor4(), {},
                            sparse::CsrMatrix(b_in), sparse::CsrMatrix(c_out));
+}
+
+std::string RfReceiverOptions::key() const {
+    using detail::key_num;
+    return "rf_receiver[lna=" + key_num(lna_sections) + ",if=" + key_num(if_sections) +
+           ",pa=" + key_num(pa_sections) + ",gm1=" + key_num(gm1) + ",gm2=" + key_num(gm2) +
+           ",coupling=" + key_num(coupling) + ",r=" + key_num(r) + ",c=" + key_num(c) +
+           ",l=" + key_num(l) + ",rload=" + key_num(r_load) + "]";
 }
 
 }  // namespace atmor::circuits

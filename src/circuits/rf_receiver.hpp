@@ -6,6 +6,8 @@
 // unknowns at the default sizing.
 #pragma once
 
+#include <string>
+
 #include "volterra/qldae.hpp"
 
 namespace atmor::circuits {
@@ -25,6 +27,9 @@ struct RfReceiverOptions {
     /// per-section delay sqrt(l*c) ~ 0.03 keeps the 85-section chain's
     /// transport delay ~2.4 time units (fast RF line on a ns axis).
     double r_load = 0.7;
+
+    /// Stable parameter key (see NltlOptions::key for the contract).
+    [[nodiscard]] std::string key() const;
 };
 
 /// Build the receiver QLDAE. State count with defaults: every section carries

@@ -1,5 +1,6 @@
 #include "circuits/varistor.hpp"
 
+#include "circuits/options_key.hpp"
 #include "la/lu.hpp"
 #include "la/vector_ops.hpp"
 #include "util/check.hpp"
@@ -96,6 +97,18 @@ VaristorCircuit varistor_circuit(const VaristorOptions& opt) {
                         x0, opt.bias_kv, 0.0};
     out.output_bias_kv = raw.output(x0)[0];
     return out;
+}
+
+std::string VaristorOptions::key() const {
+    using detail::key_num;
+    std::string nodes;
+    for (std::size_t i = 0; i < varistor_nodes.size(); ++i)
+        nodes += (i ? "+" : "") + key_num(varistor_nodes[i]);
+    return "varistor[sections=" + key_num(sections) + ",l=" + key_num(l) + ",c=" + key_num(c) +
+           ",rs=" + key_num(r_series) + ",rin=" + key_num(r_input) +
+           ",rload=" + key_num(r_load) + ",rbias=" + key_num(r_bias) +
+           ",g1=" + key_num(g1_shunt) + ",g3=" + key_num(g3_shunt) + ",nodes=" + nodes +
+           ",every=" + key_num(varistor_every) + ",bias=" + key_num(bias_kv) + "]";
 }
 
 }  // namespace atmor::circuits

@@ -12,6 +12,8 @@
 // coefficients well conditioned; the output map restores volts.
 #pragma once
 
+#include <string>
+
 #include "volterra/qldae.hpp"
 
 namespace atmor::circuits {
@@ -38,6 +40,9 @@ struct VaristorOptions {
     std::vector<int> varistor_nodes;
     int varistor_every = 0;
     double bias_kv = 0.2;     ///< 200 V operating bias
+
+    /// Stable parameter key (see NltlOptions::key for the contract).
+    [[nodiscard]] std::string key() const;
 };
 
 struct VaristorCircuit {

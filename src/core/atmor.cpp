@@ -128,8 +128,15 @@ MorResult reduce_associated(const volterra::AssociatedTransform& at, const AtMor
     ATMOR_CHECK(basis.size() >= 1, "reduce_associated: basis collapsed to zero vectors");
 
     const la::Matrix v = basis.matrix();
-    MorResult result{galerkin_reduce(sys, v), v, 0.0, raw, v.cols()};
+    MorResult result{galerkin_reduce(sys, v), v, 0.0, raw, v.cols(), {}};
     result.build_seconds = timer.seconds();
+    result.provenance.method = (opt.k2 == 0 && opt.k3 == 0) ? "linear" : "atmor";
+    result.provenance.expansion_points = opt.expansion_points;
+    result.provenance.k1 = opt.k1;
+    result.provenance.k2 = opt.k2;
+    result.provenance.k3 = opt.k3;
+    result.provenance.full_order = sys.order();
+    result.provenance.basis_hash = rom::basis_hash(v);
     return result;
 }
 

@@ -14,6 +14,7 @@
 
 #include "la/matrix.hpp"
 #include "la/solver_backend.hpp"
+#include "rom/reduced_model.hpp"
 #include "volterra/associated.hpp"
 #include "volterra/qldae.hpp"
 
@@ -25,14 +26,19 @@ namespace atmor::core {
 /// sparse systems rely on factorisation-time singularity detection instead.
 inline constexpr int kEigenGuardMaxOrder = 512;
 
+/// The default expansion-point set: the single DC point sigma0 = 0 (the
+/// low-pass accurate expansion the paper's experiments use). Shared by
+/// AtMorOptions and reduce_linear so the literal is spelled exactly once.
+inline const std::vector<la::Complex> kDcExpansionPoints{la::Complex(0.0, 0.0)};
+
 struct AtMorOptions {
     int k1 = 6;  ///< moments of H1(s) matched (per expansion point)
     int k2 = 3;  ///< moments of A2(H2)(s)
     int k3 = 2;  ///< moments of A3(H3)(s)
-    /// Expansion points; s = 0 gives the DC (low-pass accurate) expansion the
-    /// paper's experiments use. Complex points contribute Re/Im pairs
-    /// (Remark 3: multipoint expansion is straightforward in single-s form).
-    std::vector<la::Complex> expansion_points{la::Complex(0.0, 0.0)};
+    /// Expansion points; the DC default matches the paper. Complex points
+    /// contribute Re/Im pairs (Remark 3: multipoint expansion is
+    /// straightforward in single-s form).
+    std::vector<la::Complex> expansion_points = kDcExpansionPoints;
     /// Additionally match `markov_moments` Markov parameters of H1 (the
     /// s = infinity expansion K_p(G1, b) the paper's Sec. 2.3 contrasts with
     /// the K_p(G1^{-1}, G1^{-1} b) low-pass expansion). Improves the early
@@ -45,14 +51,13 @@ struct AtMorOptions {
     std::shared_ptr<la::SolverBackend> backend;
 };
 
-/// Outcome of a reduction, with the bookkeeping the paper's tables report.
-struct MorResult {
-    volterra::Qldae rom;        ///< reduced QLDAE (order q)
-    la::Matrix v;               ///< n x q orthonormal projection basis
-    double build_seconds = 0;   ///< moment generation + orthogonalisation time
-    int raw_vectors = 0;        ///< candidate vectors before deflation
-    int order = 0;              ///< q = v.cols()
-};
+/// Outcome of a reduction. Since the offline/online split this IS the
+/// serializable rom:: artifact -- the reduced QLDAE, the basis, the build
+/// bookkeeping the paper's tables report, plus provenance (method, expansion
+/// points, moment counts, basis hash), which every reduce_* front-end fills.
+/// A result can therefore go straight into rom::save_model / rom::Registry;
+/// set provenance.source to the circuit key before persisting.
+using MorResult = rom::ReducedModel;
 
 /// Reduce with the proposed associated-transform method.
 MorResult reduce_associated(const volterra::Qldae& sys, const AtMorOptions& opt);
@@ -62,8 +67,7 @@ MorResult reduce_associated(const volterra::AssociatedTransform& at, const AtMor
 
 /// Linear (H1-only) Krylov baseline: k2 = k3 = 0.
 MorResult reduce_linear(const volterra::Qldae& sys, int k1,
-                        const std::vector<la::Complex>& expansion_points = {la::Complex(0.0,
-                                                                                        0.0)},
+                        const std::vector<la::Complex>& expansion_points = kDcExpansionPoints,
                         double deflation_tol = 1e-8);
 
 }  // namespace atmor::core

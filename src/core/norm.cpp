@@ -386,8 +386,15 @@ MorResult reduce_norm(const Qldae& sys, const NormOptions& opt) {
 
     ATMOR_CHECK(basis.size() >= 1, "reduce_norm: basis collapsed to zero vectors");
     const la::Matrix v = basis.matrix();
-    MorResult result{galerkin_reduce(sys, v), v, 0.0, raw, v.cols()};
+    MorResult result{galerkin_reduce(sys, v), v, 0.0, raw, v.cols(), {}};
     result.build_seconds = timer.seconds();
+    result.provenance.method = "norm";
+    result.provenance.expansion_points = {opt.sigma0};
+    result.provenance.k1 = opt.q1;
+    result.provenance.k2 = opt.q2;
+    result.provenance.k3 = opt.q3;
+    result.provenance.full_order = sys.order();
+    result.provenance.basis_hash = rom::basis_hash(v);
     return result;
 }
 

@@ -165,6 +165,8 @@ std::shared_ptr<const Factorization> SolverBackend::factorization(const LinearOp
     // insert below hands the loser the winner's (identical-input) handle.
     auto f = factor(a, shift);
     factorizations_.fetch_add(1, std::memory_order_relaxed);
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    note_factor_dim(f->dim());
     std::unique_lock<std::shared_mutex> lock(cache_mutex_);
     auto it = cache_.find(key);
     if (it != cache_.end()) return it->second;
@@ -181,7 +183,16 @@ std::shared_ptr<const Factorization> SolverBackend::factorize(const LinearOperat
                                                               Complex shift) {
     ATMOR_REQUIRE(a.square(), "SolverBackend: operator must be square");
     factorizations_.fetch_add(1, std::memory_order_relaxed);
-    return factor(a, shift);
+    auto f = factor(a, shift);
+    note_factor_dim(f->dim());
+    return f;
+}
+
+void SolverBackend::note_factor_dim(int dim) {
+    int cur = max_factor_dim_.load(std::memory_order_relaxed);
+    while (dim > cur &&
+           !max_factor_dim_.compare_exchange_weak(cur, dim, std::memory_order_relaxed)) {
+    }
 }
 
 ZVec SolverBackend::solve_shifted(const LinearOperator& a, Complex shift, const ZVec& b) {
@@ -214,8 +225,10 @@ Vec SolverBackend::solve(const LinearOperator& a, const Vec& b) {
 SolverStats SolverBackend::stats() const {
     SolverStats s;
     s.factorizations = factorizations_.load(std::memory_order_relaxed);
+    s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
     s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
     s.solves = solves_.load(std::memory_order_relaxed);
+    s.max_factor_dim = max_factor_dim_.load(std::memory_order_relaxed);
     return s;
 }
 

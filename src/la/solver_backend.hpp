@@ -65,9 +65,14 @@ public:
 };
 
 struct SolverStats {
-    long factorizations = 0;  ///< cache misses (actual factor work)
-    long cache_hits = 0;      ///< solves served from a cached factorisation
+    long factorizations = 0;  ///< total factor work (cached-path misses + factorize())
+    long cache_misses = 0;    ///< cached-path lookups that had to factor
+    long cache_hits = 0;      ///< lookups served from a cached factorisation
     long solves = 0;          ///< total right-hand sides solved
+    /// Largest dimension factorised so far. The serving layer asserts the
+    /// online path stays at reduced order with this (a full-order
+    /// factorisation sneaking into a warm path is a bug, not a slowdown).
+    int max_factor_dim = 0;
 };
 
 class SolverBackend {
@@ -131,13 +136,17 @@ private:
         std::size_t operator()(const Key& k) const;
     };
 
+    void note_factor_dim(int dim);
+
     mutable std::shared_mutex cache_mutex_;
     std::unordered_map<Key, std::shared_ptr<const Factorization>, KeyHash> cache_;
     std::deque<Key> insertion_order_;
     std::size_t max_cached_;
     std::atomic<long> factorizations_{0};
+    std::atomic<long> cache_misses_{0};
     std::atomic<long> cache_hits_{0};
     std::atomic<long> solves_{0};
+    std::atomic<int> max_factor_dim_{0};
 };
 
 /// Dense LU per (operator, shift). Real shifts factor in real arithmetic.

@@ -257,8 +257,39 @@ TransientResult simulate(const Qldae& sys, const InputFn& input, const Transient
     return res;
 }
 
+WarmStart make_warm_start(const Qldae& sys, const TransientOptions& opt, const la::Vec& u0,
+                          const la::Vec& x0) {
+    ATMOR_REQUIRE(opt.t_end > 0.0 && opt.dt > 0.0, "make_warm_start: need positive t_end and dt");
+    const Vec x = x0.empty() ? Vec(static_cast<std::size_t>(sys.order()), 0.0) : x0;
+    ATMOR_REQUIRE(static_cast<int>(x.size()) == sys.order(), "make_warm_start: x0 size mismatch");
+    const Vec u = u0.empty() ? Vec(static_cast<std::size_t>(sys.inputs()), 0.0) : u0;
+    ATMOR_REQUIRE(static_cast<int>(u.size()) == sys.inputs(),
+                  "make_warm_start: u0 size mismatch");
+
+    WarmStart warm;
+    warm.backend = opt.backend ? opt.backend : la::make_default_backend(sys.g1_op());
+    const bool implicit =
+        opt.method == Method::trapezoidal || opt.method == Method::backward_euler;
+    if (!implicit) return warm;  // explicit methods have nothing to warm
+    const double theta = opt.method == Method::backward_euler ? 1.0 : 0.5;
+    const long nsteps = std::lround(std::ceil(opt.t_end / opt.dt));
+    const double h = opt.t_end / static_cast<double>(nsteps);
+    const auto a_op = stamp_newton_operator(sys, x, u, theta * h);
+    warm.factorization = warm.backend->factorize(*a_op, la::Complex(1.0, 0.0));
+    return warm;
+}
+
 std::vector<TransientResult> simulate_batch(const Qldae& sys, const std::vector<InputFn>& inputs,
                                             const TransientOptions& opt, const la::Vec& x0) {
+    if (inputs.empty()) return {};
+    // One Jacobian factorisation, stamped at the shared initial state, serves
+    // every scenario as its Newton warm start (see make_warm_start).
+    return simulate_batch(sys, inputs, opt, make_warm_start(sys, opt, inputs[0](0.0), x0), x0);
+}
+
+std::vector<TransientResult> simulate_batch(const Qldae& sys, const std::vector<InputFn>& inputs,
+                                            const TransientOptions& opt, const WarmStart& warm,
+                                            const la::Vec& x0) {
     ATMOR_REQUIRE(opt.t_end > 0.0 && opt.dt > 0.0, "simulate_batch: need positive t_end and dt");
     ATMOR_REQUIRE(opt.record_stride >= 1, "simulate_batch: record_stride >= 1");
     const Vec x = x0.empty() ? Vec(static_cast<std::size_t>(sys.order()), 0.0) : x0;
@@ -268,24 +299,14 @@ std::vector<TransientResult> simulate_batch(const Qldae& sys, const std::vector<
         ATMOR_REQUIRE(static_cast<int>(u(0.0).size()) == sys.inputs(),
                       "simulate_batch: input arity mismatch");
 
-    const bool implicit =
-        opt.method == Method::trapezoidal || opt.method == Method::backward_euler;
     const double theta = opt.method == Method::backward_euler ? 1.0 : 0.5;
-
-    // One Jacobian factorisation, stamped at the shared initial state, serves
-    // every scenario as its Newton warm start. The handle is immutable, so
-    // the threads solve against it concurrently without locking; scenarios
-    // whose waveforms drive the state far from the linearisation point
-    // refactor privately inside run_implicit.
-    std::shared_ptr<la::SolverBackend> backend;
-    std::shared_ptr<const la::Factorization> warm;
-    if (implicit) {
-        backend = opt.backend ? opt.backend : la::make_default_backend(sys.g1_op());
-        const long nsteps = std::lround(std::ceil(opt.t_end / opt.dt));
-        const double h = opt.t_end / static_cast<double>(nsteps);
-        const auto a_op = stamp_newton_operator(sys, x, inputs[0](0.0), theta * h);
-        warm = backend->factorize(*a_op, la::Complex(1.0, 0.0));
-    }
+    // The warm handle is immutable, so the threads solve against it
+    // concurrently without locking; scenarios whose waveforms drive the state
+    // far from the linearisation point refactor privately inside
+    // run_implicit.
+    std::shared_ptr<la::SolverBackend> backend =
+        warm.backend ? warm.backend
+                     : (opt.backend ? opt.backend : la::make_default_backend(sys.g1_op()));
 
     return util::ThreadPool::global().parallel_map<TransientResult>(
         0, static_cast<long>(inputs.size()), [&](long p) {
@@ -301,7 +322,7 @@ std::vector<TransientResult> simulate_batch(const Qldae& sys, const std::vector<
                     break;
                 case Method::trapezoidal:
                 case Method::backward_euler:
-                    res = run_implicit(sys, u, opt, x, theta, backend, warm);
+                    res = run_implicit(sys, u, opt, x, theta, backend, warm.factorization);
                     break;
             }
             res.solve_seconds = timer.seconds();

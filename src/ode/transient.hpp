@@ -65,6 +65,23 @@ struct TransientResult {
 TransientResult simulate(const volterra::Qldae& sys, const InputFn& input,
                          const TransientOptions& opt, const la::Vec& x0 = {});
 
+/// Reusable warm start for the implicit batch runner: the shared Newton
+/// Jacobian factorisation plus the backend it came from. make_warm_start
+/// stamps it once; every subsequent simulate_batch replay of the same
+/// (system, step size, method) skips the stamp entirely -- the serving hot
+/// loop (rom::ServeEngine) pays the factorisation exactly once per model.
+/// Empty (null factorization) for the explicit methods.
+struct WarmStart {
+    std::shared_ptr<la::SolverBackend> backend;
+    std::shared_ptr<const la::Factorization> factorization;
+};
+
+/// Stamp the implicit-method warm start at linearisation point (x0, u0)
+/// (both default to zero). The handle is immutable and safe to share across
+/// concurrent batches.
+WarmStart make_warm_start(const volterra::Qldae& sys, const TransientOptions& opt,
+                          const la::Vec& u0 = {}, const la::Vec& x0 = {});
+
 /// Batched scenario runner: simulate many input waveforms of the SAME system
 /// in parallel on the global thread pool. For the implicit methods, one
 /// Newton Jacobian is stamped at (x0, inputs[0](0)) and its factorisation is
@@ -76,6 +93,16 @@ TransientResult simulate(const volterra::Qldae& sys, const InputFn& input,
 std::vector<TransientResult> simulate_batch(const volterra::Qldae& sys,
                                             const std::vector<InputFn>& inputs,
                                             const TransientOptions& opt,
+                                            const la::Vec& x0 = {});
+
+/// Replay form: same contract, but the warm start is supplied by the caller
+/// (from make_warm_start) instead of stamped per call. opt.dt/t_end/method
+/// must match the options the warm start was stamped with for the factors to
+/// be a useful starting Jacobian; correctness never depends on it (a scenario
+/// whose Newton degrades refactors privately).
+std::vector<TransientResult> simulate_batch(const volterra::Qldae& sys,
+                                            const std::vector<InputFn>& inputs,
+                                            const TransientOptions& opt, const WarmStart& warm,
                                             const la::Vec& x0 = {});
 
 /// Peak relative error between two recorded output traces, normalised by the

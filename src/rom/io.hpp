@@ -1,0 +1,135 @@
+// Versioned binary save/load for ReducedModel artifacts (and the underlying
+// Qldae / Matrix / CSR / tensor blocks).
+//
+// File layout:  "ATMORROM" magic | u32 version | u64 payload size | payload |
+// u64 FNV-1a checksum of the payload. Doubles are stored as their raw 8-byte
+// representation, so a round-trip is BIT-EXACT: a loaded ROM simulates to
+// exactly the trace of the in-memory one (pinned by test_rom_io). Every
+// failure mode -- missing file, truncation, foreign magic, version skew,
+// checksum mismatch, structurally invalid payload -- surfaces as a typed
+// IoError instead of a garbage model.
+//
+// The byte layout assumes a little-endian host (every platform the library
+// targets); artifacts are not interchangeable with big-endian machines.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "rom/reduced_model.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/tensor3.hpp"
+#include "sparse/tensor4.hpp"
+#include "volterra/qldae.hpp"
+
+namespace atmor::rom {
+
+/// Bumped on any layout change; readers reject other versions outright
+/// (no silent best-effort parsing of future or ancient artifacts).
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Conventional artifact extension (the registry's disk tier uses it).
+inline constexpr const char* kArtifactExtension = ".atmor-rom";
+
+enum class IoErrorKind {
+    open_failed,        ///< file missing or unreadable/unwritable
+    truncated,          ///< ran out of bytes mid-structure
+    bad_magic,          ///< not an atmor ROM artifact at all
+    version_mismatch,   ///< artifact written by a different format version
+    checksum_mismatch,  ///< payload bytes damaged after writing
+    corrupt,            ///< bytes intact but structurally invalid
+};
+
+const char* to_string(IoErrorKind kind);
+
+class IoError : public std::runtime_error {
+public:
+    IoError(IoErrorKind kind, const std::string& what)
+        : std::runtime_error(what), kind_(kind) {}
+    [[nodiscard]] IoErrorKind kind() const { return kind_; }
+
+private:
+    IoErrorKind kind_;
+};
+
+/// Append-only payload builder. Composite writers nest: model() writes the
+/// provenance, the Qldae blocks and the basis through the same primitives.
+class Writer {
+public:
+    void u8(std::uint8_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void i32(std::int32_t v);
+    void f64(double v);
+    void str(const std::string& s);
+    void complex(la::Complex z);
+    void matrix(const la::Matrix& m);
+    void csr(const sparse::CsrMatrix& m);
+    void tensor3(const sparse::SparseTensor3& t);
+    void tensor4(const sparse::SparseTensor4& t);
+    void qldae(const volterra::Qldae& sys);
+    void model(const ReducedModel& m);
+
+    [[nodiscard]] const std::string& bytes() const { return buf_; }
+
+private:
+    void raw(const void* data, std::size_t n);
+
+    std::string buf_;
+};
+
+/// Payload parser over a byte buffer (not owned). Reading past the end
+/// throws IoError{truncated}; structurally invalid data (negative dims,
+/// inconsistent CSR arrays, ...) throws IoError{corrupt}.
+class Reader {
+public:
+    explicit Reader(const std::string& bytes) : buf_(bytes) {}
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int32_t i32();
+    double f64();
+    std::string str();
+    la::Complex complex();
+    la::Matrix matrix();
+    sparse::CsrMatrix csr();
+    sparse::SparseTensor3 tensor3();
+    sparse::SparseTensor4 tensor4();
+    volterra::Qldae qldae();
+    ReducedModel model();
+
+    [[nodiscard]] bool at_end() const { return pos_ == buf_.size(); }
+
+private:
+    void raw(void* out, std::size_t n);
+    /// Bounded count for upcoming element reads: must fit in the remaining
+    /// bytes at `elem_size` each (rejects absurd counts before allocating).
+    std::size_t count(std::uint64_t n, std::size_t elem_size);
+
+    const std::string& buf_;
+    std::size_t pos_ = 0;
+};
+
+/// Frame a payload with magic/version/size/checksum (the inverse of
+/// unframe). Exposed so callers can persist other payload types with the
+/// same integrity envelope.
+std::string frame(const std::string& payload);
+/// Verify magic/version/size/checksum and return the payload bytes.
+std::string unframe(const std::string& bytes);
+
+/// Full artifact in memory: framed model payload.
+std::string serialize_model(const ReducedModel& m);
+ReducedModel deserialize_model(const std::string& bytes);
+
+/// Publish bytes at `path` via temp file + rename: a crashed writer or a
+/// concurrent reader never observes a torn file at the final name (the
+/// rename is atomic on POSIX). Throws IoError{open_failed} on I/O failure.
+void write_file_atomically(const std::string& bytes, const std::string& path);
+
+/// File round-trip (save_model publishes atomically; see above).
+void save_model(const ReducedModel& m, const std::string& path);
+ReducedModel load_model(const std::string& path);
+
+}  // namespace atmor::rom

@@ -1,0 +1,25 @@
+#include "rom/reduced_model.hpp"
+
+namespace atmor::rom {
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t seed) {
+    constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < bytes; ++i) {
+        h ^= p[i];
+        h *= kPrime;
+    }
+    return h;
+}
+
+std::uint64_t basis_hash(const la::Matrix& v) {
+    const std::int64_t dims[2] = {v.rows(), v.cols()};
+    std::uint64_t h = fnv1a(dims, sizeof(dims));
+    return fnv1a(v.data(),
+                 static_cast<std::size_t>(v.rows()) * static_cast<std::size_t>(v.cols()) *
+                     sizeof(double),
+                 h);
+}
+
+}  // namespace atmor::rom

@@ -1,0 +1,153 @@
+#include "rom/serve_engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace atmor::rom {
+
+namespace {
+
+/// Serving backends get a deeper factorisation cache than the library
+/// default: a hot model is probed at many grid shifts and all of them should
+/// replay across queries.
+constexpr std::size_t kServeCacheSlots = 64;
+
+/// Bound on distinct transient configurations whose warm Newton
+/// factorisations a model keeps alive simultaneously.
+constexpr std::size_t kMaxWarmStarts = 8;
+
+std::shared_ptr<la::SolverBackend> make_freq_backend(const volterra::Qldae& rom) {
+    if (rom.g1_op().is_sparse())
+        return std::make_shared<la::SparseLuBackend>(kServeCacheSlots);
+    // Dense ROMs (the Galerkin output) take one Schur pass per model; every
+    // grid shift afterwards is a triangular backsolve.
+    return std::make_shared<la::SchurBackend>(kServeCacheSlots);
+}
+
+std::shared_ptr<la::SolverBackend> make_transient_backend(const volterra::Qldae& rom) {
+    if (rom.g1_op().is_sparse())
+        return std::make_shared<la::SparseLuBackend>(kServeCacheSlots);
+    return std::make_shared<la::DenseLuBackend>(kServeCacheSlots);
+}
+
+void accumulate(la::SolverStats& acc, const la::SolverStats& s) {
+    acc.factorizations += s.factorizations;
+    acc.cache_misses += s.cache_misses;
+    acc.cache_hits += s.cache_hits;
+    acc.solves += s.solves;
+    acc.max_factor_dim = std::max(acc.max_factor_dim, s.max_factor_dim);
+}
+
+}  // namespace
+
+ServeEngine::ServeEngine(std::shared_ptr<Registry> registry)
+    : registry_(std::move(registry)) {
+    ATMOR_REQUIRE(registry_ != nullptr, "ServeEngine: null registry");
+}
+
+std::shared_ptr<const ReducedModel> ServeEngine::model(const std::string& key,
+                                                       const Registry::Builder& build) {
+    return state_for(key, build)->model;
+}
+
+std::shared_ptr<ServeEngine::ModelState> ServeEngine::state_for(const std::string& key,
+                                                                const Registry::Builder& build) {
+    // Resolve through the registry OUTSIDE the engine lock: a cold build can
+    // take minutes and must not stall queries against other models.
+    std::shared_ptr<const ReducedModel> m = registry_->get_or_build(key, build);
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_ptr<ModelState>& st = states_[key];
+    if (!st || st->model != m) {
+        st = std::make_shared<ModelState>();
+        st->model = m;
+        st->evaluator =
+            std::make_shared<volterra::TransferEvaluator>(m->rom, make_freq_backend(m->rom));
+        st->transient_backend = make_transient_backend(m->rom);
+    }
+    return st;
+}
+
+std::vector<la::ZMatrix> ServeEngine::frequency_response(const std::string& key,
+                                                         const Registry::Builder& build,
+                                                         const std::vector<la::Complex>& grid) {
+    const std::shared_ptr<ModelState> st = state_for(key, build);
+    util::Timer timer;
+    std::vector<la::ZMatrix> out = st->evaluator->output_h1_sweep(grid);
+    note_query(timer.seconds(), static_cast<long>(grid.size()), -1);
+    return out;
+}
+
+std::vector<ode::TransientResult> ServeEngine::transient_batch(
+    const std::string& key, const Registry::Builder& build,
+    const std::vector<ode::InputFn>& inputs, const ode::TransientOptions& opt) {
+    const std::shared_ptr<ModelState> st = state_for(key, build);
+    util::Timer timer;
+    ode::TransientOptions o = opt;
+    o.backend = st->transient_backend;
+
+    // Stamp the warm Newton factorisation once per (model, step size,
+    // method); every later batch with that configuration replays it, and
+    // clients alternating configurations each keep theirs. Stamped at the
+    // zero state/input (the rest state every deviation model starts from),
+    // so it is batch-content independent; a waveform that drives Newton off
+    // the linearisation refactors privately inside run_implicit.
+    ode::WarmStart warm;
+    {
+        const auto config =
+            std::make_tuple(o.t_end, o.dt, static_cast<int>(o.method));
+        std::lock_guard<std::mutex> lock(st->warm_mutex);
+        auto it = st->warm.find(config);
+        if (it == st->warm.end()) {
+            if (st->warm.size() >= kMaxWarmStarts) {
+                auto victim = st->warm.begin();
+                for (auto cand = st->warm.begin(); cand != st->warm.end(); ++cand)
+                    if (cand->second.second < victim->second.second) victim = cand;
+                st->warm.erase(victim);
+            }
+            it = st->warm
+                     .emplace(config, std::make_pair(ode::make_warm_start(st->model->rom, o),
+                                                     std::uint64_t{0}))
+                     .first;
+        }
+        it->second.second = ++st->warm_tick;
+        warm = it->second.first;
+    }
+
+    std::vector<ode::TransientResult> out = ode::simulate_batch(st->model->rom, inputs, o, warm);
+    note_query(timer.seconds(), -1, static_cast<long>(inputs.size()));
+    return out;
+}
+
+void ServeEngine::note_query(double seconds, long freq_points, long waveforms) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (freq_points >= 0) {
+        ++counters_.frequency_queries;
+        counters_.frequency_points += freq_points;
+    }
+    if (waveforms >= 0) {
+        ++counters_.transient_queries;
+        counters_.transient_waveforms += waveforms;
+    }
+    counters_.busy_seconds += seconds;
+    counters_.max_query_seconds = std::max(counters_.max_query_seconds, seconds);
+}
+
+ServeStats ServeEngine::stats() const {
+    ServeStats s;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        s = counters_;
+        for (const auto& [key, st] : states_) {
+            (void)key;
+            accumulate(s.solver, st->evaluator->backend()->stats());
+            accumulate(s.solver, st->transient_backend->stats());
+        }
+    }
+    s.registry = registry_->stats();
+    return s;
+}
+
+}  // namespace atmor::rom

@@ -1,0 +1,106 @@
+// The online half of the offline/online split: batched queries against
+// registry-resident reduced models.
+//
+// A query never touches the full-order system. Frequency-response sweeps fan
+// out across grid points on the global work-stealing ThreadPool through a
+// per-model TransferEvaluator whose resolvent backend caches factorisations
+// across queries (a repeated grid is pure cache hits). Transient batches ride
+// ode::simulate_batch's warm-factorisation path, with the warm Newton
+// Jacobian stamped ONCE per (model, step size, method) and replayed by every
+// later batch. Per-query latency and the underlying registry / solver
+// counters are surfaced through stats(), so "a warm engine does zero
+// reductions and zero full-order factorisations" is an assertable property
+// (max_factor_dim stays at reduced order), not a claim.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "la/solver_backend.hpp"
+#include "ode/transient.hpp"
+#include "rom/registry.hpp"
+#include "volterra/transfer.hpp"
+
+namespace atmor::rom {
+
+struct ServeStats {
+    long frequency_queries = 0;   ///< sweep queries answered
+    long frequency_points = 0;    ///< grid points evaluated across them
+    long transient_queries = 0;   ///< batch queries answered
+    long transient_waveforms = 0; ///< waveforms integrated across them
+    double busy_seconds = 0.0;    ///< summed per-query wall time
+    double max_query_seconds = 0.0;
+    RegistryStats registry;       ///< model-resolution counters
+    /// Aggregated over every per-model serving backend (frequency +
+    /// transient). max_factor_dim is the load-bearing field: it must stay at
+    /// reduced order while serving.
+    la::SolverStats solver;
+};
+
+class ServeEngine {
+public:
+    explicit ServeEngine(std::shared_ptr<Registry> registry);
+
+    /// Resolve a model through the registry (memory / disk / single-flight
+    /// build). The returned handle stays valid independent of eviction.
+    [[nodiscard]] std::shared_ptr<const ReducedModel> model(const std::string& key,
+                                                            const Registry::Builder& build);
+
+    /// Batched frequency response: the output-mapped H1(grid[p]) of the
+    /// reduced model, in grid order (exactly TransferEvaluator::
+    /// output_h1_sweep of the ROM). Fans out across grid points.
+    [[nodiscard]] std::vector<la::ZMatrix> frequency_response(
+        const std::string& key, const Registry::Builder& build,
+        const std::vector<la::Complex>& grid);
+
+    /// Batched transient queries: one waveform per entry, in input order,
+    /// all sharing the model's warm Newton factorisation (stamped on first
+    /// use for the given step size/method, replayed afterwards).
+    [[nodiscard]] std::vector<ode::TransientResult> transient_batch(
+        const std::string& key, const Registry::Builder& build,
+        const std::vector<ode::InputFn>& inputs, const ode::TransientOptions& opt);
+
+    [[nodiscard]] ServeStats stats() const;
+
+    [[nodiscard]] const std::shared_ptr<Registry>& registry() const { return registry_; }
+
+private:
+    /// Per-model serving state: the evaluator + backends live as long as the
+    /// engine so factorisation caches and warm starts persist across queries
+    /// (even past registry eviction).
+    struct ModelState {
+        std::shared_ptr<const ReducedModel> model;
+        std::shared_ptr<volterra::TransferEvaluator> evaluator;
+        std::shared_ptr<la::SolverBackend> transient_backend;
+        std::mutex warm_mutex;  ///< guards the warm-start map below
+        /// One warm Newton factorisation per transient configuration, so
+        /// clients alternating step sizes/methods each keep their replay.
+        /// Bounded (kMaxWarmStarts in the .cpp) with least-recently-USED
+        /// eviction via the tick, so a hot configuration is never the
+        /// victim of colder ones.
+        std::map<std::tuple<double, double, int>, std::pair<ode::WarmStart, std::uint64_t>>
+            warm;
+        std::uint64_t warm_tick = 0;
+    };
+
+    /// The state for `key`, (re)initialised when the registry hands back a
+    /// different model instance than last time.
+    [[nodiscard]] std::shared_ptr<ModelState> state_for(const std::string& key,
+                                                        const Registry::Builder& build);
+
+    void note_query(double seconds, long freq_points, long waveforms);
+
+    std::shared_ptr<Registry> registry_;
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, std::shared_ptr<ModelState>> states_;
+    ServeStats counters_;  // latency/query fields; registry/solver filled on read
+};
+
+}  // namespace atmor::rom

@@ -43,6 +43,46 @@ CsrMatrix::CsrMatrix(const CooBuilder& coo) : rows_(coo.rows()), cols_(coo.cols(
         row_ptr_[static_cast<std::size_t>(i) + 1] += row_ptr_[static_cast<std::size_t>(i)];
 }
 
+CsrMatrix CsrMatrix::from_parts(int rows, int cols, std::vector<int> row_ptr,
+                                std::vector<int> col_idx, std::vector<double> values) {
+    ATMOR_REQUIRE(rows >= 0 && cols >= 0, "CsrMatrix::from_parts: negative dimension");
+    ATMOR_REQUIRE(row_ptr.size() == static_cast<std::size_t>(rows) + 1,
+                  "CsrMatrix::from_parts: row_ptr length " << row_ptr.size() << " for " << rows
+                                                           << " rows");
+    ATMOR_REQUIRE(row_ptr.front() == 0, "CsrMatrix::from_parts: row_ptr must start at 0");
+    for (int i = 0; i < rows; ++i)
+        ATMOR_REQUIRE(row_ptr[static_cast<std::size_t>(i)] <=
+                          row_ptr[static_cast<std::size_t>(i) + 1],
+                      "CsrMatrix::from_parts: row_ptr not monotone at row " << i);
+    ATMOR_REQUIRE(static_cast<std::size_t>(row_ptr.back()) == col_idx.size() &&
+                      col_idx.size() == values.size(),
+                  "CsrMatrix::from_parts: nnz mismatch (row_ptr says "
+                      << row_ptr.back() << ", col_idx " << col_idx.size() << ", values "
+                      << values.size() << ")");
+    // Column indices must be in range AND strictly increasing within each
+    // row -- the invariant every CooBuilder-built matrix has. Duplicates
+    // would make the sparse LU scatter add contributions twice (silently
+    // wrong factors), so they are a structural error, not a representation.
+    for (int i = 0; i < rows; ++i)
+        for (int k = row_ptr[static_cast<std::size_t>(i)];
+             k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+            const int j = col_idx[static_cast<std::size_t>(k)];
+            ATMOR_REQUIRE(j >= 0 && j < cols, "CsrMatrix::from_parts: column index "
+                                                  << j << " out of " << cols);
+            ATMOR_REQUIRE(k == row_ptr[static_cast<std::size_t>(i)] ||
+                              col_idx[static_cast<std::size_t>(k) - 1] < j,
+                          "CsrMatrix::from_parts: row " << i
+                                                        << " columns not strictly increasing");
+        }
+    CsrMatrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.row_ptr_ = std::move(row_ptr);
+    m.col_idx_ = std::move(col_idx);
+    m.values_ = std::move(values);
+    return m;
+}
+
 CsrMatrix CsrMatrix::from_dense(const la::Matrix& m, double drop_tol) {
     CooBuilder coo(m.rows(), m.cols());
     for (int i = 0; i < m.rows(); ++i)

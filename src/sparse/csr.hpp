@@ -44,6 +44,13 @@ public:
 
     static CsrMatrix from_dense(const la::Matrix& m, double drop_tol = 0.0);
 
+    /// Assemble directly from raw CSR arrays (the rom::io deserialization
+    /// hook). Validates the structure (monotone row_ptr, in-range column
+    /// indices, matching array lengths) and throws PreconditionError on any
+    /// inconsistency, so corrupt on-disk data never produces a matrix.
+    static CsrMatrix from_parts(int rows, int cols, std::vector<int> row_ptr,
+                                std::vector<int> col_idx, std::vector<double> values);
+
     [[nodiscard]] int rows() const { return rows_; }
     [[nodiscard]] int cols() const { return cols_; }
     [[nodiscard]] int nnz() const { return static_cast<int>(values_.size()); }

@@ -55,6 +55,15 @@ public:
     }
     /// CSR stamp of G1 (nullptr for dense-constructed systems).
     [[nodiscard]] const sparse::CsrMatrix* g1_csr() const { return g1_csr_.get(); }
+    /// CSR stamps of B / C (nullptr for dense-constructed systems); together
+    /// with d1_csr_blocks() these are the rom::io serialization hooks that
+    /// let sparse-first systems round-trip without densifying.
+    [[nodiscard]] const sparse::CsrMatrix* b_csr() const { return b_csr_.get(); }
+    [[nodiscard]] const sparse::CsrMatrix* c_csr() const { return c_csr_.get(); }
+    /// Sparse-first D1 stamps (empty for dense systems or D1 = 0).
+    [[nodiscard]] const std::vector<sparse::CsrMatrix>& d1_csr_blocks() const {
+        return d1_csr_;
+    }
 
     [[nodiscard]] la::Vec apply_g1(const la::Vec& x) const { return g1_op_->apply(x); }
     [[nodiscard]] la::ZVec apply_g1(const la::ZVec& x) const { return g1_op_->apply(x); }
