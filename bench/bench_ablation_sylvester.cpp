@@ -13,9 +13,10 @@
 // eigenvalues, where 0 = 0 + 0 makes the Pi equation singular -- a practical
 // caveat of eq. 18 that the paper does not mention; see EXPERIMENTS.md.)
 //
-//   usage: bench_ablation_sylvester [sections_per_block]
+//   usage: bench_ablation_sylvester [sections_per_block] [--threads N] [--json-out=PATH]
 #include <cstdio>
 #include <iostream>
+#include <string>
 
 #include "bench_util.hpp"
 #include "circuits/rf_receiver.hpp"
@@ -28,12 +29,17 @@
 int main(int argc, char** argv) {
     using namespace atmor;
     bench::init_threads(argc, argv);
+    const std::string json_path =
+        bench::json_out_arg(argc, argv, "BENCH_ablation_sylvester.json");
     const int base = bench::arg_int(argc, argv, 1, 8);
 
     std::printf("=== Ablation: eq. 17 coupled vs eq. 18 Sylvester-decoupled ===\n");
     util::Table table({"n", "coupled moments (s)", "Pi solve (s)", "decoupled moments (s)",
                        "max |diff|", "Pi residual"});
     const int k2 = 4;
+    bench::InvariantChecker inv;
+    double max_diff = 0.0, max_pi_residual = 0.0;
+    double coupled_total = 0.0, decoupled_total = 0.0;
     for (int mult : {1, 2, 3}) {
         circuits::RfReceiverOptions copt;
         copt.lna_sections = base * mult;
@@ -58,13 +64,30 @@ int main(int argc, char** argv) {
         for (int j = 0; j < k2; ++j)
             diff = std::max(diff, la::max_abs(coupled[static_cast<std::size_t>(j)] -
                                               decoupled[static_cast<std::size_t>(j)]));
+        const double pi_res = core::pi_residual(sys, pi);
+        inv.require(diff <= 1e-6, "coupled and decoupled moment chains agree (n = " +
+                                      std::to_string(sys.order()) + ")");
+        inv.require(pi_res <= 1e-8, "Pi solves its Sylvester equation (n = " +
+                                        std::to_string(sys.order()) + ")");
+        max_diff = std::max(max_diff, diff);
+        max_pi_residual = std::max(max_pi_residual, pi_res);
+        coupled_total += coupled_s;
+        decoupled_total += dec_s;
         table.add_row({std::to_string(sys.order()), util::Table::num(coupled_s, 3),
                        util::Table::num(pi_s, 3), util::Table::num(dec_s, 3),
-                       util::Table::num(diff, 3),
-                       util::Table::num(core::pi_residual(sys, pi), 3)});
+                       util::Table::num(diff, 3), util::Table::num(pi_res, 3)});
     }
     table.print(std::cout);
     std::printf("\nidentical moments from both paths; decoupling trades a one-time O(n^4)\n"
                 "Pi factorisation for independent (parallelisable) subsystem chains.\n");
-    return 0;
+
+    bench::Json json;
+    json.str("bench", "ablation_sylvester");
+    json.num("max_moment_diff", max_diff);
+    json.num("max_pi_residual", max_pi_residual);
+    json.num("coupled_total_seconds", coupled_total);
+    json.num("decoupled_total_seconds", decoupled_total);
+    json.boolean("paths_agree_ok", inv.ok());
+    if (!bench::write_json(json, json_path)) return 1;
+    return inv.exit_code();
 }

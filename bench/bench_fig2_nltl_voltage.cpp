@@ -6,8 +6,9 @@
 // Expected shape: ROM transient overlays the full model, relative error in
 // the 1e-3..1e-2 band (Fig. 2c).
 //
-//   usage: bench_fig2_nltl_voltage [stages]
+//   usage: bench_fig2_nltl_voltage [stages] [--threads N] [--json-out=PATH]
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
 #include "circuits/nltl.hpp"
@@ -19,6 +20,7 @@
 int main(int argc, char** argv) {
     using namespace atmor;
     bench::init_threads(argc, argv);
+    const std::string json_path = bench::json_out_arg(argc, argv, "BENCH_fig2_nltl_voltage.json");
     const int stages = bench::arg_int(argc, argv, 1, 100);
 
     std::printf("=== Fig. 2: NLTL with voltage source (QLDAE with D1) ===\n");
@@ -54,9 +56,25 @@ int main(int argc, char** argv) {
     const auto y_rom = ode::simulate(result.rom, input, topt);
 
     bench::print_series("Fig. 2(b)/(c): transient responses and relative error", y_full, y_rom);
-    std::printf("\npeak relative error: %.3e (paper Fig. 2c: <= ~1e-2)\n",
-                ode::peak_relative_error(y_full, y_rom));
+    const double peak_err = ode::peak_relative_error(y_full, y_rom);
+    std::printf("\npeak relative error: %.3e (paper Fig. 2c: <= ~1e-2)\n", peak_err);
     std::printf("ODE solve: full %.3f s | ROM %.3f s\n", y_full.solve_seconds,
                 y_rom.solve_seconds);
-    return 0;
+
+    bench::InvariantChecker inv;
+    inv.require(peak_err <= 5e-2, "ROM transient stays in the paper's error band (<= 5e-2)");
+    inv.require(result.order <= 20, "reduced order stays near the paper's 13");
+
+    bench::Json json;
+    json.str("bench", "fig2_nltl_voltage");
+    json.str("circuit", copt.key());
+    json.num("full_order", full.order());
+    json.num("rom_order", result.order);
+    json.num("build_seconds", result.build_seconds);
+    json.num("peak_rel_err", peak_err);
+    json.num("full_solve_seconds", y_full.solve_seconds);
+    json.num("rom_solve_seconds", y_rom.solve_seconds);
+    json.boolean("error_band_ok", inv.ok());
+    if (!bench::write_json(json, json_path)) return 1;
+    return inv.exit_code();
 }

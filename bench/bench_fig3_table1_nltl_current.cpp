@@ -8,8 +8,9 @@
 //   * ODE solve: original 2723 s, proposed 649 s, NORM 1663 s
 //     => proposed ROM ~61% faster to simulate than the NORM ROM.
 //
-//   usage: bench_fig3_table1_nltl_current [stages]
+//   usage: bench_fig3_table1_nltl_current [stages] [--threads N] [--json-out=PATH]
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
 #include "circuits/nltl.hpp"
@@ -22,6 +23,8 @@
 int main(int argc, char** argv) {
     using namespace atmor;
     bench::init_threads(argc, argv);
+    const std::string json_path =
+        bench::json_out_arg(argc, argv, "BENCH_fig3_table1_nltl_current.json");
     const int stages = bench::arg_int(argc, argv, 1, 35);
 
     std::printf("=== Fig. 3 + Table 1 (Sect. 3.2): NLTL with current source ===\n");
@@ -82,5 +85,29 @@ int main(int argc, char** argv) {
     const double saving = 100.0 * (1.0 - y_prop.solve_seconds / y_norm.solve_seconds);
     std::printf("\nsimulation-time saving of proposed ROM vs NORM ROM: %.0f%% (paper: 61%%)\n",
                 saving);
-    return 0;
+
+    const double err_prop = ode::peak_relative_error(y_full, y_prop);
+    const double err_norm = ode::peak_relative_error(y_full, y_norm);
+    bench::InvariantChecker inv;
+    inv.require(err_prop <= 1e-2, "proposed ROM transient error small (<= 1e-2)");
+    inv.require(err_norm <= 1e-2, "NORM ROM transient error small (<= 1e-2)");
+    inv.require(proposed.order < norm.order,
+                "proposed ROM is smaller than NORM at equal moments (Table 1 shape)");
+
+    bench::Json json;
+    json.str("bench", "fig3_table1_nltl_current");
+    json.str("circuit", copt.key());
+    json.num("full_order", full.order());
+    json.num("proposed_order", proposed.order);
+    json.num("norm_order", norm.order);
+    json.num("proposed_build_seconds", proposed.build_seconds);
+    json.num("norm_build_seconds", norm.build_seconds);
+    json.num("full_solve_seconds", y_full.solve_seconds);
+    json.num("proposed_solve_seconds", y_prop.solve_seconds);
+    json.num("norm_solve_seconds", y_norm.solve_seconds);
+    json.num("proposed_peak_rel_err", err_prop);
+    json.num("norm_peak_rel_err", err_norm);
+    json.boolean("table1_shape_ok", inv.ok());
+    if (!bench::write_json(json, json_path)) return 1;
+    return inv.exit_code();
 }

@@ -5,8 +5,9 @@
 //   * 173 voltage/current unknowns; ROM orders 14 (proposed) vs 27 (NORM)
 //   * Arnoldi: proposed 159 s vs NORM 72 s; ODE solve: 1876 / 182 / 381 s.
 //
-//   usage: bench_fig4_table1_rf_receiver [k3]
+//   usage: bench_fig4_table1_rf_receiver [k3] [--threads N] [--json-out=PATH]
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
 #include "circuits/rf_receiver.hpp"
@@ -19,6 +20,8 @@
 int main(int argc, char** argv) {
     using namespace atmor;
     bench::init_threads(argc, argv);
+    const std::string json_path =
+        bench::json_out_arg(argc, argv, "BENCH_fig4_table1_rf_receiver.json");
     const int k3 = bench::arg_int(argc, argv, 1, 1);
 
     std::printf("=== Fig. 4 + Table 1 (Sect. 3.3): MISO RF receiver ===\n");
@@ -71,5 +74,29 @@ int main(int argc, char** argv) {
                 util::Table::num(ode::peak_relative_error(y_full, y_norm), 3), "(both small)"});
     std::printf("\n--- Table 1 (Sect. 3.3 rows) ---\n");
     t1.print(std::cout);
-    return 0;
+
+    const double err_prop = ode::peak_relative_error(y_full, y_prop);
+    const double err_norm = ode::peak_relative_error(y_full, y_norm);
+    bench::InvariantChecker inv;
+    inv.require(err_prop <= 5e-2, "proposed ROM two-tone error small (<= 5e-2)");
+    inv.require(err_norm <= 5e-2, "NORM ROM two-tone error small (<= 5e-2)");
+    inv.require(proposed.order < norm.order,
+                "proposed ROM is smaller than NORM at equal moments (Table 1 shape)");
+
+    bench::Json json;
+    json.str("bench", "fig4_table1_rf_receiver");
+    json.str("circuit", copt.key());
+    json.num("full_order", full.order());
+    json.num("proposed_order", proposed.order);
+    json.num("norm_order", norm.order);
+    json.num("proposed_build_seconds", proposed.build_seconds);
+    json.num("norm_build_seconds", norm.build_seconds);
+    json.num("full_solve_seconds", y_full.solve_seconds);
+    json.num("proposed_solve_seconds", y_prop.solve_seconds);
+    json.num("norm_solve_seconds", y_norm.solve_seconds);
+    json.num("proposed_peak_rel_err", err_prop);
+    json.num("norm_peak_rel_err", err_norm);
+    json.boolean("table1_shape_ok", inv.ok());
+    if (!bench::write_json(json, json_path)) return 1;
+    return inv.exit_code();
 }

@@ -5,8 +5,9 @@
 // Paper shape: the full model and a low-order ROM (order 8) stay in close
 // agreement while the output remains clamped in the 150..300 V band.
 //
-//   usage: bench_fig5_varistor [sections]
+//   usage: bench_fig5_varistor [sections] [--threads N] [--json-out=PATH]
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
 #include "circuits/varistor.hpp"
@@ -18,6 +19,7 @@
 int main(int argc, char** argv) {
     using namespace atmor;
     bench::init_threads(argc, argv);
+    const std::string json_path = bench::json_out_arg(argc, argv, "BENCH_fig5_varistor.json");
     circuits::VaristorOptions copt;
     copt.sections = bench::arg_int(argc, argv, 1, 51);
 
@@ -71,5 +73,28 @@ int main(int argc, char** argv) {
                      util::Table::num(y_full.solve_seconds, 3)});
     std::printf("\n");
     summary.print(std::cout);
-    return 0;
+
+    const double err8 = ode::peak_relative_error(y_full, y_rom8);
+    const double err13 = ode::peak_relative_error(y_full, y_rom13);
+    bench::InvariantChecker inv;
+    inv.require(err8 <= 0.2, "paper-order ROM tracks the clamped surge (<= 0.2)");
+    inv.require(err13 <= 0.1, "richer ROM tracks the clamped surge (<= 0.1)");
+    inv.require(full.has_cubic(), "varistor lifting carries the cubic G3 term");
+
+    bench::Json json;
+    json.str("bench", "fig5_varistor");
+    json.str("circuit", copt.key());
+    json.num("full_order", full.order());
+    json.num("rom8_order", rom8.order);
+    json.num("rom13_order", rom13.order);
+    json.num("rom8_peak_rel_err", err8);
+    json.num("rom13_peak_rel_err", err13);
+    json.num("rom8_build_seconds", rom8.build_seconds);
+    json.num("rom13_build_seconds", rom13.build_seconds);
+    json.num("full_solve_seconds", y_full.solve_seconds);
+    json.num("rom8_solve_seconds", y_rom8.solve_seconds);
+    json.num("rom13_solve_seconds", y_rom13.solve_seconds);
+    json.boolean("surge_tracking_ok", inv.ok());
+    if (!bench::write_json(json, json_path)) return 1;
+    return inv.exit_code();
 }

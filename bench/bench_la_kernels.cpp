@@ -307,15 +307,14 @@ BENCHMARK(BM_SolvePi)->Arg(20)->Arg(40);
 
 int main(int argc, char** argv) {
     atmor::bench::init_threads(argc, argv);
+    const std::string json_path =
+        atmor::bench::json_out_arg(argc, argv, "BENCH_la_kernels.json");
     bool micro = false;
-    std::string json_path = "BENCH_la_kernels.json";
     std::vector<char*> passthrough;
     passthrough.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--micro") == 0)
             micro = true;
-        else if (std::strncmp(argv[i], "--json=", 7) == 0)
-            json_path = argv[i] + 7;
         else
             passthrough.push_back(argv[i]);
     }

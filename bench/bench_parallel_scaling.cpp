@@ -16,7 +16,7 @@
 // Writes BENCH_parallel_scaling.json next to the working directory (same
 // contract as BENCH_la_kernels.json).
 //
-//   usage: bench_parallel_scaling [stages] [--threads N] [--json=PATH]
+//   usage: bench_parallel_scaling [stages] [--threads N] [--json-out=PATH]
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -56,14 +56,9 @@ std::vector<la::Complex> expansion_points8() {
 int main(int argc, char** argv) {
     using namespace atmor;
     const int requested_threads = bench::init_threads(argc, argv);
-    int stages = 1000;
-    std::string json_path = "BENCH_parallel_scaling.json";
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--json=", 7) == 0)
-            json_path = argv[i] + 7;
-        else if (argv[i][0] != '-' && i == 1)
-            stages = std::atoi(argv[i]);
-    }
+    const std::string json_path =
+        bench::json_out_arg(argc, argv, "BENCH_parallel_scaling.json");
+    const int stages = bench::arg_int(argc, argv, 1, 1000);
 
     circuits::NltlOptions copt;
     copt.stages = stages;

@@ -14,7 +14,7 @@
 // Writes BENCH_rom_serve.json and leaves sample.atmor-rom next to it (the CI
 // artifact).
 //
-//   usage: bench_rom_serve [stages] [--threads N] [--json=PATH]
+//   usage: bench_rom_serve [stages] [--threads N] [--json-out=PATH]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -33,14 +33,8 @@
 int main(int argc, char** argv) {
     using namespace atmor;
     bench::init_threads(argc, argv);
-    int stages = 35;
-    std::string json_path = "BENCH_rom_serve.json";
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--json=", 7) == 0)
-            json_path = argv[i] + 7;
-        else if (argv[i][0] != '-' && i == 1)
-            stages = std::atoi(argv[i]);
-    }
+    const std::string json_path = bench::json_out_arg(argc, argv, "BENCH_rom_serve.json");
+    const int stages = bench::arg_int(argc, argv, 1, 35);
 
     std::printf("=== offline/online split: cold build vs warm serve ===\n");
     circuits::NltlOptions copt;

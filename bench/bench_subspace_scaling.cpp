@@ -7,9 +7,10 @@
 // Prints the analytic tuple counts for a sweep of orders plus measured basis
 // sizes and build times on a mid-size transmission line.
 //
-//   usage: bench_subspace_scaling [stages]
+//   usage: bench_subspace_scaling [stages] [--threads N] [--json-out=PATH]
 #include <cstdio>
 #include <iostream>
+#include <string>
 
 #include "bench_util.hpp"
 #include "circuits/nltl.hpp"
@@ -20,10 +21,13 @@
 int main(int argc, char** argv) {
     using namespace atmor;
     bench::init_threads(argc, argv);
+    const std::string json_path =
+        bench::json_out_arg(argc, argv, "BENCH_subspace_scaling.json");
     const int stages = bench::arg_int(argc, argv, 1, 20);
 
     std::printf("=== Remark 1: subspace growth, proposed vs NORM ===\n");
 
+    bench::InvariantChecker inv;
     util::Table counts({"k (= k1 = k2 = k3)", "proposed tuples", "NORM tuples (box)",
                         "NORM tuples (simplex)"});
     for (int k = 1; k <= 8; ++k) {
@@ -37,8 +41,12 @@ int main(int argc, char** argv) {
         box.q3 = k;
         core::NormOptions simplex = box;
         simplex.moment_set = core::NormOptions::MomentSet::simplex;
-        counts.add_row({std::to_string(k), std::to_string(core::atmor_moment_tuple_count(at)),
-                        std::to_string(core::norm_moment_tuple_count(box)),
+        const int prop_tuples = core::atmor_moment_tuple_count(at);
+        const int norm_tuples = core::norm_moment_tuple_count(box);
+        inv.require(k < 2 || norm_tuples > prop_tuples,
+                    "NORM tuple count exceeds proposed at k = " + std::to_string(k));
+        counts.add_row({std::to_string(k), std::to_string(prop_tuples),
+                        std::to_string(norm_tuples),
                         std::to_string(core::norm_moment_tuple_count(simplex))});
     }
     counts.print(std::cout);
@@ -50,6 +58,8 @@ int main(int argc, char** argv) {
     std::printf("\nmeasured on NLTL with n = %d:\n", sys.order());
     util::Table measured({"k", "proposed order", "proposed build (s)", "NORM order",
                           "NORM build (s)"});
+    int last_proposed_order = 0, last_norm_order = 0;
+    double proposed_build_total = 0.0, norm_build_total = 0.0;
     for (int k = 1; k <= 4; ++k) {
         core::AtMorOptions at;
         at.k1 = k;
@@ -63,6 +73,16 @@ int main(int argc, char** argv) {
         box.q3 = k;
         box.sigma0 = la::Complex(1.0, 0.0);
         const auto res_norm = core::reduce_norm(sys, box);
+        // Remark 1's measured shape: the proposed basis stays linear in k
+        // (<= 3k raw directions) and never exceeds the NORM basis.
+        inv.require(res_at.order <= 3 * k,
+                    "proposed order stays linear in k at k = " + std::to_string(k));
+        inv.require(k < 2 || res_norm.order >= res_at.order,
+                    "NORM basis at least as large at k = " + std::to_string(k));
+        last_proposed_order = res_at.order;
+        last_norm_order = res_norm.order;
+        proposed_build_total += res_at.build_seconds;
+        norm_build_total += res_norm.build_seconds;
         measured.add_row({std::to_string(k), std::to_string(res_at.order),
                           util::Table::num(res_at.build_seconds, 3),
                           std::to_string(res_norm.order),
@@ -71,5 +91,15 @@ int main(int argc, char** argv) {
     measured.print(std::cout);
     std::printf("\nshape check: proposed basis is linear in k; NORM basis grows "
                 "combinatorially, while NORM's per-vector cost stays lower (Table 1).\n");
-    return 0;
+
+    bench::Json json;
+    json.str("bench", "subspace_scaling");
+    json.num("full_order", sys.order());
+    json.num("proposed_order_at_k4", last_proposed_order);
+    json.num("norm_order_at_k4", last_norm_order);
+    json.num("proposed_build_total_seconds", proposed_build_total);
+    json.num("norm_build_total_seconds", norm_build_total);
+    json.boolean("remark1_shape_ok", inv.ok());
+    if (!bench::write_json(json, json_path)) return 1;
+    return inv.exit_code();
 }

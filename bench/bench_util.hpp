@@ -1,11 +1,19 @@
 // Shared helpers for the figure/table reproduction benches.
+//
+// Every bench accepts the same flags -- `--threads N` (init_threads) and
+// `--json-out=PATH` / legacy `--json=PATH` (json_out_arg) -- writes its
+// machine-readable record through Json/write_json, and funnels its pass/fail
+// conditions through InvariantChecker so a violated invariant is a nonzero
+// exit code CI can gate on, never just a line in a table.
 #pragma once
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -64,6 +72,91 @@ inline int init_threads(int& argc, char** argv) {
     util::ThreadPool::set_global_threads(threads);
     return threads;
 }
+
+/// Shared JSON-output-path flag: consumes `--json-out=PATH`, `--json-out
+/// PATH` or the legacy `--json=PATH` spelling from argv (same contract as
+/// init_threads: call before positional parsing) and returns the chosen
+/// path, else `fallback`.
+inline std::string json_out_arg(int& argc, char** argv, std::string fallback) {
+    std::string path = std::move(fallback);
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--json-out=", 11) == 0) {
+            path = argv[i] + 11;
+        } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            path = argv[i] + 7;
+        } else if (std::strcmp(argv[i], "--json-out") == 0) {
+            if (i + 1 < argc) path = argv[++i];
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    return path;
+}
+
+/// Minimal JSON object builder for the flat-ish BENCH_*.json artifacts the
+/// perf gate (scripts/bench_compare.py) diffs. Insertion-ordered; `raw`
+/// takes pre-serialised JSON for nested arrays/objects.
+class Json {
+public:
+    void num(const std::string& key, double v) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.9g", v);
+        fields_.emplace_back(key, buf);
+    }
+    void num(const std::string& key, long v) { fields_.emplace_back(key, std::to_string(v)); }
+    void num(const std::string& key, int v) { fields_.emplace_back(key, std::to_string(v)); }
+    void boolean(const std::string& key, bool v) {
+        fields_.emplace_back(key, v ? "true" : "false");
+    }
+    void str(const std::string& key, const std::string& v) {
+        fields_.emplace_back(key, "\"" + v + "\"");
+    }
+    void raw(const std::string& key, const std::string& json) { fields_.emplace_back(key, json); }
+
+    [[nodiscard]] std::string dump() const {
+        std::ostringstream out;
+        out << "{\n";
+        for (std::size_t f = 0; f < fields_.size(); ++f)
+            out << "  \"" << fields_[f].first << "\": " << fields_[f].second
+                << (f + 1 < fields_.size() ? ",\n" : "\n");
+        out << "}\n";
+        return out.str();
+    }
+
+private:
+    std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Write a bench JSON artifact; a failed write is itself a bench failure.
+inline bool write_json(const Json& json, const std::string& path) {
+    std::ofstream out(path);
+    if (out) out << json.dump();
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    std::printf("\nwrote %s\n", path.c_str());
+    return true;
+}
+
+/// Collects a bench's pass/fail conditions; exit_code() is what main
+/// returns, so any violated invariant fails the bench (and CI) visibly.
+class InvariantChecker {
+public:
+    void require(bool cond, const std::string& what) {
+        if (cond) return;
+        ok_ = false;
+        std::fprintf(stderr, "INVARIANT VIOLATED: %s\n", what.c_str());
+    }
+    [[nodiscard]] bool ok() const { return ok_; }
+    [[nodiscard]] int exit_code() const { return ok_ ? 0 : 1; }
+
+private:
+    bool ok_ = true;
+};
 
 /// Print two transient traces plus the pointwise relative error, downsampled
 /// to roughly `max_rows` rows -- the series the paper's figures plot.

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Performance-regression gate: diff fresh BENCH_*.json against baselines.
+
+For every BENCH_*.json in the baseline directory, load the same-named file
+from the fresh directory and compare leaf by leaf:
+
+* boolean invariants (keys ending in ``_ok``) must not flip true -> false:
+  an invariant regression FAILS immediately.
+* time-like fields (keys ending in ``_seconds``) are compared as
+  fresh/baseline ratios, NORMALISED by the per-file median ratio. CI runners
+  and dev machines differ in raw speed, so a uniformly slower machine shifts
+  every ratio together; only a field whose ratio exceeds the median by the
+  --fail-ratio factor (default 2.0) is a genuine relative regression and
+  FAILS. Fields past --warn-ratio (default 1.3) WARN without failing, which
+  keeps the gate non-blocking on scheduler noise.
+* error/accuracy fields (keys ending in ``_err`` / ``_error``) are gated
+  absolutely at --fail-ratio (an accuracy regression is machine-independent).
+* everything else (orders, counters, ratios) is informational.
+
+A missing fresh file or a fresh file missing baseline keys FAILS (a bench
+that silently stopped producing its record is itself a regression).
+
+Usage:
+    bench_compare.py --baseline bench/baselines --fresh build
+    bench_compare.py --baseline bench/baselines --fresh build --update
+"""
+
+import argparse
+import json
+import math
+import pathlib
+import re
+import shutil
+import sys
+
+
+def leaves(node, prefix=""):
+    """Flatten nested dicts/lists to (dotted-key, value) pairs."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from leaves(value, f"{prefix}.{key}" if prefix else key)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            yield from leaves(value, f"{prefix}[{index}]")
+    else:
+        yield prefix, node
+
+
+def base_name(key):
+    """Dotted key without trailing list indices: 'a.seconds[2]' -> 'a.seconds'."""
+    return re.sub(r"(\[\d+\])+$", "", key)
+
+
+def is_time_key(key):
+    name = base_name(key)
+    return name.endswith("_seconds") or name.endswith("_s") or name.endswith("seconds")
+
+
+def is_error_key(key):
+    name = base_name(key)
+    return name.endswith("_err") or name.endswith("_error")
+
+
+def is_invariant_key(key):
+    return base_name(key).endswith("_ok")
+
+
+def compare_file(base_path, fresh_path, fail_ratio, warn_ratio, report):
+    base = json.loads(base_path.read_text())
+    fresh = json.loads(fresh_path.read_text())
+    base_leaves = dict(leaves(base))
+    fresh_leaves = dict(leaves(fresh))
+
+    failures, warnings = [], []
+
+    for key in base_leaves:
+        if key not in fresh_leaves:
+            failures.append(f"{key}: present in baseline, missing from fresh run")
+
+    # Per-file machine-speed calibration: the median fresh/base ratio over
+    # every time field. 1.0 when there are no usable time fields.
+    time_ratios = []
+    for key, base_value in base_leaves.items():
+        if not is_time_key(key) or key not in fresh_leaves:
+            continue
+        fresh_value = fresh_leaves[key]
+        if isinstance(base_value, (int, float)) and base_value > 0 and \
+                isinstance(fresh_value, (int, float)):
+            time_ratios.append(fresh_value / base_value)
+    scale = sorted(time_ratios)[len(time_ratios) // 2] if time_ratios else 1.0
+    report.append(f"    machine-speed calibration: median time ratio {scale:.2f}x")
+
+    for key, base_value in sorted(base_leaves.items()):
+        if key not in fresh_leaves:
+            continue
+        fresh_value = fresh_leaves[key]
+
+        if is_invariant_key(key):
+            if base_value is True and fresh_value is not True:
+                failures.append(f"{key}: invariant flipped true -> {fresh_value}")
+            continue
+
+        if not isinstance(base_value, (int, float)) or isinstance(base_value, bool):
+            continue
+        if not isinstance(fresh_value, (int, float)) or isinstance(fresh_value, bool):
+            failures.append(f"{key}: baseline is numeric, fresh is {fresh_value!r}")
+            continue
+
+        if is_time_key(key):
+            if base_value <= 0:
+                continue
+            ratio = fresh_value / base_value
+            normalised = ratio / scale if scale > 0 else ratio
+            line = f"{key}: {base_value:.4g}s -> {fresh_value:.4g}s " \
+                   f"({ratio:.2f}x raw, {normalised:.2f}x calibrated)"
+            if normalised > fail_ratio:
+                failures.append(line)
+            elif normalised > warn_ratio:
+                warnings.append(line)
+        elif is_error_key(key):
+            floor = 1e-300
+            if fresh_value > max(base_value, floor) * fail_ratio and \
+                    not math.isclose(fresh_value, base_value, abs_tol=1e-12):
+                failures.append(
+                    f"{key}: accuracy regressed {base_value:.4g} -> {fresh_value:.4g}")
+    return failures, warnings
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, type=pathlib.Path,
+                        help="directory of committed BENCH_*.json baselines")
+    parser.add_argument("--fresh", required=True, type=pathlib.Path,
+                        help="directory holding freshly produced BENCH_*.json")
+    parser.add_argument("--fail-ratio", type=float, default=2.0,
+                        help="calibrated slowdown that fails the gate (default 2.0)")
+    parser.add_argument("--warn-ratio", type=float, default=1.3,
+                        help="calibrated slowdown that warns (default 1.3)")
+    parser.add_argument("--update", action="store_true",
+                        help="copy fresh files over the baselines instead of comparing")
+    args = parser.parse_args()
+
+    baselines = sorted(args.baseline.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"error: no BENCH_*.json baselines under {args.baseline}", file=sys.stderr)
+        return 2
+
+    if args.update:
+        for base_path in baselines:
+            fresh_path = args.fresh / base_path.name
+            if fresh_path.exists():
+                shutil.copyfile(fresh_path, base_path)
+                print(f"updated {base_path} from {fresh_path}")
+            else:
+                print(f"warning: no fresh {base_path.name} to update from", file=sys.stderr)
+        return 0
+
+    total_failures = total_warnings = 0
+    for base_path in baselines:
+        fresh_path = args.fresh / base_path.name
+        report = []
+        print(f"== {base_path.name} ==")
+        if not fresh_path.exists():
+            print(f"  FAIL: fresh run produced no {fresh_path}")
+            total_failures += 1
+            continue
+        failures, warnings = compare_file(base_path, fresh_path, args.fail_ratio,
+                                          args.warn_ratio, report)
+        for line in report:
+            print(line)
+        for line in warnings:
+            print(f"  WARN: {line}")
+        for line in failures:
+            print(f"  FAIL: {line}")
+        if not failures and not warnings:
+            print("  ok")
+        total_failures += len(failures)
+        total_warnings += len(warnings)
+
+    print(f"\nperf gate: {total_failures} failure(s), {total_warnings} warning(s) "
+          f"across {len(baselines)} bench file(s)")
+    return 1 if total_failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,27 +1,14 @@
 // Shared formatting for the circuits::*Options::key() strings.
 //
-// A key must be STABLE (the same options always produce the same string --
-// it feeds rom::Registry hashing and on-disk artifact names) and FAITHFUL
-// (distinct options produce distinct strings). Doubles therefore print with
-// the shortest representation that round-trips exactly, falling back to 17
-// significant digits.
+// The implementation moved to util/key_format.hpp so non-circuit layers
+// (mor::AdaptiveOptions::key()) can share it; this header keeps the
+// circuits::detail spelling the builders use.
 #pragma once
 
-#include <cstdio>
-#include <cstdlib>
-#include <string>
+#include "util/key_format.hpp"
 
 namespace atmor::circuits::detail {
 
-inline std::string key_num(double v) {
-    char buf[32];
-    for (int precision = 6; precision <= 17; ++precision) {
-        std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
-        if (std::strtod(buf, nullptr) == v) break;
-    }
-    return buf;
-}
-
-inline std::string key_num(int v) { return std::to_string(v); }
+using atmor::util::key_num;
 
 }  // namespace atmor::circuits::detail

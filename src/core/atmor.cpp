@@ -1,5 +1,7 @@
 #include "core/atmor.hpp"
 
+#include <algorithm>
+
 #include "core/projection.hpp"
 #include "la/orth.hpp"
 #include "util/check.hpp"
@@ -8,11 +10,31 @@
 
 namespace atmor::core {
 
+namespace {
+
+/// Moment counts for expansion point p: the per-point override when given,
+/// else the uniform k1/k2/k3.
+rom::PointOrder order_for(const AtMorOptions& opt, std::size_t p) {
+    if (!opt.per_point_orders.empty()) return opt.per_point_orders[p];
+    return rom::PointOrder{opt.k1, opt.k2, opt.k3};
+}
+
+}  // namespace
+
 MorResult reduce_associated(const volterra::AssociatedTransform& at, const AtMorOptions& opt) {
-    ATMOR_REQUIRE(opt.k1 >= 1, "reduce_associated: need k1 >= 1");
-    ATMOR_REQUIRE(opt.k2 >= 0 && opt.k3 >= 0, "reduce_associated: negative moment count");
     ATMOR_REQUIRE(!opt.expansion_points.empty(),
                   "reduce_associated: need at least one expansion point");
+    ATMOR_REQUIRE(opt.per_point_orders.empty() ||
+                      opt.per_point_orders.size() == opt.expansion_points.size(),
+                  "reduce_associated: per_point_orders must be empty or have one entry per "
+                  "expansion point ("
+                      << opt.per_point_orders.size() << " orders for "
+                      << opt.expansion_points.size() << " points)");
+    for (std::size_t p = 0; p < opt.expansion_points.size(); ++p) {
+        const rom::PointOrder po = order_for(opt, p);
+        ATMOR_REQUIRE(po.k1 >= 1, "reduce_associated: need k1 >= 1 at every expansion point");
+        ATMOR_REQUIRE(po.k2 >= 0 && po.k3 >= 0, "reduce_associated: negative moment count");
+    }
     const volterra::Qldae& sys = at.system();
 
     // Guard against (near-)singular expansion points. Exactly-lifted
@@ -23,7 +45,11 @@ MorResult reduce_associated(const volterra::AssociatedTransform& at, const AtMor
     // anyway, but a k1-only reduction of a large sparse system must not pay
     // an O(n^3) factorisation here, so it defers to the solver backend's
     // singularity detection at (sigma0 I - G1) factor time.
-    const bool needs_kron_solvers = opt.k2 > 0 || opt.k3 > 0;
+    bool needs_kron_solvers = false;
+    for (std::size_t p = 0; p < opt.expansion_points.size(); ++p) {
+        const rom::PointOrder po = order_for(opt, p);
+        needs_kron_solvers = needs_kron_solvers || po.k2 > 0 || po.k3 > 0;
+    }
     if (needs_kron_solvers || sys.order() <= kEigenGuardMaxOrder) {
         const la::ZVec eigs = at.schur_g1()->eigenvalues();
         double scale = 1.0;
@@ -92,10 +118,11 @@ MorResult reduce_associated(const volterra::AssociatedTransform& at, const AtMor
     const std::vector<PointMoments> moments =
         util::ThreadPool::global().parallel_map<PointMoments>(0, npoints, [&](long p) {
             const la::Complex sigma0 = opt.expansion_points[static_cast<std::size_t>(p)];
+            const rom::PointOrder po = order_for(opt, static_cast<std::size_t>(p));
             PointMoments mm;
-            mm.h1 = at.h1_moments(opt.k1, sigma0);
-            if (opt.k2 > 0) mm.a2h2 = at.a2h2_moments(opt.k2, sigma0);
-            if (opt.k3 > 0) mm.a3h3 = at.a3h3_moments(opt.k3, sigma0);
+            mm.h1 = at.h1_moments(po.k1, sigma0);
+            if (po.k2 > 0) mm.a2h2 = at.a2h2_moments(po.k2, sigma0);
+            if (po.k3 > 0) mm.a3h3 = at.a3h3_moments(po.k3, sigma0);
             return mm;
         });
 
@@ -130,11 +157,21 @@ MorResult reduce_associated(const volterra::AssociatedTransform& at, const AtMor
     const la::Matrix v = basis.matrix();
     MorResult result{galerkin_reduce(sys, v), v, 0.0, raw, v.cols(), {}};
     result.build_seconds = timer.seconds();
-    result.provenance.method = (opt.k2 == 0 && opt.k3 == 0) ? "linear" : "atmor";
+    // Provenance k1/k2/k3 are the per-point maxima when orders vary; the
+    // exact per-point record rides in point_orders.
+    rom::PointOrder kmax{0, 0, 0};
+    for (std::size_t p = 0; p < opt.expansion_points.size(); ++p) {
+        const rom::PointOrder po = order_for(opt, p);
+        kmax.k1 = std::max(kmax.k1, po.k1);
+        kmax.k2 = std::max(kmax.k2, po.k2);
+        kmax.k3 = std::max(kmax.k3, po.k3);
+    }
+    result.provenance.method = needs_kron_solvers ? "atmor" : "linear";
     result.provenance.expansion_points = opt.expansion_points;
-    result.provenance.k1 = opt.k1;
-    result.provenance.k2 = opt.k2;
-    result.provenance.k3 = opt.k3;
+    result.provenance.k1 = kmax.k1;
+    result.provenance.k2 = kmax.k2;
+    result.provenance.k3 = kmax.k3;
+    result.provenance.point_orders = opt.per_point_orders;
     result.provenance.full_order = sys.order();
     result.provenance.basis_hash = rom::basis_hash(v);
     return result;

@@ -18,6 +18,11 @@
 #include "volterra/associated.hpp"
 #include "volterra/qldae.hpp"
 
+namespace atmor::mor {
+struct AdaptiveOptions;
+struct AdaptiveResult;
+}  // namespace atmor::mor
+
 namespace atmor::core {
 
 /// Largest order for which the MOR front-ends run the dense eigenvalue sweep
@@ -39,6 +44,11 @@ struct AtMorOptions {
     /// contribute Re/Im pairs (Remark 3: multipoint expansion is
     /// straightforward in single-s form).
     std::vector<la::Complex> expansion_points = kDcExpansionPoints;
+    /// Optional per-expansion-point moment counts. When non-empty it must
+    /// have exactly one entry per expansion point and OVERRIDES k1/k2/k3 for
+    /// that point -- the hook the adaptive front-end uses to trim orders
+    /// point by point instead of enriching every point uniformly.
+    std::vector<rom::PointOrder> per_point_orders;
     /// Additionally match `markov_moments` Markov parameters of H1 (the
     /// s = infinity expansion K_p(G1, b) the paper's Sec. 2.3 contrasts with
     /// the K_p(G1^{-1}, G1^{-1} b) low-pass expansion). Improves the early
@@ -69,5 +79,12 @@ MorResult reduce_associated(const volterra::AssociatedTransform& at, const AtMor
 MorResult reduce_linear(const volterra::Qldae& sys, int k1,
                         const std::vector<la::Complex>& expansion_points = kDcExpansionPoints,
                         double deflation_tol = 1e-8);
+
+/// Adaptive multi-point expansion: greedy a-posteriori-driven point insertion
+/// plus per-point order trimming until mor::AdaptiveOptions::tol is met over
+/// the target band. Declared here so the reduce_* front-ends live side by
+/// side; implemented in mor/adaptive.cpp (include mor/adaptive.hpp for the
+/// option/result types).
+mor::AdaptiveResult reduce_adaptive(const volterra::Qldae& sys, const mor::AdaptiveOptions& opt);
 
 }  // namespace atmor::core

@@ -1,0 +1,247 @@
+#include "mor/error_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "la/vector_ops.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace atmor::mor {
+
+using la::Complex;
+using la::ZMatrix;
+using la::ZVec;
+
+namespace {
+
+/// Output map Y = C X column by column (C real, X complex).
+ZMatrix map_output(const la::Matrix& c, const ZMatrix& x) {
+    ZMatrix y(c.rows(), x.cols());
+    for (int col = 0; col < x.cols(); ++col) y.set_col(col, la::matvec_rc(c, x.col(col)));
+    return y;
+}
+
+}  // namespace
+
+namespace {
+
+/// Diagonal second-order forcing of the harmonic-probing formula (the
+/// bracket of TransferEvaluator::h2_col at s1 = s2): column (i*m + j) is
+/// 0.5 * (G2(x_i, x_j) + G2(x_j, x_i) + D1_i x_j + D1_j x_i) for the given
+/// first-order states X (n x m). Matvecs/tensor applies only.
+ZMatrix diag_h2_forcing(const volterra::Qldae& sys, const ZMatrix& x1) {
+    const int n = sys.order(), m = sys.inputs();
+    ZMatrix g(n, m * m);
+    for (int i = 0; i < m; ++i) {
+        const ZVec xi = x1.col(i);
+        for (int j = 0; j < m; ++j) {
+            const ZVec xj = x1.col(j);
+            ZVec gij(static_cast<std::size_t>(n), Complex(0));
+            if (sys.has_quadratic()) {
+                la::axpy(Complex(1.0), sys.g2().apply(xi, xj), gij);
+                la::axpy(Complex(1.0), sys.g2().apply(xj, xi), gij);
+            }
+            if (sys.has_bilinear()) {
+                la::axpy(Complex(1.0), sys.apply_d1(i, xj), gij);
+                la::axpy(Complex(1.0), sys.apply_d1(j, xi), gij);
+            }
+            la::scale(Complex(0.5), gij);
+            g.set_col(i * m + j, gij);
+        }
+    }
+    return g;
+}
+
+}  // namespace
+
+ErrorEstimator::ErrorEstimator(volterra::Qldae full, std::shared_ptr<la::SolverBackend> backend,
+                               EstimateMode mode, bool second_order)
+    : full_(std::move(full)),
+      backend_(std::move(backend)),
+      mode_(mode),
+      second_order_(second_order) {
+    if (!backend_) backend_ = la::make_resolvent_backend(full_.g1_op());
+    double s = 0.0;
+    for (int i = 0; i < full_.inputs(); ++i) {
+        const la::Vec b = full_.b_col(i);
+        for (double v : b) s += v * v;
+    }
+    b_norm_ = std::sqrt(s);
+    ATMOR_CHECK(b_norm_ > 0.0, "ErrorEstimator: zero input matrix B");
+}
+
+ZMatrix ErrorEstimator::residual(const rom::ReducedModel& m, Complex s) const {
+    ATMOR_REQUIRE(m.v.rows() == full_.order(),
+                  "ErrorEstimator: model basis has " << m.v.rows() << " rows, system order is "
+                                                     << full_.order());
+    const int n = full_.order(), q = m.order, mcols = full_.inputs();
+    // Reduced response xhat(s) = (sI - Ghat1)^{-1} Bhat: a q x q dense solve.
+    ZMatrix bhat(q, mcols);
+    for (int i = 0; i < mcols; ++i) bhat.set_col(i, la::complexify(m.rom.b_col(i)));
+    const ZMatrix xhat = rom_backend_.solve_shifted(m.rom.g1_op(), s, bhat);
+    // Full-order residual R(s) = B - (sI - G1) V xhat: matvecs only.
+    ZMatrix r(n, mcols);
+    for (int i = 0; i < mcols; ++i) {
+        const ZVec x = la::matvec_rc(m.v, xhat.col(i));
+        ZVec ri = la::complexify(full_.b_col(i));
+        la::axpy(-s, x, ri);
+        la::axpy(Complex(1.0), full_.apply_g1(x), ri);
+        r.set_col(i, ri);
+    }
+    return r;
+}
+
+double ErrorEstimator::reference_norm(Complex s) const {
+    const auto key = std::make_pair(s.real(), s.imag());
+    {
+        std::lock_guard<std::mutex> lock(ref_mutex_);
+        auto it = ref_norms_.find(key);
+        if (it != ref_norms_.end()) return it->second;
+    }
+    const int n = full_.order(), mcols = full_.inputs();
+    ZMatrix b(n, mcols);
+    for (int i = 0; i < mcols; ++i) b.set_col(i, la::complexify(full_.b_col(i)));
+    const double ref =
+        la::frobenius_norm(map_output(full_.c(), backend_->solve_shifted(full_.g1_op(), s, b)));
+    std::lock_guard<std::mutex> lock(ref_mutex_);
+    ref_norms_.emplace(key, ref);
+    return ref;
+}
+
+double ErrorEstimator::h1_error(const rom::ReducedModel& m, Complex s) const {
+    const ZMatrix r = residual(m, s);
+    if (mode_ == EstimateMode::residual) return la::frobenius_norm(r) / b_norm_;
+    const ZMatrix err =
+        map_output(full_.c(), backend_->solve_shifted(full_.g1_op(), s, r));
+    const double ref = reference_norm(s);
+    const double abs_err = la::frobenius_norm(err);
+    return ref > 0.0 ? abs_err / ref : abs_err;
+}
+
+double ErrorEstimator::h2_error(const rom::ReducedModel& m, Complex s) const {
+    if (!full_.has_quadratic() && !full_.has_bilinear()) return 0.0;
+    const int q = m.order, mcols = full_.inputs();
+    // Reduced diagonal kernel: xhat2(s) = (2sI - Ghat1)^{-1} ghat(xhat1(s)).
+    ZMatrix bhat(q, mcols);
+    for (int i = 0; i < mcols; ++i) bhat.set_col(i, la::complexify(m.rom.b_col(i)));
+    const ZMatrix xhat1 = rom_backend_.solve_shifted(m.rom.g1_op(), s, bhat);
+    const ZMatrix xhat2 = rom_backend_.solve_shifted(m.rom.g1_op(), 2.0 * s,
+                                                     diag_h2_forcing(m.rom, xhat1));
+
+    if (mode_ == EstimateMode::residual) {
+        // Lift both reduced states and leave the full-order second-order
+        // defect un-solved: matvecs only, relative to the forcing norm.
+        const int n = full_.order();
+        ZMatrix x1l(n, xhat1.cols()), x2l(n, xhat2.cols());
+        for (int c = 0; c < xhat1.cols(); ++c) x1l.set_col(c, la::matvec_rc(m.v, xhat1.col(c)));
+        for (int c = 0; c < xhat2.cols(); ++c) x2l.set_col(c, la::matvec_rc(m.v, xhat2.col(c)));
+        const ZMatrix g = diag_h2_forcing(full_, x1l);
+        ZMatrix r = g;
+        for (int c = 0; c < r.cols(); ++c) {
+            const ZVec xc = x2l.col(c);
+            ZVec rc = r.col(c);
+            la::axpy(-2.0 * s, xc, rc);
+            la::axpy(Complex(1.0), full_.apply_g1(xc), rc);
+            r.set_col(c, rc);
+        }
+        const double ref = la::frobenius_norm(g);
+        return ref > 0.0 ? la::frobenius_norm(r) / ref : 0.0;
+    }
+
+    // Corrected mode: the exact full-order C H2(s,s), memoised (it is
+    // model-independent), against the reduced output.
+    const auto key = std::make_pair(s.real(), s.imag());
+    ZMatrix y2_full;
+    bool have = false;
+    {
+        std::lock_guard<std::mutex> lock(ref_mutex_);
+        auto it = full_y2_.find(key);
+        if (it != full_y2_.end()) {
+            y2_full = it->second;
+            have = true;
+        }
+    }
+    if (!have) {
+        const int n = full_.order();
+        ZMatrix b(n, mcols);
+        for (int i = 0; i < mcols; ++i) b.set_col(i, la::complexify(full_.b_col(i)));
+        const ZMatrix x1 = backend_->solve_shifted(full_.g1_op(), s, b);
+        const ZMatrix x2 =
+            backend_->solve_shifted(full_.g1_op(), 2.0 * s, diag_h2_forcing(full_, x1));
+        y2_full = map_output(full_.c(), x2);
+        std::lock_guard<std::mutex> lock(ref_mutex_);
+        full_y2_.emplace(key, y2_full);
+    }
+    const ZMatrix y2_rom = map_output(m.rom.c(), xhat2);
+    const double ref = la::frobenius_norm(y2_full);
+    const double err = la::frobenius_norm(y2_full - y2_rom);
+    return ref > 0.0 ? err / ref : err;
+}
+
+double ErrorEstimator::estimate(const rom::ReducedModel& m, Complex s) const {
+    double e = h1_error(m, s);
+    if (second_order_) e = std::max(e, h2_error(m, s));
+    return e;
+}
+
+double ErrorEstimator::true_h1_error(const rom::ReducedModel& m, Complex s) const {
+    const int n = full_.order(), mcols = full_.inputs();
+    ZMatrix b(n, mcols);
+    for (int i = 0; i < mcols; ++i) b.set_col(i, la::complexify(full_.b_col(i)));
+    const ZMatrix y_full =
+        map_output(full_.c(), backend_->solve_shifted(full_.g1_op(), s, b));
+    ZMatrix bhat(m.order, mcols);
+    for (int i = 0; i < mcols; ++i) bhat.set_col(i, la::complexify(m.rom.b_col(i)));
+    const ZMatrix y_rom = map_output(
+        m.rom.c(), rom_backend_.solve_shifted(m.rom.g1_op(), s, bhat));
+    const double ref = la::frobenius_norm(y_full);
+    const double err = la::frobenius_norm(y_full - y_rom);
+    return ref > 0.0 ? err / ref : err;
+}
+
+BandError ErrorEstimator::band_error(const rom::ReducedModel& m,
+                                     const std::vector<Complex>& grid) const {
+    ATMOR_REQUIRE(!grid.empty(), "ErrorEstimator::band_error: empty grid");
+    // Fan out across grid points; each worker replays the shared factor
+    // cache. The fold below runs serially in index order, so max/rms (and
+    // the argmax the greedy loop refines at) are thread-count independent.
+    const std::vector<std::pair<double, double>> errs =
+        util::ThreadPool::global().parallel_map<std::pair<double, double>>(
+            0, static_cast<long>(grid.size()), [&](long g) {
+                const Complex s = grid[static_cast<std::size_t>(g)];
+                return std::make_pair(h1_error(m, s),
+                                      second_order_ ? h2_error(m, s) : 0.0);
+            });
+    BandError out;
+    double sum_sq = 0.0;
+    for (std::size_t g = 0; g < errs.size(); ++g) {
+        const double e = std::max(errs[g].first, errs[g].second);
+        if (e > out.max_rel) {
+            out.max_rel = e;
+            out.worst_index = static_cast<int>(g);
+            out.worst_h1 = errs[g].first;
+            out.worst_h2 = errs[g].second;
+        }
+        sum_sq += e * e;
+    }
+    out.rms_rel = std::sqrt(sum_sq / static_cast<double>(errs.size()));
+    return out;
+}
+
+std::vector<Complex> ErrorEstimator::jomega_grid(double omega_min, double omega_max, int points) {
+    ATMOR_REQUIRE(points >= 1, "jomega_grid: need at least one point");
+    ATMOR_REQUIRE(omega_max >= omega_min, "jomega_grid: omega_max < omega_min");
+    std::vector<Complex> grid;
+    grid.reserve(static_cast<std::size_t>(points));
+    if (points == 1) {
+        grid.emplace_back(0.0, 0.5 * (omega_min + omega_max));
+        return grid;
+    }
+    const double step = (omega_max - omega_min) / static_cast<double>(points - 1);
+    for (int g = 0; g < points; ++g) grid.emplace_back(0.0, omega_min + step * g);
+    return grid;
+}
+
+}  // namespace atmor::mor

@@ -148,6 +148,17 @@ void Writer::model(const ReducedModel& m) {
     i32(m.provenance.k3);
     i32(m.provenance.full_order);
     u64(m.provenance.basis_hash);
+    // v2 accuracy block.
+    u64(m.provenance.point_orders.size());
+    for (const PointOrder& po : m.provenance.point_orders) {
+        i32(po.k1);
+        i32(po.k2);
+        i32(po.k3);
+    }
+    f64(m.provenance.tol);
+    f64(m.provenance.band_min);
+    f64(m.provenance.band_max);
+    f64(m.provenance.estimated_error);
     f64(m.build_seconds);
     i32(m.raw_vectors);
     i32(m.order);
@@ -327,6 +338,21 @@ ReducedModel Reader::model() {
     prov.k3 = i32();
     prov.full_order = i32();
     prov.basis_hash = u64();
+    if (version_ >= 2) {
+        const std::size_t norders = count(u64(), 3 * sizeof(std::int32_t));
+        prov.point_orders.reserve(norders);
+        for (std::size_t p = 0; p < norders; ++p) {
+            PointOrder po;
+            po.k1 = i32();
+            po.k2 = i32();
+            po.k3 = i32();
+            prov.point_orders.push_back(po);
+        }
+        prov.tol = f64();
+        prov.band_min = f64();
+        prov.band_max = f64();
+        prov.estimated_error = f64();
+    }
     const double build_seconds = f64();
     const std::int32_t raw_vectors = i32();
     const std::int32_t order = i32();
@@ -343,11 +369,12 @@ ReducedModel Reader::model() {
 // Framing + top-level API.
 // ---------------------------------------------------------------------------
 
-std::string frame(const std::string& payload) {
+std::string frame(const std::string& payload) { return frame(payload, kFormatVersion); }
+
+std::string frame(const std::string& payload, std::uint32_t version) {
     std::string out;
     out.reserve(kHeaderBytes + payload.size() + kChecksumBytes);
     out.append(kMagic, sizeof(kMagic));
-    const std::uint32_t version = kFormatVersion;
     out.append(reinterpret_cast<const char*>(&version), sizeof(version));
     const std::uint64_t size = payload.size();
     out.append(reinterpret_cast<const char*>(&size), sizeof(size));
@@ -357,17 +384,18 @@ std::string frame(const std::string& payload) {
     return out;
 }
 
-std::string unframe(const std::string& bytes) {
+std::string unframe(const std::string& bytes, std::uint32_t* version_out) {
     if (bytes.size() < kHeaderBytes + kChecksumBytes)
         fail(IoErrorKind::truncated, "file smaller than the artifact header");
     if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
         fail(IoErrorKind::bad_magic, "not an atmor ROM artifact");
     std::uint32_t version;
     std::memcpy(&version, bytes.data() + sizeof(kMagic), sizeof(version));
-    if (version != kFormatVersion)
-        fail(IoErrorKind::version_mismatch, "artifact format version " +
-                                                std::to_string(version) + ", reader expects " +
-                                                std::to_string(kFormatVersion));
+    if (version < kMinSupportedVersion || version > kFormatVersion)
+        fail(IoErrorKind::version_mismatch,
+             "artifact format version " + std::to_string(version) + ", reader supports " +
+                 std::to_string(kMinSupportedVersion) + ".." + std::to_string(kFormatVersion));
+    if (version_out) *version_out = version;
     std::uint64_t size;
     std::memcpy(&size, bytes.data() + sizeof(kMagic) + sizeof(version), sizeof(size));
     if (size != bytes.size() - kHeaderBytes - kChecksumBytes)
@@ -387,8 +415,9 @@ std::string serialize_model(const ReducedModel& m) {
 }
 
 ReducedModel deserialize_model(const std::string& bytes) {
-    const std::string payload = unframe(bytes);
-    Reader r(payload);
+    std::uint32_t version = kFormatVersion;
+    const std::string payload = unframe(bytes, &version);
+    Reader r(payload, version);
     ReducedModel m = r.model();
     if (!r.at_end()) fail(IoErrorKind::corrupt, "trailing bytes after the model payload");
     return m;

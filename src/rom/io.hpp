@@ -25,9 +25,15 @@
 
 namespace atmor::rom {
 
-/// Bumped on any layout change; readers reject other versions outright
-/// (no silent best-effort parsing of future or ancient artifacts).
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// Bumped on any layout change. Writers always emit the current version;
+/// readers accept [kMinSupportedVersion, kFormatVersion] and default the
+/// fields a v1 artifact predates (no best-effort parsing of future or
+/// ancient artifacts).
+///   v1: base model layout.
+///   v2: + accuracy provenance (per-point orders, tol, band, estimated
+///       error) between basis_hash and build_seconds.
+inline constexpr std::uint32_t kFormatVersion = 2;
+inline constexpr std::uint32_t kMinSupportedVersion = 1;
 
 /// Conventional artifact extension (the registry's disk tier uses it).
 inline constexpr const char* kArtifactExtension = ".atmor-rom";
@@ -81,10 +87,13 @@ private:
 
 /// Payload parser over a byte buffer (not owned). Reading past the end
 /// throws IoError{truncated}; structurally invalid data (negative dims,
-/// inconsistent CSR arrays, ...) throws IoError{corrupt}.
+/// inconsistent CSR arrays, ...) throws IoError{corrupt}. The version
+/// (from unframe) selects which layout model() parses; primitive readers
+/// are version-independent.
 class Reader {
 public:
-    explicit Reader(const std::string& bytes) : buf_(bytes) {}
+    explicit Reader(const std::string& bytes, std::uint32_t version = kFormatVersion)
+        : buf_(bytes), version_(version) {}
 
     std::uint8_t u8();
     std::uint32_t u32();
@@ -110,14 +119,20 @@ private:
 
     const std::string& buf_;
     std::size_t pos_ = 0;
+    std::uint32_t version_ = kFormatVersion;
 };
 
 /// Frame a payload with magic/version/size/checksum (the inverse of
 /// unframe). Exposed so callers can persist other payload types with the
-/// same integrity envelope.
+/// same integrity envelope. The version overload exists for back-compat
+/// tests and tools that must forge older artifacts.
 std::string frame(const std::string& payload);
-/// Verify magic/version/size/checksum and return the payload bytes.
-std::string unframe(const std::string& bytes);
+std::string frame(const std::string& payload, std::uint32_t version);
+/// Verify magic/version/size/checksum and return the payload bytes. Accepts
+/// any version in [kMinSupportedVersion, kFormatVersion] and reports which
+/// one via `version_out` (pass it on to Reader); others throw
+/// IoError{version_mismatch}.
+std::string unframe(const std::string& bytes, std::uint32_t* version_out = nullptr);
 
 /// Full artifact in memory: framed model payload.
 std::string serialize_model(const ReducedModel& m);

@@ -20,17 +20,43 @@
 
 namespace atmor::rom {
 
+/// Per-expansion-point moment counts (k1 moments of H1, k2 of A2(H2), k3 of
+/// A3(H3)). The adaptive front-end trims these per point; uniform reductions
+/// leave the per-point list empty and use the scalar k1/k2/k3 below.
+struct PointOrder {
+    int k1 = 0;
+    int k2 = 0;
+    int k3 = 0;
+};
+
+inline bool operator==(const PointOrder& a, const PointOrder& b) {
+    return a.k1 == b.k1 && a.k2 == b.k2 && a.k3 == b.k3;
+}
+
 /// Where a reduced model came from: the reproducibility record the paper's
 /// tables report, and the identity the registry keys on.
 struct Provenance {
     std::string source;  ///< stable source-circuit key (circuits::*Options::key())
-    std::string method;  ///< "atmor" | "linear" | "norm"
+    std::string method;  ///< "atmor" | "linear" | "norm" | "adaptive"
     std::vector<la::Complex> expansion_points;
     int k1 = 0;  ///< H1 / per-axis moment counts the reduction matched
-    int k2 = 0;
+    int k2 = 0;  ///< (per-point maxima when point_orders is non-empty)
     int k3 = 0;
     int full_order = 0;            ///< n of the source system
     std::uint64_t basis_hash = 0;  ///< FNV-1a over the raw bytes of v
+    // -- Accuracy record (io format v2; defaults mean "not adaptive"). ------
+    /// Per-point trimmed orders; empty for uniform-order reductions.
+    std::vector<PointOrder> point_orders;
+    /// Relative band-error tolerance the reduction targeted (0 = none).
+    double tol = 0.0;
+    /// Target frequency band [band_min, band_max] rad/s the error estimate
+    /// covers (both 0 = unspecified).
+    double band_min = 0.0;
+    double band_max = 0.0;
+    /// A-posteriori estimated max relative output-H1 error over the band at
+    /// build time -- the certificate rom::ServeEngine serves per query
+    /// (0 = never estimated).
+    double estimated_error = 0.0;
 };
 
 /// A self-describing reduction artifact. Aggregate layout keeps the legacy

@@ -38,8 +38,9 @@ ReducedModel load_entry(const std::string& key, const std::string& path) {
     if (!in) throw IoError(IoErrorKind::open_failed, "registry: cannot read " + path);
     const std::string bytes((std::istreambuf_iterator<char>(in)),
                             std::istreambuf_iterator<char>());
-    const std::string payload = unframe(bytes);
-    Reader r(payload);
+    std::uint32_t version = kFormatVersion;
+    const std::string payload = unframe(bytes, &version);
+    Reader r(payload, version);
     const std::string stored_key = r.str();
     if (stored_key != key)
         throw IoError(IoErrorKind::corrupt, "registry: artifact at " + path + " stores key \"" +

@@ -70,6 +70,22 @@ std::shared_ptr<ServeEngine::ModelState> ServeEngine::state_for(const std::strin
     return st;
 }
 
+ErrorCertificate ServeEngine::certificate(const std::string& key,
+                                          const Registry::Builder& build) {
+    const std::shared_ptr<const ReducedModel> m = state_for(key, build)->model;
+    ErrorCertificate cert;
+    cert.method = m->provenance.method;
+    cert.tol = m->provenance.tol;
+    cert.band_min = m->provenance.band_min;
+    cert.band_max = m->provenance.band_max;
+    cert.estimated_error = m->provenance.estimated_error;
+    cert.expansion_points = static_cast<int>(m->provenance.expansion_points.size());
+    cert.order = m->order;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.certificate_queries;
+    return cert;
+}
+
 std::vector<la::ZMatrix> ServeEngine::frequency_response(const std::string& key,
                                                          const Registry::Builder& build,
                                                          const std::vector<la::Complex>& grid) {

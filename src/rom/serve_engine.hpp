@@ -30,11 +30,28 @@
 
 namespace atmor::rom {
 
+/// The accuracy contract a model was built under, surfaced per query: what
+/// band the a-posteriori estimate covers, the tolerance targeted, and the
+/// certified estimate itself (all from Provenance; zeros mean the model was
+/// built by a fixed-order front-end and carries no certificate).
+struct ErrorCertificate {
+    std::string method;           ///< "adaptive" | "atmor" | "linear" | "norm"
+    double tol = 0.0;             ///< build-time accuracy target (0 = none)
+    double band_min = 0.0;        ///< certified band [rad/s]
+    double band_max = 0.0;
+    double estimated_error = 0.0; ///< a-posteriori max relative band error
+    int expansion_points = 0;
+    int order = 0;
+    /// True when the model carries a build-time error estimate at all.
+    [[nodiscard]] bool certified() const { return estimated_error > 0.0; }
+};
+
 struct ServeStats {
     long frequency_queries = 0;   ///< sweep queries answered
     long frequency_points = 0;    ///< grid points evaluated across them
     long transient_queries = 0;   ///< batch queries answered
     long transient_waveforms = 0; ///< waveforms integrated across them
+    long certificate_queries = 0; ///< error-bound lookups answered
     double busy_seconds = 0.0;    ///< summed per-query wall time
     double max_query_seconds = 0.0;
     RegistryStats registry;       ///< model-resolution counters
@@ -59,6 +76,13 @@ public:
     [[nodiscard]] std::vector<la::ZMatrix> frequency_response(
         const std::string& key, const Registry::Builder& build,
         const std::vector<la::Complex>& grid);
+
+    /// The certified error bound for the model behind `key` (resolving it
+    /// like any other query): clients pair this with any
+    /// frequency_response / transient_batch answer to know the accuracy
+    /// contract the reduction was built under.
+    [[nodiscard]] ErrorCertificate certificate(const std::string& key,
+                                               const Registry::Builder& build);
 
     /// Batched transient queries: one waveform per entry, in input order,
     /// all sharing the model's warm Newton factorisation (stamped on first

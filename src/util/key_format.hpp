@@ -1,0 +1,28 @@
+// Shared formatting for stable cache/registry key strings.
+//
+// A key must be STABLE (the same options always produce the same string --
+// it feeds rom::Registry hashing and on-disk artifact names) and FAITHFUL
+// (distinct options produce distinct strings). Doubles therefore print with
+// the shortest representation that round-trips exactly, falling back to 17
+// significant digits. Used by circuits::*Options::key() and
+// mor::AdaptiveOptions::key().
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace atmor::util {
+
+inline std::string key_num(double v) {
+    char buf[32];
+    for (int precision = 6; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+        if (std::strtod(buf, nullptr) == v) break;
+    }
+    return buf;
+}
+
+inline std::string key_num(int v) { return std::to_string(v); }
+
+}  // namespace atmor::util
