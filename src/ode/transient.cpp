@@ -281,7 +281,7 @@ WarmStart make_warm_start(const Qldae& sys, const TransientOptions& opt, const l
 
 std::vector<TransientResult> simulate_batch(const Qldae& sys, const std::vector<InputFn>& inputs,
                                             const TransientOptions& opt, const la::Vec& x0) {
-    if (inputs.empty()) return {};
+    ATMOR_REQUIRE(!inputs.empty(), "simulate_batch: empty waveform batch");
     // One Jacobian factorisation, stamped at the shared initial state, serves
     // every scenario as its Newton warm start (see make_warm_start).
     return simulate_batch(sys, inputs, opt, make_warm_start(sys, opt, inputs[0](0.0), x0), x0);
@@ -290,11 +290,11 @@ std::vector<TransientResult> simulate_batch(const Qldae& sys, const std::vector<
 std::vector<TransientResult> simulate_batch(const Qldae& sys, const std::vector<InputFn>& inputs,
                                             const TransientOptions& opt, const WarmStart& warm,
                                             const la::Vec& x0) {
+    ATMOR_REQUIRE(!inputs.empty(), "simulate_batch: empty waveform batch");
     ATMOR_REQUIRE(opt.t_end > 0.0 && opt.dt > 0.0, "simulate_batch: need positive t_end and dt");
     ATMOR_REQUIRE(opt.record_stride >= 1, "simulate_batch: record_stride >= 1");
     const Vec x = x0.empty() ? Vec(static_cast<std::size_t>(sys.order()), 0.0) : x0;
     ATMOR_REQUIRE(static_cast<int>(x.size()) == sys.order(), "simulate_batch: x0 size mismatch");
-    if (inputs.empty()) return {};
     for (const InputFn& u : inputs)
         ATMOR_REQUIRE(static_cast<int>(u(0.0).size()) == sys.inputs(),
                       "simulate_batch: input arity mismatch");

@@ -89,7 +89,8 @@ WarmStart make_warm_start(const volterra::Qldae& sys, const TransientOptions& op
 /// scenario whose Newton degrades refactors privately (modified-Newton
 /// recovery), so outlier waveforms never perturb the others. Results land in
 /// input order, and each trace is identical to the corresponding serial
-/// simulate() call with the same warm start.
+/// simulate() call with the same warm start. An empty batch is a typed
+/// PreconditionError (a silent empty result hides a caller bug).
 std::vector<TransientResult> simulate_batch(const volterra::Qldae& sys,
                                             const std::vector<InputFn>& inputs,
                                             const TransientOptions& opt,

@@ -1,0 +1,122 @@
+// Greedy parameter-space sampling for parametric ROM families.
+//
+// The offline problem: cover a parameter box with as few member ROMs as
+// possible so that EVERY training point has a member whose a-posteriori
+// cross error (mor::ErrorEstimator of the training point's full-order
+// system, evaluated on the member's reduced model) is below the family
+// tolerance. The loop mirrors mor::reduce_adaptive one level up -- the same
+// greedy worst-first insertion, applied to parameter points instead of
+// expansion frequencies:
+//
+//   1. Build a member at the box center (or the caller's initial points),
+//      each through rom::Registry (single-flight, disk-tier) with a
+//      per-point reduce_adaptive so every member is itself certified over
+//      the frequency band.
+//   2. For every training-grid point, take the best (smallest) certified
+//      cross error over the current members.
+//   3. While the worst training point exceeds tol and the member budget
+//      remains, build a new member AT that point and update the table (only
+//      the new member's column needs estimating).
+//
+// The result carries the full coverage table (best + runner-up member and
+// their certified errors per training cell), which is what makes online
+// serving certificate lookups O(cells) instead of full-order solves.
+//
+// Cross errors between parameter points require the member basis to apply to
+// the training point's full system: points whose full order differs (e.g. a
+// structural axis like NLTL line length) get an infinite cross error, so the
+// greedy loop automatically places at least one member per structural
+// configuration. The estimator certifies the output error of pushing the
+// member's reduced response through the TRAINING point's C; parameters that
+// reshape the output map itself add a (usually tiny) uncertified term.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mor/adaptive.hpp"
+#include "pmor/param_space.hpp"
+#include "rom/family.hpp"
+#include "rom/registry.hpp"
+
+namespace atmor::pmor {
+
+struct FamilyBuildOptions {
+    /// Certified cross-error target over the training grid (and the
+    /// certificate bound served online). Must be >= adaptive.tol: a member
+    /// cannot certify a neighbour tighter than it certifies itself.
+    double tol = 1e-3;
+    /// Member budget (the parameter-space analogue of AdaptiveOptions::
+    /// max_points).
+    int max_members = 8;
+    /// Training-grid resolution per axis (the coverage table's cells).
+    int training_grid_per_dim = 5;
+    /// Bound on simultaneously resident per-candidate estimators. Each one
+    /// holds its training point's full-order system plus a band's worth of
+    /// cached factorisations, so keeping all of them alive scales peak
+    /// memory with the training-grid size; past the bound the oldest
+    /// candidate's estimator is dropped (FIFO) and rebuilt on next touch
+    /// (identical values -- only the factorisation work repeats). 0 keeps
+    /// every estimator resident.
+    int max_resident_estimators = 64;
+    /// Starting members; empty picks the box center.
+    std::vector<Point> initial_points;
+    /// Per-member reduction: reduce_adaptive over this band/tolerance at
+    /// each sampled point. adaptive.tol must be set explicitly and be
+    /// <= tol (validated): the cross certificates inherit the band and
+    /// estimate mode from here, and a member that cannot certify its own
+    /// point under the family tolerance can never cover a neighbour.
+    mor::AdaptiveOptions adaptive;
+    /// Optional registry: member builds go through get_or_build (keyed
+    /// family_id : system_key | adaptive key), so concurrent family builds
+    /// single-flight and members persist in the artifact tier.
+    std::shared_ptr<rom::Registry> registry;
+};
+
+struct FamilyBuildStats {
+    int members_built = 0;     ///< reduce_adaptive invocations (or registry hits)
+    int candidates = 0;        ///< training-grid size
+    long cross_estimates = 0;  ///< member x candidate band-error sweeps
+    double build_seconds = 0.0;
+};
+
+struct FamilyBuildResult {
+    rom::Family family;
+    FamilyBuildStats stats;
+    /// Worst uncovered training error after each member insertion
+    /// (front() = initial members, back() = final).
+    std::vector<double> error_history;
+};
+
+/// Registry key for the member ROM at point p. Pass it as
+/// rom::ParametricOptions::fallback_key (with the same adaptive options) to
+/// make the serving layer's on-demand builds coalesce with family-member
+/// artifacts of the same accuracy.
+std::string member_key(const FamilyDesign& design, const mor::AdaptiveOptions& adaptive,
+                       const Point& p);
+
+class FamilyBuilder {
+public:
+    /// Validates the design (non-empty space with at least one axis, build
+    /// and key callbacks present) and the options; a zero-axis ParamSpace is
+    /// a typed PreconditionError here, not a silent empty family.
+    FamilyBuilder(FamilyDesign design, FamilyBuildOptions opt);
+
+    /// Run the greedy sampling to convergence or budget exhaustion.
+    [[nodiscard]] FamilyBuildResult build();
+
+private:
+    FamilyDesign design_;
+    FamilyBuildOptions opt_;
+};
+
+}  // namespace atmor::pmor
+
+namespace atmor::core {
+
+/// Front-end spelling alongside reduce_associated / reduce_adaptive.
+pmor::FamilyBuildResult build_family(const pmor::FamilyDesign& design,
+                                     const pmor::FamilyBuildOptions& opt);
+
+}  // namespace atmor::core

@@ -1,0 +1,136 @@
+#include "pmor/param_space.hpp"
+
+#include <algorithm>
+
+namespace atmor::pmor {
+
+namespace {
+
+/// Per-axis normalized coordinate in [0, 1].
+double to_unit(const ParamDescriptor& d, double v) {
+    if (d.max == d.min) return 0.0;  // degenerate axis: everything maps to 0
+    if (d.scale == Scale::log) return (std::log(v) - std::log(d.min)) /
+                                      (std::log(d.max) - std::log(d.min));
+    return (v - d.min) / (d.max - d.min);
+}
+
+double from_unit(const ParamDescriptor& d, double u) {
+    u = std::clamp(u, 0.0, 1.0);
+    if (d.scale == Scale::log)
+        return std::exp(std::log(d.min) + u * (std::log(d.max) - std::log(d.min)));
+    return d.min + u * (d.max - d.min);
+}
+
+}  // namespace
+
+ParamSpace::ParamSpace(std::vector<ParamDescriptor> dims) : dims_(std::move(dims)) {
+    for (const ParamDescriptor& d : dims_) {
+        ATMOR_REQUIRE(!d.name.empty(), "ParamSpace: unnamed parameter axis");
+        ATMOR_REQUIRE(d.max >= d.min,
+                      "ParamSpace axis '" << d.name << "': max " << d.max << " < min " << d.min);
+        ATMOR_REQUIRE(d.scale != Scale::log || d.min > 0.0,
+                      "ParamSpace axis '" << d.name << "': log scale needs min > 0");
+    }
+}
+
+const ParamDescriptor& ParamSpace::descriptor(int d) const {
+    ATMOR_REQUIRE(d >= 0 && d < dims(), "ParamSpace: axis " << d << " out of " << dims());
+    return dims_[static_cast<std::size_t>(d)];
+}
+
+bool ParamSpace::contains(const Point& p) const {
+    if (static_cast<int>(p.size()) != dims()) return false;
+    for (std::size_t d = 0; d < dims_.size(); ++d) {
+        // Relative slack absorbs round-trip noise from normalize/denormalize
+        // and key formatting; it never admits a materially outside point.
+        const double span = dims_[d].max - dims_[d].min;
+        const double slack = 1e-12 * std::max(span, std::abs(dims_[d].max));
+        if (p[d] < dims_[d].min - slack || p[d] > dims_[d].max + slack) return false;
+    }
+    return true;
+}
+
+void ParamSpace::require_inside(const Point& p, const char* who) const {
+    ATMOR_REQUIRE(static_cast<int>(p.size()) == dims(),
+                  who << ": point has " << p.size() << " coordinates, space has " << dims());
+    ATMOR_REQUIRE(contains(p), who << ": point " << key(p) << " outside the parameter box");
+}
+
+std::vector<double> ParamSpace::normalize(const Point& p) const {
+    require_inside(p, "ParamSpace::normalize");
+    std::vector<double> unit(p.size());
+    for (std::size_t d = 0; d < dims_.size(); ++d) unit[d] = to_unit(dims_[d], p[d]);
+    return unit;
+}
+
+Point ParamSpace::denormalize(const std::vector<double>& unit) const {
+    ATMOR_REQUIRE(static_cast<int>(unit.size()) == dims(),
+                  "ParamSpace::denormalize: dimension mismatch");
+    Point p(unit.size());
+    for (std::size_t d = 0; d < dims_.size(); ++d) p[d] = from_unit(dims_[d], unit[d]);
+    return p;
+}
+
+double ParamSpace::distance(const Point& a, const Point& b) const {
+    const std::vector<double> ua = normalize(a);
+    const std::vector<double> ub = normalize(b);
+    double sq = 0.0;
+    for (std::size_t d = 0; d < ua.size(); ++d) sq += (ua[d] - ub[d]) * (ua[d] - ub[d]);
+    return dims() == 0 ? 0.0 : std::sqrt(sq / static_cast<double>(dims()));
+}
+
+Point ParamSpace::center() const {
+    return denormalize(std::vector<double>(static_cast<std::size_t>(dims()), 0.5));
+}
+
+/// Shared factorial-grid odometer: `coord(index)` maps a per-axis sample
+/// index in [0, per_dim) to a unit coordinate. Last axis varies fastest.
+template <class CoordFn>
+std::vector<Point> ParamSpace::product_grid(int per_dim, const char* who,
+                                            CoordFn&& coord) const {
+    ATMOR_REQUIRE(per_dim >= 1, who << ": need per_dim >= 1");
+    ATMOR_REQUIRE(!empty(), who << ": empty parameter space");
+    std::size_t total = 1;
+    for (int d = 0; d < dims(); ++d) {
+        ATMOR_REQUIRE(total <= (std::size_t(1) << 24) / static_cast<std::size_t>(per_dim),
+                      who << ": grid of " << per_dim << "^" << dims() << " points is too large");
+        total *= static_cast<std::size_t>(per_dim);
+    }
+    std::vector<Point> pts;
+    pts.reserve(total);
+    std::vector<int> idx(static_cast<std::size_t>(dims()), 0);
+    for (std::size_t k = 0; k < total; ++k) {
+        std::vector<double> unit(idx.size());
+        for (std::size_t d = 0; d < idx.size(); ++d) unit[d] = coord(idx[d]);
+        pts.push_back(denormalize(unit));
+        for (int d = dims() - 1; d >= 0; --d) {  // last axis fastest
+            if (++idx[static_cast<std::size_t>(d)] < per_dim) break;
+            idx[static_cast<std::size_t>(d)] = 0;
+        }
+    }
+    return pts;
+}
+
+std::vector<Point> ParamSpace::grid(int per_dim) const {
+    return product_grid(per_dim, "ParamSpace::grid", [per_dim](int i) {
+        return per_dim == 1 ? 0.5 : static_cast<double>(i) / static_cast<double>(per_dim - 1);
+    });
+}
+
+std::vector<Point> ParamSpace::offset_grid(int per_dim) const {
+    return product_grid(per_dim, "ParamSpace::offset_grid", [per_dim](int i) {
+        return (static_cast<double>(i) + 0.5) / static_cast<double>(per_dim);
+    });
+}
+
+std::string ParamSpace::key(const Point& p) const {
+    ATMOR_REQUIRE(static_cast<int>(p.size()) == dims(), "ParamSpace::key: dimension mismatch");
+    std::string s;
+    for (std::size_t d = 0; d < dims_.size(); ++d) {
+        if (d) s += ',';
+        s += dims_[d].name + "=" + util::key_num(p[d]);
+    }
+    return s;
+}
+
+}  // namespace atmor::pmor

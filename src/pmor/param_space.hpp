@@ -1,0 +1,178 @@
+// Typed parameter-space descriptors for parametric ROM families.
+//
+// One ROM per circuit instance stops scaling the moment users sweep design
+// parameters (NLTL line length or diode nonlinearity, RF-receiver gain,
+// varistor knee): the instance count explodes combinatorially with the
+// number of swept knobs. ParamSpace is the shared vocabulary the parametric
+// layer builds on: a list of named, ranged, log- or linear-scaled parameter
+// axes, with
+//   * normalized [0, 1]^d coordinates (log axes normalize in log space), the
+//     metric nearest-member selection and coverage radii are measured in,
+//   * deterministic factorial training/hold-out grids over the box,
+//   * stable point keys via util::key_num (the same shortest-round-trip
+//     formatting circuits::*Options::key() uses), so a parameter point is a
+//     rom::Registry key fragment.
+//
+// The typed half: OptionsBinder<Options> hangs descriptors directly off the
+// existing circuits::*Options structs through member pointers (double fields
+// directly; int fields -- e.g. NltlOptions::stages, the line length -- round
+// to the nearest integer), so a FamilyDesign's point -> system map is a
+// point -> Options -> builder chain and the per-point registry key is the
+// circuit's own Options::key() at that point.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/key_format.hpp"
+#include "volterra/qldae.hpp"
+
+namespace atmor::pmor {
+
+/// A parameter point: one coordinate per ParamSpace axis, in PARAMETER units
+/// (not normalized).
+using Point = std::vector<double>;
+
+enum class Scale {
+    linear,  ///< uniform sampling / distance directly in parameter units
+    log,     ///< uniform in log(value); requires min > 0
+};
+
+/// One parameter axis: name, inclusive range, scaling.
+struct ParamDescriptor {
+    std::string name;
+    double min = 0.0;
+    double max = 0.0;
+    Scale scale = Scale::linear;
+};
+
+/// An axis-aligned box of named parameters. Immutable after construction;
+/// all methods are const and thread-safe.
+class ParamSpace {
+public:
+    ParamSpace() = default;
+    explicit ParamSpace(std::vector<ParamDescriptor> dims);
+
+    [[nodiscard]] int dims() const { return static_cast<int>(dims_.size()); }
+    [[nodiscard]] bool empty() const { return dims_.empty(); }
+    [[nodiscard]] const std::vector<ParamDescriptor>& descriptors() const { return dims_; }
+    [[nodiscard]] const ParamDescriptor& descriptor(int d) const;
+
+    /// Point has one coordinate per axis and every coordinate lies in
+    /// [min, max] (within a tiny relative slack for round-trip noise).
+    [[nodiscard]] bool contains(const Point& p) const;
+    /// contains() as a precondition (typed PreconditionError on violation).
+    void require_inside(const Point& p, const char* who) const;
+
+    /// Map to [0, 1]^d: linear axes affinely, log axes in log space. The
+    /// coordinates nearest-member distances and coverage radii live in.
+    [[nodiscard]] std::vector<double> normalize(const Point& p) const;
+    /// Inverse of normalize (unit coordinates clamped to [0, 1]).
+    [[nodiscard]] Point denormalize(const std::vector<double>& unit) const;
+
+    /// Euclidean distance between two points in normalized coordinates,
+    /// divided by sqrt(d) so it is <= 1 across the whole box regardless of
+    /// dimension.
+    [[nodiscard]] double distance(const Point& a, const Point& b) const;
+
+    /// Box center (in parameter units; log axes take the geometric mean).
+    [[nodiscard]] Point center() const;
+
+    /// Deterministic factorial grid: per_dim samples per axis (uniform in
+    /// normalized coordinates, endpoints included; per_dim == 1 gives the
+    /// center). Last axis varies fastest. Size = per_dim^d.
+    [[nodiscard]] std::vector<Point> grid(int per_dim) const;
+
+    /// Grid shifted by half a cell into the box interior: per_dim samples
+    /// per axis strictly between the grid(per_dim + 1) nodes. The standard
+    /// held-out set for coverage validation (never coincides with training
+    /// nodes of any resolution <= per_dim + 1).
+    [[nodiscard]] std::vector<Point> offset_grid(int per_dim) const;
+
+    /// Stable key fragment "name1=v1,name2=v2" (shortest-round-trip doubles,
+    /// same contract as circuits::*Options::key()).
+    [[nodiscard]] std::string key(const Point& p) const;
+
+private:
+    /// Shared odometer behind grid()/offset_grid(); coord maps a per-axis
+    /// sample index to a unit coordinate. Guards against absurd grid sizes.
+    template <class CoordFn>
+    [[nodiscard]] std::vector<Point> product_grid(int per_dim, const char* who,
+                                                  CoordFn&& coord) const;
+
+    std::vector<ParamDescriptor> dims_;
+};
+
+/// A parametric circuit family: the sampled box plus the point -> full-order
+/// QLDAE map and the point -> stable-key map the registry and the family
+/// builder key artifacts by. Assemble by hand, or through OptionsBinder to
+/// stay typed against a circuits::*Options struct.
+struct FamilyDesign {
+    std::string family_id;  ///< stable family name (registry key prefix)
+    ParamSpace space;
+    std::function<volterra::Qldae(const Point&)> build_system;
+    std::function<std::string(const Point&)> system_key;
+};
+
+/// Typed descriptor binding against an options struct: each param() call
+/// names a member field and its range; at() applies a point to a copy of the
+/// base options. Axes are bound in call order, matching ParamSpace axis
+/// order.
+template <class Options>
+class OptionsBinder {
+public:
+    explicit OptionsBinder(Options base) : base_(std::move(base)) {}
+
+    /// Bind a double field as a parameter axis.
+    OptionsBinder& param(const std::string& name, double Options::*field, double min,
+                         double max, Scale scale = Scale::linear) {
+        dims_.push_back(ParamDescriptor{name, min, max, scale});
+        setters_.push_back([field](Options& o, double v) { o.*field = v; });
+        return *this;
+    }
+
+    /// Bind an int field (e.g. a line length); coordinates round to nearest.
+    OptionsBinder& param(const std::string& name, int Options::*field, int min, int max,
+                         Scale scale = Scale::linear) {
+        dims_.push_back(
+            ParamDescriptor{name, static_cast<double>(min), static_cast<double>(max), scale});
+        setters_.push_back(
+            [field](Options& o, double v) { o.*field = static_cast<int>(std::lround(v)); });
+        return *this;
+    }
+
+    [[nodiscard]] ParamSpace space() const { return ParamSpace(dims_); }
+
+    /// The options struct at parameter point p.
+    [[nodiscard]] Options at(const Point& p) const {
+        ATMOR_REQUIRE(p.size() == setters_.size(),
+                      "OptionsBinder::at: point has " << p.size() << " coordinates, binder has "
+                                                      << setters_.size() << " axes");
+        Options o = base_;
+        for (std::size_t d = 0; d < setters_.size(); ++d) setters_[d](o, p[d]);
+        return o;
+    }
+
+private:
+    Options base_;
+    std::vector<ParamDescriptor> dims_;
+    std::vector<std::function<void(Options&, double)>> setters_;
+};
+
+/// Assemble a FamilyDesign from a typed binder and a Options -> Qldae
+/// builder. The per-point key is the circuit's own Options::key() at that
+/// point (stable hashing via options_key.hpp / util::key_format.hpp).
+template <class Options, class BuildFn>
+FamilyDesign make_design(std::string family_id, OptionsBinder<Options> binder, BuildFn build) {
+    FamilyDesign design;
+    design.family_id = std::move(family_id);
+    design.space = binder.space();
+    design.build_system = [binder, build](const Point& p) { return build(binder.at(p)); };
+    design.system_key = [binder](const Point& p) { return binder.at(p).key(); };
+    return design;
+}
+
+}  // namespace atmor::pmor

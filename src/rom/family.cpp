@@ -1,0 +1,32 @@
+#include "rom/family.hpp"
+
+namespace atmor::rom {
+
+namespace {
+
+template <class Range, class CoordsOf>
+int nearest(const pmor::ParamSpace& space, const pmor::Point& coords, const Range& items,
+            CoordsOf coords_of) {
+    int best = -1;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        const double d = space.distance(coords, coords_of(items[i]));
+        if (d < best_dist) {
+            best_dist = d;
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+}  // namespace
+
+int Family::locate(const pmor::Point& coords) const {
+    return nearest(space, coords, cells, [](const CoverageCell& c) { return c.coords; });
+}
+
+int Family::nearest_member(const pmor::Point& coords) const {
+    return nearest(space, coords, members, [](const FamilyMember& m) { return m.coords; });
+}
+
+}  // namespace atmor::rom

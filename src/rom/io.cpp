@@ -138,6 +138,39 @@ void Writer::qldae(const volterra::Qldae& sys) {
     tensor4(sys.g3());
 }
 
+void Writer::family(const Family& f) {
+    str(f.family_id);
+    const auto& dims = f.space.descriptors();
+    u64(dims.size());
+    for (const pmor::ParamDescriptor& d : dims) {
+        str(d.name);
+        f64(d.min);
+        f64(d.max);
+        u8(static_cast<std::uint8_t>(d.scale));
+    }
+    f64(f.tol);
+    i32(f.training_grid_per_dim);
+    f64(f.max_training_error);
+    u8(f.converged ? 1 : 0);
+    u64(f.members.size());
+    for (const FamilyMember& m : f.members) {
+        u64(m.coords.size());
+        for (double c : m.coords) f64(c);
+        f64(m.certified_error);
+        f64(m.coverage_radius);
+        model(m.model);
+    }
+    u64(f.cells.size());
+    for (const CoverageCell& c : f.cells) {
+        u64(c.coords.size());
+        for (double v : c.coords) f64(v);
+        i32(c.best);
+        f64(c.best_error);
+        i32(c.second);
+        f64(c.second_error);
+    }
+}
+
 void Writer::model(const ReducedModel& m) {
     str(m.provenance.source);
     str(m.provenance.method);
@@ -365,6 +398,75 @@ ReducedModel Reader::model() {
     return m;
 }
 
+void Reader::expect_kind(PayloadKind k) {
+    if (version_ < kPayloadKindVersion) return;  // pre-v3 payloads carry no tag
+    const std::uint8_t tag = u8();
+    if (tag != static_cast<std::uint8_t>(k))
+        fail(IoErrorKind::corrupt, "payload kind " + std::to_string(tag) + ", expected " +
+                                       std::to_string(static_cast<int>(k)));
+}
+
+Family Reader::family() {
+    Family f;
+    f.family_id = str();
+    const std::size_t ndims = count(u64(), 1);
+    std::vector<pmor::ParamDescriptor> dims;
+    dims.reserve(ndims);
+    for (std::size_t d = 0; d < ndims; ++d) {
+        pmor::ParamDescriptor desc;
+        desc.name = str();
+        desc.min = f64();
+        desc.max = f64();
+        const std::uint8_t scale = u8();
+        if (scale > 1) fail(IoErrorKind::corrupt, "unknown parameter scale tag");
+        desc.scale = static_cast<pmor::Scale>(scale);
+        dims.push_back(std::move(desc));
+    }
+    f.space = structurally([&] { return pmor::ParamSpace(std::move(dims)); });
+    f.tol = f64();
+    f.training_grid_per_dim = i32();
+    f.max_training_error = f64();
+    const std::uint8_t conv = u8();
+    if (conv > 1) fail(IoErrorKind::corrupt, "family converged flag not 0/1");
+    f.converged = conv == 1;
+
+    const std::size_t nmembers = count(u64(), 1);
+    f.members.reserve(nmembers);
+    for (std::size_t m = 0; m < nmembers; ++m) {
+        const std::size_t nc = count(u64(), sizeof(double));
+        if (nc != ndims)
+            fail(IoErrorKind::corrupt, "member coordinate count disagrees with the space");
+        pmor::Point coords;
+        coords.reserve(nc);
+        for (std::size_t c = 0; c < nc; ++c) coords.push_back(f64());
+        const double certified_error = f64();
+        const double coverage_radius = f64();
+        f.members.push_back(
+            FamilyMember{std::move(coords), certified_error, coverage_radius, model()});
+    }
+
+    const std::size_t ncells = count(u64(), 1);
+    f.cells.reserve(ncells);
+    const int member_count = static_cast<int>(nmembers);
+    for (std::size_t i = 0; i < ncells; ++i) {
+        CoverageCell cell;
+        const std::size_t nc = count(u64(), sizeof(double));
+        if (nc != ndims)
+            fail(IoErrorKind::corrupt, "cell coordinate count disagrees with the space");
+        cell.coords.reserve(nc);
+        for (std::size_t c = 0; c < nc; ++c) cell.coords.push_back(f64());
+        cell.best = i32();
+        cell.best_error = f64();
+        cell.second = i32();
+        cell.second_error = f64();
+        if (cell.best < -1 || cell.best >= member_count || cell.second < -1 ||
+            cell.second >= member_count)
+            fail(IoErrorKind::corrupt, "coverage cell references a missing member");
+        f.cells.push_back(std::move(cell));
+    }
+    return f;
+}
+
 // ---------------------------------------------------------------------------
 // Framing + top-level API.
 // ---------------------------------------------------------------------------
@@ -410,6 +512,7 @@ std::string unframe(const std::string& bytes, std::uint32_t* version_out) {
 
 std::string serialize_model(const ReducedModel& m) {
     Writer w;
+    w.kind(PayloadKind::model);
     w.model(m);
     return frame(w.bytes());
 }
@@ -418,9 +521,30 @@ ReducedModel deserialize_model(const std::string& bytes) {
     std::uint32_t version = kFormatVersion;
     const std::string payload = unframe(bytes, &version);
     Reader r(payload, version);
+    r.expect_kind(PayloadKind::model);
     ReducedModel m = r.model();
     if (!r.at_end()) fail(IoErrorKind::corrupt, "trailing bytes after the model payload");
     return m;
+}
+
+std::string serialize_family(const Family& f) {
+    Writer w;
+    w.kind(PayloadKind::family);
+    w.family(f);
+    return frame(w.bytes());
+}
+
+Family deserialize_family(const std::string& bytes) {
+    std::uint32_t version = kFormatVersion;
+    const std::string payload = unframe(bytes, &version);
+    if (version < kPayloadKindVersion)
+        fail(IoErrorKind::corrupt,
+             "format v" + std::to_string(version) + " artifacts cannot hold families");
+    Reader r(payload, version);
+    r.expect_kind(PayloadKind::family);
+    Family f = r.family();
+    if (!r.at_end()) fail(IoErrorKind::corrupt, "trailing bytes after the family payload");
+    return f;
 }
 
 void write_file_atomically(const std::string& bytes, const std::string& path) {
@@ -450,6 +574,18 @@ ReducedModel load_model(const std::string& path) {
     std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
     if (in.bad()) fail(IoErrorKind::open_failed, "read error on " + path);
     return deserialize_model(bytes);
+}
+
+void save_family(const Family& f, const std::string& path) {
+    write_file_atomically(serialize_family(f), path);
+}
+
+Family load_family(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) fail(IoErrorKind::open_failed, "cannot open " + path + " for reading");
+    std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    if (in.bad()) fail(IoErrorKind::open_failed, "read error on " + path);
+    return deserialize_family(bytes);
 }
 
 }  // namespace atmor::rom

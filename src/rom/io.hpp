@@ -17,6 +17,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "rom/family.hpp"
 #include "rom/reduced_model.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/tensor3.hpp"
@@ -32,11 +33,27 @@ namespace atmor::rom {
 ///   v1: base model layout.
 ///   v2: + accuracy provenance (per-point orders, tol, band, estimated
 ///       error) between basis_hash and build_seconds.
-inline constexpr std::uint32_t kFormatVersion = 2;
+///   v3: payloads lead with a one-byte PayloadKind tag, making single
+///       models, registry entries and the new Family containers
+///       self-describing. v1/v2 artifacts (no tag) still load.
+inline constexpr std::uint32_t kFormatVersion = 3;
 inline constexpr std::uint32_t kMinSupportedVersion = 1;
+
+/// First version whose payloads carry the PayloadKind tag.
+inline constexpr std::uint32_t kPayloadKindVersion = 3;
 
 /// Conventional artifact extension (the registry's disk tier uses it).
 inline constexpr const char* kArtifactExtension = ".atmor-rom";
+/// Conventional extension for family containers.
+inline constexpr const char* kFamilyExtension = ".atmor-fam";
+
+/// What a v3 payload holds (first payload byte). Readers of a specific kind
+/// reject the others as corrupt instead of mis-parsing them.
+enum class PayloadKind : std::uint8_t {
+    model = 0,           ///< bare ReducedModel (save_model / load_model)
+    registry_entry = 1,  ///< full registry key + model (the disk tier)
+    family = 2,          ///< parametric rom::Family container
+};
 
 enum class IoErrorKind {
     open_failed,        ///< file missing or unreadable/unwritable
@@ -76,6 +93,9 @@ public:
     void tensor4(const sparse::SparseTensor4& t);
     void qldae(const volterra::Qldae& sys);
     void model(const ReducedModel& m);
+    void family(const Family& f);
+    /// Payload-kind tag; top-level serializers write it first (v3 layout).
+    void kind(PayloadKind k) { u8(static_cast<std::uint8_t>(k)); }
 
     [[nodiscard]] const std::string& bytes() const { return buf_; }
 
@@ -108,6 +128,11 @@ public:
     sparse::SparseTensor4 tensor4();
     volterra::Qldae qldae();
     ReducedModel model();
+    Family family();
+    /// Consume and check the payload-kind tag. No-op for pre-v3 payloads
+    /// (which carry no tag); a tag mismatch throws IoError{corrupt} -- a v3
+    /// family fed to a model loader must not mis-parse as a model.
+    void expect_kind(PayloadKind k);
 
     [[nodiscard]] bool at_end() const { return pos_ == buf_.size(); }
 
@@ -138,6 +163,11 @@ std::string unframe(const std::string& bytes, std::uint32_t* version_out = nullp
 std::string serialize_model(const ReducedModel& m);
 ReducedModel deserialize_model(const std::string& bytes);
 
+/// Framed family container (v3-only payload kind; deserialize_family rejects
+/// pre-v3 artifacts, which cannot hold families).
+std::string serialize_family(const Family& f);
+Family deserialize_family(const std::string& bytes);
+
 /// Publish bytes at `path` via temp file + rename: a crashed writer or a
 /// concurrent reader never observes a torn file at the final name (the
 /// rename is atomic on POSIX). Throws IoError{open_failed} on I/O failure.
@@ -146,5 +176,9 @@ void write_file_atomically(const std::string& bytes, const std::string& path);
 /// File round-trip (save_model publishes atomically; see above).
 void save_model(const ReducedModel& m, const std::string& path);
 ReducedModel load_model(const std::string& path);
+
+/// Family file round-trip (atomic publication like save_model).
+void save_family(const Family& f, const std::string& path);
+Family load_family(const std::string& path);
 
 }  // namespace atmor::rom

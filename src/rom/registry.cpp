@@ -28,6 +28,7 @@ std::string hex16(std::uint64_t v) {
 
 void save_entry(const std::string& key, const ReducedModel& model, const std::string& path) {
     Writer w;
+    w.kind(PayloadKind::registry_entry);
     w.str(key);
     w.model(model);
     write_file_atomically(frame(w.bytes()), path);
@@ -41,6 +42,7 @@ ReducedModel load_entry(const std::string& key, const std::string& path) {
     std::uint32_t version = kFormatVersion;
     const std::string payload = unframe(bytes, &version);
     Reader r(payload, version);
+    r.expect_kind(PayloadKind::registry_entry);
     const std::string stored_key = r.str();
     if (stored_key != key)
         throw IoError(IoErrorKind::corrupt, "registry: artifact at " + path + " stores key \"" +

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/check.hpp"
+#include "util/key_format.hpp"
 #include "util/timer.hpp"
 
 namespace atmor::rom {
@@ -18,6 +19,11 @@ constexpr std::size_t kServeCacheSlots = 64;
 /// Bound on distinct transient configurations whose warm Newton
 /// factorisations a model keeps alive simultaneously.
 constexpr std::size_t kMaxWarmStarts = 8;
+
+/// Bound on live per-model serving states: keyed models, family members and
+/// per-tolerance fallback builds all land in states_, and parametric sweep
+/// traffic can mint distinct keys without limit.
+constexpr std::size_t kMaxModelStates = 128;
 
 std::shared_ptr<la::SolverBackend> make_freq_backend(const volterra::Qldae& rom) {
     if (rom.g1_op().is_sparse())
@@ -41,6 +47,19 @@ void accumulate(la::SolverStats& acc, const la::SolverStats& s) {
     acc.max_factor_dim = std::max(acc.max_factor_dim, s.max_factor_dim);
 }
 
+/// The build-time accuracy contract a model's provenance records.
+ErrorCertificate certificate_of(const ReducedModel& m) {
+    ErrorCertificate cert;
+    cert.method = m.provenance.method;
+    cert.tol = m.provenance.tol;
+    cert.band_min = m.provenance.band_min;
+    cert.band_max = m.provenance.band_max;
+    cert.estimated_error = m.provenance.estimated_error;
+    cert.expansion_points = static_cast<int>(m.provenance.expansion_points.size());
+    cert.order = m.order;
+    return cert;
+}
+
 }  // namespace
 
 ServeEngine::ServeEngine(std::shared_ptr<Registry> registry)
@@ -53,34 +72,92 @@ std::shared_ptr<const ReducedModel> ServeEngine::model(const std::string& key,
     return state_for(key, build)->model;
 }
 
+std::shared_ptr<ServeEngine::ModelState> ServeEngine::make_state(
+    std::shared_ptr<const ReducedModel> model) {
+    auto st = std::make_shared<ModelState>();
+    st->model = std::move(model);
+    st->evaluator = std::make_shared<volterra::TransferEvaluator>(
+        st->model->rom, make_freq_backend(st->model->rom));
+    st->transient_backend = make_transient_backend(st->model->rom);
+    return st;
+}
+
+void ServeEngine::bound_states_locked(const std::string& keep_key) {
+    while (states_.size() > kMaxModelStates) {
+        auto victim = states_.end();
+        for (auto it = states_.begin(); it != states_.end(); ++it) {
+            if (it->first == keep_key) continue;
+            if (victim == states_.end() || it->second->last_used < victim->second->last_used)
+                victim = it;
+        }
+        if (victim == states_.end()) break;
+        accumulate(evicted_solver_, victim->second->evaluator->backend()->stats());
+        accumulate(evicted_solver_, victim->second->transient_backend->stats());
+        states_.erase(victim);
+    }
+}
+
 std::shared_ptr<ServeEngine::ModelState> ServeEngine::state_for(const std::string& key,
                                                                 const Registry::Builder& build) {
     // Resolve through the registry OUTSIDE the engine lock: a cold build can
     // take minutes and must not stall queries against other models.
     std::shared_ptr<const ReducedModel> m = registry_->get_or_build(key, build);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = states_.find(key);
+        if (it != states_.end() && it->second->model == m) {
+            it->second->last_used = ++state_tick_;
+            return it->second;
+        }
+    }
+    // Construct outside the lock too (ROM copy + cache sizing); on a race
+    // the first insertion wins and the loser's state is dropped.
+    std::shared_ptr<ModelState> fresh = make_state(std::move(m));
     std::lock_guard<std::mutex> lock(mutex_);
     std::shared_ptr<ModelState>& st = states_[key];
-    if (!st || st->model != m) {
-        st = std::make_shared<ModelState>();
-        st->model = m;
-        st->evaluator =
-            std::make_shared<volterra::TransferEvaluator>(m->rom, make_freq_backend(m->rom));
-        st->transient_backend = make_transient_backend(m->rom);
+    if (!st || st->model != fresh->model) {
+        if (st) {
+            // The key's model was rebuilt: fold the superseded state's
+            // counters in so stats() stays monotonic across replacement,
+            // exactly like LRU eviction does.
+            accumulate(evicted_solver_, st->evaluator->backend()->stats());
+            accumulate(evicted_solver_, st->transient_backend->stats());
+        }
+        st = std::move(fresh);
     }
-    return st;
+    st->last_used = ++state_tick_;
+    std::shared_ptr<ModelState> out = st;  // st invalidates if eviction rehashes
+    bound_states_locked(key);
+    return out;
+}
+
+std::shared_ptr<ServeEngine::ModelState> ServeEngine::member_state(const Family& family,
+                                                                   int member) {
+    const FamilyMember& fm = family.members[static_cast<std::size_t>(member)];
+    const std::string key = "family:" + family.family_id + "#" + std::to_string(member) + ":" +
+                            std::to_string(fm.model.provenance.basis_hash);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = states_.find(key);
+        if (it != states_.end()) {
+            it->second->last_used = ++state_tick_;
+            return it->second;
+        }
+    }
+    std::shared_ptr<ModelState> fresh =
+        make_state(std::make_shared<const ReducedModel>(fm.model));
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_ptr<ModelState>& st = states_[key];
+    if (!st) st = std::move(fresh);
+    st->last_used = ++state_tick_;
+    std::shared_ptr<ModelState> out = st;
+    bound_states_locked(key);
+    return out;
 }
 
 ErrorCertificate ServeEngine::certificate(const std::string& key,
                                           const Registry::Builder& build) {
-    const std::shared_ptr<const ReducedModel> m = state_for(key, build)->model;
-    ErrorCertificate cert;
-    cert.method = m->provenance.method;
-    cert.tol = m->provenance.tol;
-    cert.band_min = m->provenance.band_min;
-    cert.band_max = m->provenance.band_max;
-    cert.estimated_error = m->provenance.estimated_error;
-    cert.expansion_points = static_cast<int>(m->provenance.expansion_points.size());
-    cert.order = m->order;
+    ErrorCertificate cert = certificate_of(*state_for(key, build)->model);
     std::lock_guard<std::mutex> lock(mutex_);
     ++counters_.certificate_queries;
     return cert;
@@ -89,6 +166,7 @@ ErrorCertificate ServeEngine::certificate(const std::string& key,
 std::vector<la::ZMatrix> ServeEngine::frequency_response(const std::string& key,
                                                          const Registry::Builder& build,
                                                          const std::vector<la::Complex>& grid) {
+    ATMOR_REQUIRE(!grid.empty(), "ServeEngine::frequency_response: empty frequency grid");
     const std::shared_ptr<ModelState> st = state_for(key, build);
     util::Timer timer;
     std::vector<la::ZMatrix> out = st->evaluator->output_h1_sweep(grid);
@@ -96,9 +174,102 @@ std::vector<la::ZMatrix> ServeEngine::frequency_response(const std::string& key,
     return out;
 }
 
+ParametricAnswer ServeEngine::serve_parametric(const Family& family, const pmor::Point& coords,
+                                               const std::vector<la::Complex>& grid,
+                                               const ParametricOptions& opt) {
+    ATMOR_REQUIRE(!grid.empty(), "ServeEngine::serve_parametric: empty frequency grid");
+    ATMOR_REQUIRE(!family.members.empty(), "ServeEngine::serve_parametric: family is empty");
+    family.space.require_inside(coords, "ServeEngine::serve_parametric");
+    const double tol = opt.tol > 0.0 ? opt.tol : family.tol;
+    ATMOR_REQUIRE(tol > 0.0, "ServeEngine::serve_parametric: no tolerance (family tol is 0)");
+    util::Timer timer;
+    ParametricAnswer ans;
+
+    const int cell_index = family.locate(coords);
+    const CoverageCell* cell =
+        cell_index >= 0 ? &family.cells[static_cast<std::size_t>(cell_index)] : nullptr;
+    // Families are public aggregates ("assemble by hand" is supported), so
+    // the coverage table's member references are validated here like
+    // load_family validates them -- a typed error, never an OOB read.
+    const int member_count = static_cast<int>(family.members.size());
+    if (cell)
+        ATMOR_REQUIRE(cell->best >= -1 && cell->best < member_count && cell->second >= -1 &&
+                          cell->second < member_count,
+                      "ServeEngine::serve_parametric: coverage cell ["
+                          << family.space.key(cell->coords) << "] references a missing member");
+
+    bool blended = false;
+    if (cell && cell->best >= 0 && cell->best_error <= tol) {
+        // -- Certified member path. ----------------------------------------
+        ans.member = cell->best;
+        ans.response = member_state(family, cell->best)->evaluator->output_h1_sweep(grid);
+        const FamilyMember& best = family.members[static_cast<std::size_t>(cell->best)];
+        double certified_error = cell->best_error;
+
+        if (opt.blend && cell->second >= 0 && cell->second_error <= tol) {
+            const FamilyMember& second =
+                family.members[static_cast<std::size_t>(cell->second)];
+            const double d_best = family.space.distance(coords, best.coords);
+            const double d_second = family.space.distance(coords, second.coords);
+            const double w =
+                d_best + d_second <= 0.0 ? 1.0 : d_second / (d_best + d_second);
+            if (w < 1.0) {
+                const std::vector<la::ZMatrix> other =
+                    member_state(family, cell->second)->evaluator->output_h1_sweep(grid);
+                for (std::size_t g = 0; g < ans.response.size(); ++g) {
+                    ans.response[g] *= la::Complex(w, 0.0);
+                    ans.response[g] += la::Complex(1.0 - w, 0.0) * other[g];
+                }
+                ans.blended_with = cell->second;
+                ans.blend_weight = w;
+                certified_error = std::max(certified_error, cell->second_error);
+                blended = true;
+            }
+        }
+
+        // The served contract: the member's band/method provenance with the
+        // coverage cell's certified cross error (>= the member's own
+        // build-time estimate) and the tolerance actually enforced.
+        ans.certificate = certificate_of(best.model);
+        ans.certificate.tol = tol;
+        ans.certificate.estimated_error = certified_error;
+    } else {
+        // -- Rejection path: no member certifies under tol. ----------------
+        ATMOR_REQUIRE(static_cast<bool>(opt.fallback_build),
+                      "ServeEngine::serve_parametric: no family member certifies point ["
+                          << family.space.key(coords) << "] under tol " << tol
+                          << " and no fallback_build was provided");
+        // The default key is tolerance-tagged: a later query at the same
+        // point demanding a TIGHTER accuracy must not silently reuse a
+        // looser cached fallback model.
+        const std::string key =
+            opt.fallback_key ? opt.fallback_key(coords)
+                             : "family:" + family.family_id + "@" + family.space.key(coords) +
+                                   "|fallback(tol=" + util::key_num(tol) + ")";
+        const std::shared_ptr<ModelState> st =
+            state_for(key, [&] { return opt.fallback_build(coords); });
+        ans.fallback = true;
+        ans.response = st->evaluator->output_h1_sweep(grid);
+        ans.certificate = certificate_of(*st->model);
+    }
+
+    // Parametric traffic is accounted by its own counters, not the keyed
+    // frequency_queries/points pair (a blended answer evaluates two sweeps
+    // anyway); note_query still aggregates the latency fields.
+    note_query(timer.seconds(), -1, -1);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.parametric_queries;
+        if (ans.fallback) ++counters_.parametric_fallbacks;
+        if (blended) ++counters_.parametric_blended;
+    }
+    return ans;
+}
+
 std::vector<ode::TransientResult> ServeEngine::transient_batch(
     const std::string& key, const Registry::Builder& build,
     const std::vector<ode::InputFn>& inputs, const ode::TransientOptions& opt) {
+    ATMOR_REQUIRE(!inputs.empty(), "ServeEngine::transient_batch: empty waveform batch");
     const std::shared_ptr<ModelState> st = state_for(key, build);
     util::Timer timer;
     ode::TransientOptions o = opt;
@@ -156,6 +327,7 @@ ServeStats ServeEngine::stats() const {
     {
         std::lock_guard<std::mutex> lock(mutex_);
         s = counters_;
+        accumulate(s.solver, evicted_solver_);
         for (const auto& [key, st] : states_) {
             (void)key;
             accumulate(s.solver, st->evaluator->backend()->stats());

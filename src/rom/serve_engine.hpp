@@ -25,6 +25,7 @@
 
 #include "la/solver_backend.hpp"
 #include "ode/transient.hpp"
+#include "rom/family.hpp"
 #include "rom/registry.hpp"
 #include "volterra/transfer.hpp"
 
@@ -46,12 +47,53 @@ struct ErrorCertificate {
     [[nodiscard]] bool certified() const { return estimated_error > 0.0; }
 };
 
+/// How a parametric query should be answered and what the rejection path is.
+struct ParametricOptions {
+    /// Certification tolerance; 0 uses the family's own tol.
+    double tol = 0.0;
+    /// Blend the outputs of the cell's best AND runner-up member (inverse-
+    /// distance weights) when both certify; the certificate is then the max
+    /// of the two cross errors (a convex combination of two tol-accurate
+    /// responses stays tol-accurate).
+    bool blend = false;
+    /// The rejection path: build a dedicated model for the query point when
+    /// no member certifies it (resolved through the registry, so repeated
+    /// uncovered queries at one point build once). Without it an uncovered
+    /// query is a typed PreconditionError.
+    std::function<ReducedModel(const pmor::Point&)> fallback_build;
+    /// Registry key for the fallback model at a point. Defaults to a key
+    /// composed from the family id, the point and the EFFECTIVE tolerance,
+    /// so queries demanding different accuracies never share a cached
+    /// fallback. Supply pmor::member_key(design, adaptive, p) here to make
+    /// on-demand builds coalesce with family-member artifacts of the same
+    /// accuracy.
+    std::function<std::string(const pmor::Point&)> fallback_key;
+};
+
+struct ParametricAnswer {
+    /// Output-mapped H1 over the query grid (blended when `blended_with`
+    /// is set).
+    std::vector<la::ZMatrix> response;
+    /// The per-query accuracy contract: for member-served answers the
+    /// estimated_error is the OFFLINE-CERTIFIED cross error of the covering
+    /// training cell (>= the member's own build certificate); for fallback
+    /// answers it is the freshly built model's provenance certificate.
+    ErrorCertificate certificate;
+    int member = -1;        ///< serving member index (-1 on fallback)
+    int blended_with = -1;  ///< runner-up member blended in (-1: none)
+    double blend_weight = 1.0;  ///< weight of `member` in the blend
+    bool fallback = false;  ///< true when no member certified the query
+};
+
 struct ServeStats {
     long frequency_queries = 0;   ///< sweep queries answered
     long frequency_points = 0;    ///< grid points evaluated across them
     long transient_queries = 0;   ///< batch queries answered
     long transient_waveforms = 0; ///< waveforms integrated across them
     long certificate_queries = 0; ///< error-bound lookups answered
+    long parametric_queries = 0;  ///< serve_parametric calls answered
+    long parametric_fallbacks = 0; ///< routed to the on-demand build path
+    long parametric_blended = 0;  ///< answered by a two-member blend
     double busy_seconds = 0.0;    ///< summed per-query wall time
     double max_query_seconds = 0.0;
     RegistryStats registry;       ///< model-resolution counters
@@ -86,10 +128,22 @@ public:
 
     /// Batched transient queries: one waveform per entry, in input order,
     /// all sharing the model's warm Newton factorisation (stamped on first
-    /// use for the given step size/method, replayed afterwards).
+    /// use for the given step size/method, replayed afterwards). An empty
+    /// batch is a typed PreconditionError, never a silent no-op.
     [[nodiscard]] std::vector<ode::TransientResult> transient_batch(
         const std::string& key, const Registry::Builder& build,
         const std::vector<ode::InputFn>& inputs, const ode::TransientOptions& opt);
+
+    /// Parametric serving against a rom::Family: locate the query's training
+    /// cell, serve the certifying member's frequency response (optionally
+    /// blended with the runner-up) with the cell's offline-certified error
+    /// as the per-query certificate, or route to the fallback build when no
+    /// member certifies under tolerance. Member evaluators are cached like
+    /// keyed models, so repeated queries replay factorisations.
+    [[nodiscard]] ParametricAnswer serve_parametric(const Family& family,
+                                                    const pmor::Point& coords,
+                                                    const std::vector<la::Complex>& grid,
+                                                    const ParametricOptions& opt = {});
 
     [[nodiscard]] ServeStats stats() const;
 
@@ -103,6 +157,11 @@ private:
         std::shared_ptr<const ReducedModel> model;
         std::shared_ptr<volterra::TransferEvaluator> evaluator;
         std::shared_ptr<la::SolverBackend> transient_backend;
+        /// LRU tick for the states_ bound (kMaxModelStates in the .cpp):
+        /// keyed, family-member and fallback states all pin a model copy
+        /// plus factorization caches, so the engine cannot keep one per
+        /// distinct key forever under parametric sweep traffic.
+        std::uint64_t last_used = 0;
         std::mutex warm_mutex;  ///< guards the warm-start map below
         /// One warm Newton factorisation per transient configuration, so
         /// clients alternating step sizes/methods each keep their replay.
@@ -114,16 +173,35 @@ private:
         std::uint64_t warm_tick = 0;
     };
 
+    /// Evaluator + backend wiring for a resolved model (shared by the keyed
+    /// and family-member paths so the two can never drift); called OUTSIDE
+    /// the engine lock -- construction copies the ROM and sizes caches.
+    [[nodiscard]] static std::shared_ptr<ModelState> make_state(
+        std::shared_ptr<const ReducedModel> model);
+
     /// The state for `key`, (re)initialised when the registry hands back a
     /// different model instance than last time.
     [[nodiscard]] std::shared_ptr<ModelState> state_for(const std::string& key,
                                                         const Registry::Builder& build);
 
+    /// Serving state for a family member (already-built artifact, no
+    /// registry resolution); keyed by family id + member index + basis hash
+    /// so a reloaded family with identical members reuses the caches.
+    [[nodiscard]] std::shared_ptr<ModelState> member_state(const Family& family, int member);
+
     void note_query(double seconds, long freq_points, long waveforms);
+
+    /// Evict least-recently-used states past the bound (never `keep_key`);
+    /// their solver counters fold into evicted_solver_ so stats() stays
+    /// monotonic. Caller holds mutex_. Outstanding ModelState handles stay
+    /// valid; a later query for an evicted key re-resolves and rebuilds.
+    void bound_states_locked(const std::string& keep_key);
 
     std::shared_ptr<Registry> registry_;
     mutable std::mutex mutex_;
     std::unordered_map<std::string, std::shared_ptr<ModelState>> states_;
+    std::uint64_t state_tick_ = 0;    // guarded by mutex_
+    la::SolverStats evicted_solver_;  // guarded by mutex_
     ServeStats counters_;  // latency/query fields; registry/solver filled on read
 };
 

@@ -1,0 +1,193 @@
+// Cross-path conformance sweep: every way the pipeline can compute the same
+// quantity must agree.
+//
+// Two axes, pinned over randomized small QLDAE systems:
+//  * BACKEND conformance -- dense-LU vs sparse-LU vs Schur resolvents give
+//    the same H1/H2 responses (to solver round-off) for dense and
+//    CSR-backed systems alike, including the quadratic, cubic and bilinear
+//    kernel terms.
+//  * THREAD determinism -- reductions under ATMOR_NUM_THREADS in {1, 2, 8}
+//    are bit-identical to the serial run, for every backend and for both
+//    the fixed-order and the adaptive front-ends (the PR-2 determinism
+//    claim, asserted across all backends in one sweep instead of one pinned
+//    pair per test file).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "circuits/nltl.hpp"
+#include "core/atmor.hpp"
+#include "la/solver_backend.hpp"
+#include "mor/adaptive.hpp"
+#include "test_qldae_helpers.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "volterra/transfer.hpp"
+
+namespace atmor {
+namespace {
+
+using la::Complex;
+using volterra::Qldae;
+
+/// The three interchangeable resolvent backends under test.
+std::vector<std::shared_ptr<la::SolverBackend>> all_backends() {
+    return {std::make_shared<la::DenseLuBackend>(32),
+            std::make_shared<la::SparseLuBackend>(32),
+            std::make_shared<la::SchurBackend>(32)};
+}
+
+/// Randomized system zoo: quadratic-only, +cubic, +bilinear (2 inputs),
+/// plus a CSR-backed lifted NLTL so the sparse-first storage path is in the
+/// sweep too.
+std::vector<Qldae> system_zoo() {
+    std::vector<Qldae> zoo;
+    util::Rng rng(4242);
+    for (int variant = 0; variant < 3; ++variant) {
+        test::QldaeOptions qopt;
+        qopt.n = 9 + variant;
+        qopt.inputs = variant == 2 ? 2 : 1;
+        qopt.cubic = variant >= 1;
+        qopt.bilinear = variant == 2;
+        zoo.push_back(test::random_qldae(qopt, rng));
+    }
+    circuits::NltlOptions copt;
+    copt.stages = 6;
+    zoo.push_back(circuits::current_source_line(copt).to_qldae());
+    return zoo;
+}
+
+double rel_diff(const la::ZMatrix& a, const la::ZMatrix& b) {
+    EXPECT_EQ(a.rows(), b.rows());
+    EXPECT_EQ(a.cols(), b.cols());
+    double num = 0.0;
+    double den = 0.0;
+    for (int i = 0; i < a.rows(); ++i)
+        for (int j = 0; j < a.cols(); ++j) {
+            num += std::norm(a(i, j) - b(i, j));
+            den += std::norm(a(i, j));
+        }
+    return den == 0.0 ? std::sqrt(num) : std::sqrt(num / den);
+}
+
+TEST(Conformance, BackendsAgreeOnH1AndH2Responses) {
+    const std::vector<Complex> probes{Complex(0.0, 0.4), Complex(0.0, 1.3), Complex(0.8, 0.6),
+                                      Complex(1.5, 0.0)};
+    for (const Qldae& sys : system_zoo()) {
+        // Reference: dense LU; the others must track it to round-off.
+        std::vector<std::shared_ptr<la::SolverBackend>> backends = all_backends();
+        const volterra::TransferEvaluator reference(sys, backends[0]);
+        for (std::size_t b = 1; b < backends.size(); ++b) {
+            const volterra::TransferEvaluator other(sys, backends[b]);
+            for (const Complex s : probes) {
+                EXPECT_LT(rel_diff(reference.output_h1(s), other.output_h1(s)), 1e-8)
+                    << backends[b]->name() << " H1 diverges at s = " << s.real() << "+"
+                    << s.imag() << "j (n = " << sys.order() << ")";
+                EXPECT_LT(rel_diff(reference.output_h2(s, s), other.output_h2(s, s)), 1e-8)
+                    << backends[b]->name() << " diagonal H2 diverges (n = " << sys.order()
+                    << ")";
+            }
+            // One off-diagonal H2 probe per system (the mixed-frequency
+            // resolvent path).
+            EXPECT_LT(rel_diff(reference.output_h2(probes[0], probes[2]),
+                               other.output_h2(probes[0], probes[2])),
+                      1e-8)
+                << backends[b]->name() << " mixed H2 diverges (n = " << sys.order() << ")";
+        }
+    }
+}
+
+void expect_bit_identical(const core::MorResult& a, const core::MorResult& b,
+                          const char* what) {
+    ASSERT_EQ(a.order, b.order) << what;
+    for (int i = 0; i < a.v.rows(); ++i)
+        for (int j = 0; j < a.v.cols(); ++j)
+            ASSERT_EQ(a.v(i, j), b.v(i, j)) << what << ": basis differs at (" << i << "," << j
+                                            << ")";
+    const la::Matrix& g1a = a.rom.g1();
+    const la::Matrix& g1b = b.rom.g1();
+    for (int i = 0; i < g1a.rows(); ++i)
+        for (int j = 0; j < g1a.cols(); ++j)
+            ASSERT_EQ(g1a(i, j), g1b(i, j)) << what << ": reduced G1 differs";
+    for (int i = 0; i < a.rom.b().rows(); ++i)
+        for (int j = 0; j < a.rom.b().cols(); ++j)
+            ASSERT_EQ(a.rom.b()(i, j), b.rom.b()(i, j)) << what << ": reduced B differs";
+    for (int i = 0; i < a.rom.c().rows(); ++i)
+        for (int j = 0; j < a.rom.c().cols(); ++j)
+            ASSERT_EQ(a.rom.c()(i, j), b.rom.c()(i, j)) << what << ": reduced C differs";
+}
+
+class ThreadSweep : public ::testing::Test {
+protected:
+    void TearDown() override {
+        util::ThreadPool::set_global_threads(util::ThreadPool::default_thread_count());
+    }
+};
+
+TEST_F(ThreadSweep, FixedOrderReductionsAreBitIdenticalAcrossThreadsAndBackends) {
+    util::Rng rng(99);
+    test::QldaeOptions qopt;
+    qopt.n = 14;
+    qopt.cubic = true;
+    const Qldae sys = test::random_qldae(qopt, rng);
+
+    core::AtMorOptions mor;
+    mor.k1 = 3;
+    mor.k2 = 2;
+    mor.k3 = 1;
+    mor.expansion_points = {Complex(0.9, 0.0), Complex(1.0, 0.8), Complex(0.8, 1.7)};
+
+    for (const auto& make_backend : {+[]() -> std::shared_ptr<la::SolverBackend> {
+                                         return std::make_shared<la::DenseLuBackend>(32);
+                                     },
+                                     +[]() -> std::shared_ptr<la::SolverBackend> {
+                                         return std::make_shared<la::SparseLuBackend>(32);
+                                     },
+                                     +[]() -> std::shared_ptr<la::SolverBackend> {
+                                         return std::make_shared<la::SchurBackend>(32);
+                                     }}) {
+        util::ThreadPool::set_global_threads(1);
+        core::AtMorOptions serial_opt = mor;
+        serial_opt.backend = make_backend();
+        const core::MorResult serial = core::reduce_associated(sys, serial_opt);
+        for (const int threads : {1, 2, 8}) {
+            util::ThreadPool::set_global_threads(threads);
+            core::AtMorOptions par_opt = mor;
+            par_opt.backend = make_backend();  // fresh cache: no cross-run reuse
+            const core::MorResult parallel = core::reduce_associated(sys, par_opt);
+            expect_bit_identical(serial, parallel, par_opt.backend->name());
+        }
+    }
+}
+
+TEST_F(ThreadSweep, AdaptiveReductionIsBitIdenticalAcrossThreads) {
+    circuits::NltlOptions copt;
+    copt.stages = 6;
+    const Qldae sys = circuits::current_source_line(copt).to_qldae();
+
+    mor::AdaptiveOptions opt;
+    opt.tol = 1e-3;
+    opt.omega_min = 0.25;
+    opt.omega_max = 2.0;
+    opt.band_grid = 7;
+    opt.max_points = 3;
+    opt.point_order = rom::PointOrder{3, 1, 0};
+
+    util::ThreadPool::set_global_threads(1);
+    const mor::AdaptiveResult serial = core::reduce_adaptive(sys, opt);
+    for (const int threads : {2, 8}) {
+        util::ThreadPool::set_global_threads(threads);
+        const mor::AdaptiveResult parallel = core::reduce_adaptive(sys, opt);
+        ASSERT_EQ(serial.refinements, parallel.refinements);
+        ASSERT_EQ(serial.error_history.size(), parallel.error_history.size());
+        for (std::size_t i = 0; i < serial.error_history.size(); ++i)
+            ASSERT_EQ(serial.error_history[i], parallel.error_history[i])
+                << "greedy trajectory diverges at iteration " << i << " with " << threads
+                << " threads";
+        expect_bit_identical(serial.model, parallel.model, "adaptive");
+    }
+}
+
+}  // namespace
+}  // namespace atmor

@@ -170,5 +170,22 @@ TEST(RomServe, WarmJacobianIsReplayedAcrossBatches) {
     EXPECT_EQ(f.engine.stats().solver.factorizations, after_first + 1);
 }
 
+TEST(RomServe, EmptyQueriesAreTypedErrors) {
+    // An empty waveform batch or frequency grid is a caller bug surfaced as
+    // a typed PreconditionError, never a silent empty answer (and never a
+    // registry resolution / model build).
+    Fixture f;
+    ode::TransientOptions topt;
+    topt.t_end = 0.4;
+    topt.dt = 1e-2;
+    EXPECT_THROW((void)f.engine.transient_batch("m", f.builder(), {}, topt),
+                 util::PreconditionError);
+    EXPECT_THROW((void)f.engine.frequency_response("m", f.builder(), {}),
+                 util::PreconditionError);
+    EXPECT_EQ(f.builds.load(), 0);
+    EXPECT_EQ(f.engine.stats().transient_queries, 0);
+    EXPECT_EQ(f.engine.stats().frequency_queries, 0);
+}
+
 }  // namespace
 }  // namespace atmor

@@ -221,7 +221,11 @@ TEST(TransientBatch, EmptyBatchAndArityValidation) {
     TransientOptions opt;
     opt.t_end = 1.0;
     opt.dt = 1e-2;
-    EXPECT_TRUE(ode::simulate_batch(sys, {}, opt).empty());
+    // An empty batch is a caller bug surfaced as a typed error, never a
+    // silent empty result -- on both the stamping and the replay overload.
+    EXPECT_THROW(ode::simulate_batch(sys, {}, opt), util::PreconditionError);
+    EXPECT_THROW(ode::simulate_batch(sys, {}, opt, ode::make_warm_start(sys, opt)),
+                 util::PreconditionError);
     std::vector<ode::InputFn> bad = {[](double) { return Vec{1.0, 2.0}; }};
     EXPECT_THROW(ode::simulate_batch(sys, bad, opt), util::PreconditionError);
 }
