@@ -24,8 +24,11 @@
 #include "la/expm.hpp"
 #include "la/lu.hpp"
 #include "la/operator.hpp"
+#include "la/orth.hpp"
 #include "la/schur.hpp"
+#include "la/simd.hpp"
 #include "la/solver_backend.hpp"
+#include "sparse/csr.hpp"
 #include "sparse/splu.hpp"
 #include "tensor/structured.hpp"
 #include "util/rng.hpp"
@@ -148,6 +151,170 @@ CompareRow compare_at(int n) {
     return row;
 }
 
+// ---------------------------------------------------------------------------
+// Vectorized-vs-scalar kernel tiers. The la/simd dispatch is toggled with the
+// same force_scalar() switch the ATMOR_SCALAR_KERNELS escape hatch uses, so
+// both sides run identical call paths and differ only in the kernel tier.
+//
+// The CI-gated floor (kernel_blocked_chain_simd_speedup_ok) sits on the
+// blocked multi-RHS resolvent chain -- 32 right-hand sides through 8
+// dense-LU backsolves, the moment-generation workload whose inner loops are
+// the contiguous axpy row sweeps the kernel layer vectorizes. Like the
+// thread-scaling gate, enforcement is conditional on where a win is
+// physically measurable: the AVX2 build must deliver >= 1.3x (measured
+// ~1.9x, wide margin), while the portable omp-simd build -- whose
+// baseline-ISA axpy is only 2-wide SSE and measures 1.0-1.35x depending on
+// runner noise -- records the speedup informationally with
+// kernel_gate_enforced=false and a vacuously-true _ok, so the gate never
+// flakes on a margin thinner than the timer jitter. Scalar and vectorized
+// samples are interleaved so clock drift on a busy runner cancels instead
+// of landing on whichever tier was timed second. SpMV (synthetic 32-nnz/row operator;
+// NLTL-lifted rows carry only ~3 entries), dot/axpy microkernels and the
+// Householder-vs-MGS orthogonalization timings are informative columns:
+// random-gather SpMV is load-bound, so the portable tier wins little until
+// the AVX2 gather kernel is enabled.
+// ---------------------------------------------------------------------------
+
+/// The chain floor is enforced only in the AVX2 build: that tier must
+/// deliver >= 1.3x, while the portable omp-simd tier's ~1.0-1.35x win sits
+/// inside single-core timer jitter and is recorded informationally.
+constexpr double kKernelSpeedupFloor = 1.3;
+
+bool kernel_gate_enforced() {
+    return std::strcmp(la::simd::compiled_level(), "avx2") == 0;
+}
+
+struct KernelTiers {
+    double chain_scalar_s = 0, chain_simd_s = 0, chain_speedup = 0;
+    double spmv_scalar_s = 0, spmv_simd_s = 0, spmv_speedup = 0;
+    double dot_scalar_s = 0, dot_simd_s = 0, dot_speedup = 0;
+    double axpy_scalar_s = 0, axpy_simd_s = 0, axpy_speedup = 0;
+    double ortho_mgs_s = 0, ortho_hh_s = 0, ortho_speedup = 0;
+    bool chain_ok = false;
+};
+
+KernelTiers run_kernel_tiers() {
+    constexpr int kN = 2000;
+    constexpr int kNnzPerRow = 32;
+    constexpr int kSpmvReps = 50;
+    constexpr int kVecLen = 4096;
+    constexpr int kVecReps = 2000;
+    constexpr int kChainN = 1000;
+    constexpr int kChainRhs = 32;
+    constexpr int kChainMoments = 8;
+
+    util::Rng rng(77);
+    sparse::CooBuilder coo(kN, kN);
+    for (int i = 0; i < kN; ++i)
+        for (int k = 0; k < kNnzPerRow; ++k)
+            coo.add(i, rng.uniform_int(0, kN - 1), rng.gaussian());
+    const sparse::CsrMatrix a(coo);
+    la::Vec x(kN);
+    for (auto& v : x) v = rng.gaussian();
+
+    la::Vec u(kVecLen), w(kVecLen);
+    for (auto& v : u) v = rng.gaussian();
+    for (auto& v : w) v = rng.gaussian();
+
+    la::Matrix chain_a(kChainN, kChainN);
+    for (int i = 0; i < kChainN; ++i)
+        for (int j = 0; j < kChainN; ++j) chain_a(i, j) = rng.gaussian();
+    for (int i = 0; i < kChainN; ++i) chain_a(i, i) += kChainN;  // well conditioned
+    const la::Lu chain_lu(chain_a);
+    la::Matrix chain_rhs(kChainN, kChainRhs);
+    for (int i = 0; i < kChainN; ++i)
+        for (int j = 0; j < kChainRhs; ++j) chain_rhs(i, j) = rng.gaussian();
+
+    la::Matrix ortho_input(kN, 64);
+    for (int i = 0; i < kN; ++i)
+        for (int j = 0; j < 64; ++j) ortho_input(i, j) = rng.gaussian();
+
+    KernelTiers kt;
+    const bool forced_before = la::simd::scalar_forced();
+    auto time_both = [&](auto&& fn, double& scalar_s, double& simd_s) {
+        std::vector<double> ts, tv;
+        for (int s = 0; s < 5; ++s) {
+            la::simd::force_scalar(true);
+            {
+                util::Timer t;
+                fn();
+                ts.push_back(t.seconds());
+            }
+            la::simd::force_scalar(false);
+            {
+                util::Timer t;
+                fn();
+                tv.push_back(t.seconds());
+            }
+        }
+        std::sort(ts.begin(), ts.end());
+        std::sort(tv.begin(), tv.end());
+        scalar_s = ts[ts.size() / 2];
+        simd_s = tv[tv.size() / 2];
+    };
+
+    time_both(
+        [&] {
+            la::Matrix xc = chain_rhs;
+            for (int mom = 0; mom < kChainMoments; ++mom) xc = chain_lu.solve(xc);
+            benchmark::DoNotOptimize(xc);
+        },
+        kt.chain_scalar_s, kt.chain_simd_s);
+    time_both(
+        [&] {
+            la::Vec y;
+            for (int rep = 0; rep < kSpmvReps; ++rep) y = a.matvec(x);
+            benchmark::DoNotOptimize(y);
+        },
+        kt.spmv_scalar_s, kt.spmv_simd_s);
+    time_both(
+        [&] {
+            double acc = 0.0;
+            for (int rep = 0; rep < kVecReps; ++rep)
+                acc += la::simd::dot(u.data(), w.data(), u.size());
+            benchmark::DoNotOptimize(acc);
+        },
+        kt.dot_scalar_s, kt.dot_simd_s);
+    time_both(
+        [&] {
+            for (int rep = 0; rep < kVecReps; ++rep)
+                la::simd::axpy(1e-9, u.data(), w.data(), w.size());
+            benchmark::DoNotOptimize(w.data());
+        },
+        kt.axpy_scalar_s, kt.axpy_simd_s);
+    // Orthogonalization: the escape hatch degrades the panel path to eager
+    // MGS, so the same entry point times blocked Householder vs MGS.
+    time_both([&] { benchmark::DoNotOptimize(la::orthonormalize_columns(ortho_input)); },
+              kt.ortho_mgs_s, kt.ortho_hh_s);
+    la::simd::force_scalar(forced_before);
+
+    auto ratio = [](double denom, double num) { return num > 0.0 ? denom / num : 0.0; };
+    kt.chain_speedup = ratio(kt.chain_scalar_s, kt.chain_simd_s);
+    kt.spmv_speedup = ratio(kt.spmv_scalar_s, kt.spmv_simd_s);
+    kt.dot_speedup = ratio(kt.dot_scalar_s, kt.dot_simd_s);
+    kt.axpy_speedup = ratio(kt.axpy_scalar_s, kt.axpy_simd_s);
+    kt.ortho_speedup = ratio(kt.ortho_mgs_s, kt.ortho_hh_s);
+    kt.chain_ok = !kernel_gate_enforced() || kt.chain_speedup >= kKernelSpeedupFloor;
+
+    std::printf("\n=== kernel tiers: scalar vs %s (single thread) ===\n",
+                la::simd::compiled_level());
+    std::printf("blocked chain (n=%d, %d rhs, %d solves) : %.3e s -> %.3e s  "
+                "(%.2fx, floor %.2fx %s)\n",
+                kChainN, kChainRhs, kChainMoments, kt.chain_scalar_s, kt.chain_simd_s,
+                kt.chain_speedup, kKernelSpeedupFloor,
+                kernel_gate_enforced() ? (kt.chain_ok ? "enforced, ok" : "enforced, VIOLATED")
+                                       : "not enforced (portable tier, informative)");
+    std::printf("spmv  (n=%d, %d nnz/row x%d) : %.3e s -> %.3e s  (%.2fx)\n", kN, kNnzPerRow,
+                kSpmvReps, kt.spmv_scalar_s, kt.spmv_simd_s, kt.spmv_speedup);
+    std::printf("dot   (n=%d x%d)            : %.3e s -> %.3e s  (%.2fx)\n", kVecLen,
+                kVecReps, kt.dot_scalar_s, kt.dot_simd_s, kt.dot_speedup);
+    std::printf("axpy  (n=%d x%d)            : %.3e s -> %.3e s  (%.2fx)\n", kVecLen,
+                kVecReps, kt.axpy_scalar_s, kt.axpy_simd_s, kt.axpy_speedup);
+    std::printf("ortho (2000x64, MGS -> blocked Householder) : %.3e s -> %.3e s  (%.2fx)\n",
+                kt.ortho_mgs_s, kt.ortho_hh_s, kt.ortho_speedup);
+    return kt;
+}
+
 int run_sparse_vs_dense(const std::string& json_path) {
     const std::vector<int> sizes = {200, 500, 1000, 2000};
     std::vector<CompareRow> rows;
@@ -163,31 +330,57 @@ int run_sparse_vs_dense(const std::string& json_path) {
                     r.dense_chain_s, r.sparse_chain_s, r.chain_speedup, r.matvec_speedup);
     }
 
-    std::ofstream out(json_path);
-    if (!out) {
-        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-        return 1;
-    }
-    out << "{\n  \"bench\": \"la_kernels\",\n  \"workload\": "
-           "\"nltl_lifted_resolvent_chain\",\n  \"moments\": 8,\n  \"sigma0\": 1.0,\n"
-           "  \"results\": [\n";
+    const KernelTiers kt = run_kernel_tiers();
+
+    std::ostringstream results;
+    results << "[\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const CompareRow& r = rows[i];
-        out << "    {\"n\": " << r.n << ", \"nnz\": " << r.nnz
-            << ", \"dense_lu_factor_s\": " << r.dense_lu_factor_s
-            << ", \"sparse_lu_factor_s\": " << r.sparse_lu_factor_s
-            << ", \"dense_resolvent_chain_s\": " << r.dense_chain_s
-            << ", \"sparse_resolvent_chain_s\": " << r.sparse_chain_s
-            << ", \"dense_matvec100_s\": " << r.dense_matvec_s
-            << ", \"sparse_matvec100_s\": " << r.sparse_matvec_s
-            << ", \"factor_speedup\": " << r.factor_speedup
-            << ", \"chain_speedup\": " << r.chain_speedup
-            << ", \"matvec_speedup\": " << r.matvec_speedup << "}"
-            << (i + 1 < rows.size() ? "," : "") << "\n";
+        results << "    {\"n\": " << r.n << ", \"nnz\": " << r.nnz
+                << ", \"dense_lu_factor_s\": " << r.dense_lu_factor_s
+                << ", \"sparse_lu_factor_s\": " << r.sparse_lu_factor_s
+                << ", \"dense_resolvent_chain_s\": " << r.dense_chain_s
+                << ", \"sparse_resolvent_chain_s\": " << r.sparse_chain_s
+                << ", \"dense_matvec100_s\": " << r.dense_matvec_s
+                << ", \"sparse_matvec100_s\": " << r.sparse_matvec_s
+                << ", \"factor_speedup\": " << r.factor_speedup
+                << ", \"chain_speedup\": " << r.chain_speedup
+                << ", \"matvec_speedup\": " << r.matvec_speedup << "}"
+                << (i + 1 < rows.size() ? "," : "") << "\n";
     }
-    out << "  ]\n}\n";
-    std::printf("wrote %s\n", json_path.c_str());
-    return 0;
+    results << "  ]";
+
+    bench::Json json;
+    json.str("bench", "la_kernels");
+    json.str("workload", "nltl_lifted_resolvent_chain");
+    json.num("moments", 8);
+    json.num("sigma0", 1.0);
+    bench::add_env_header(json);
+    json.num("kernel_blocked_chain_scalar_s", kt.chain_scalar_s);
+    json.num("kernel_blocked_chain_simd_s", kt.chain_simd_s);
+    json.num("kernel_blocked_chain_simd_speedup", kt.chain_speedup);
+    json.num("kernel_speedup_floor", kKernelSpeedupFloor);
+    json.boolean("kernel_gate_enforced", kernel_gate_enforced());
+    json.boolean("kernel_blocked_chain_simd_speedup_ok", kt.chain_ok);
+    json.num("kernel_spmv_scalar_s", kt.spmv_scalar_s);
+    json.num("kernel_spmv_simd_s", kt.spmv_simd_s);
+    json.num("kernel_spmv_simd_speedup", kt.spmv_speedup);
+    json.num("kernel_dot_scalar_s", kt.dot_scalar_s);
+    json.num("kernel_dot_simd_s", kt.dot_simd_s);
+    json.num("kernel_dot_simd_speedup", kt.dot_speedup);
+    json.num("kernel_axpy_scalar_s", kt.axpy_scalar_s);
+    json.num("kernel_axpy_simd_s", kt.axpy_simd_s);
+    json.num("kernel_axpy_simd_speedup", kt.axpy_speedup);
+    json.num("ortho_mgs_s", kt.ortho_mgs_s);
+    json.num("ortho_householder_s", kt.ortho_hh_s);
+    json.num("ortho_householder_speedup", kt.ortho_speedup);
+    json.raw("results", results.str());
+    if (!bench::write_json(json, json_path)) return 1;
+
+    bench::InvariantChecker check;
+    check.require(kt.chain_ok,
+                  "AVX2 blocked resolvent chain beats scalar kernels by the 1.3x floor");
+    return check.exit_code();
 }
 
 // ---------------------------------------------------------------------------

@@ -15,8 +15,10 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "la/simd.hpp"
 #include "ode/transient.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -129,6 +131,22 @@ public:
 private:
     std::vector<std::pair<std::string, std::string>> fields_;
 };
+
+/// Environment header every bench JSON carries: the perf gate
+/// (scripts/bench_compare.py) uses hardware_concurrency to decide whether a
+/// baseline-vs-fresh comparison is apples-to-apples (warn, don't fail, when
+/// the machines differ) and whether the thread-scaling gate is enforceable;
+/// compiler and simd_level make a kernel-config mismatch visible at a glance.
+inline void add_env_header(Json& json) {
+    json.num("hardware_concurrency",
+             static_cast<int>(std::thread::hardware_concurrency()));
+#if defined(__VERSION__)
+    json.str("compiler", __VERSION__);
+#else
+    json.str("compiler", "unknown");
+#endif
+    json.str("simd_level", la::simd::active_level());
+}
 
 /// Write a bench JSON artifact; a failed write is itself a bench failure.
 inline bool write_json(const Json& json, const std::string& path) {

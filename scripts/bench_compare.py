@@ -73,6 +73,20 @@ def compare_file(base_path, fresh_path, fail_ratio, warn_ratio, report):
 
     failures, warnings = [], []
 
+    # Machine mismatch is a warning, never a failure: baselines are recorded
+    # on whatever machine regenerated them, and a runner with a different
+    # core count (or SIMD build level) legitimately produces different
+    # absolute numbers. The median-ratio calibration below absorbs uniform
+    # speed differences; this warning just flags that thread-scaling and
+    # kernel-speedup fields are not apples-to-apples.
+    for env_key in ("hardware_concurrency", "simd_level"):
+        if env_key in base_leaves and env_key in fresh_leaves and \
+                base_leaves[env_key] != fresh_leaves[env_key]:
+            warnings.append(
+                f"{env_key}: baseline ran with {base_leaves[env_key]!r}, "
+                f"fresh with {fresh_leaves[env_key]!r} -- scaling/speedup fields "
+                f"are not directly comparable")
+
     for key in base_leaves:
         if key not in fresh_leaves:
             failures.append(f"{key}: present in baseline, missing from fresh run")
@@ -89,6 +103,29 @@ def compare_file(base_path, fresh_path, fail_ratio, warn_ratio, report):
             time_ratios.append(fresh_value / base_value)
     scale = sorted(time_ratios)[len(time_ratios) // 2] if time_ratios else 1.0
     report.append(f"    machine-speed calibration: median time ratio {scale:.2f}x")
+
+    # Thread-scaling gate status (bench_parallel_scaling): the bench records
+    # scaling_ok vacuously true on machines with < 8 cores and enforces the
+    # >2x 8-thread floor on real multi-core hardware; a true -> false flip of
+    # scaling_ok is caught by the invariant check below. Surface which mode
+    # the fresh run was in so a vacuous pass is never mistaken for a
+    # measured one.
+    enforced = fresh_leaves.get("scaling_gate_enforced")
+    if enforced is True:
+        report.append("    scaling gate: ENFORCED (fresh runner has >= 8 cores, "
+                      "8-thread speedup must exceed 2x)")
+    elif enforced is False:
+        report.append("    scaling gate: informative only (fresh runner has < 8 cores)")
+
+    # Kernel-speedup gate status (bench_la_kernels): same pattern -- the 1.3x
+    # vectorized-vs-scalar chain floor is enforced in the AVX2 build and
+    # informative in the portable build, whose win sits inside timer jitter.
+    kernel_enforced = fresh_leaves.get("kernel_gate_enforced")
+    if kernel_enforced is True:
+        report.append("    kernel gate: ENFORCED (AVX2 build, chain speedup must "
+                      "exceed the 1.3x floor)")
+    elif kernel_enforced is False:
+        report.append("    kernel gate: informative only (portable kernel build)")
 
     for key, base_value in sorted(base_leaves.items()):
         if key not in fresh_leaves:

@@ -95,15 +95,18 @@ MorResult reduce_associated(const volterra::AssociatedTransform& at, const AtMor
 
     la::BasisBuilder basis(sys.order(), opt.deflation_tol);
     int raw = 0;
-    // Markov parameters (s = infinity expansion): plain powers G1^j b.
+    // Markov parameters (s = infinity expansion): plain powers G1^j b. The
+    // iterates don't depend on the basis, so each input's chain is staged as
+    // one panel and flushed through the blocked orthogonalisation.
     if (opt.markov_moments > 0) {
         for (int input = 0; input < sys.inputs(); ++input) {
             la::Vec v = sys.b_col(input);
             for (int j = 0; j < opt.markov_moments; ++j) {
-                basis.add(v);
+                basis.stage(v);
                 ++raw;
                 v = sys.apply_g1(v);
             }
+            basis.flush();
         }
     }
     // Moment generation fans out across expansion points (Remark 3: the
@@ -126,30 +129,37 @@ MorResult reduce_associated(const volterra::AssociatedTransform& at, const AtMor
             return mm;
         });
 
+    // Each moment matrix is one panel: its columns are staged together and
+    // flushed through the blocked CGS2 + Householder orthogonalisation, so
+    // deflation still acts in the same enumeration order a serial eager run
+    // would use (the reduced model stays thread-count independent).
     for (const PointMoments& mm : moments) {
         for (const auto& mom : mm.h1) {
             for (int col = 0; col < mom.cols(); ++col) {
-                basis.add_complex(mom.col(col));
+                basis.stage_complex(mom.col(col));
                 ++raw;
             }
+            basis.flush();
         }
         for (const auto& mom : mm.a2h2) {
             // Input pairs (i, j) and (j, i) share a column; add i <= j only.
             const int m = sys.inputs();
             for (int i = 0; i < m; ++i)
                 for (int j = i; j < m; ++j) {
-                    basis.add_complex(mom.col(i * m + j));
+                    basis.stage_complex(mom.col(i * m + j));
                     ++raw;
                 }
+            basis.flush();
         }
         for (const auto& mom : mm.a3h3) {
             const int m = sys.inputs();
             for (int i = 0; i < m; ++i)
                 for (int j = i; j < m; ++j)
                     for (int k = j; k < m; ++k) {
-                        basis.add_complex(mom.col((i * m + j) * m + k));
+                        basis.stage_complex(mom.col((i * m + j) * m + k));
                         ++raw;
                     }
+            basis.flush();
         }
     }
     ATMOR_CHECK(basis.size() >= 1, "reduce_associated: basis collapsed to zero vectors");

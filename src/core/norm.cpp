@@ -319,12 +319,14 @@ MorResult reduce_norm(const Qldae& sys, const NormOptions& opt) {
     // Only the active moment blocks read beyond the q1 chain.
     eng.ensure_m1(std::max({opt.q1, h2_active ? opt.q2 : 0, h3_active ? opt.q3 : 0}));
 
-    // H1 moments (read from the blocked-chain prefill).
+    // H1 moments (read from the blocked-chain prefill), staged as one panel
+    // per moment block and flushed through the blocked orthogonalisation.
     for (int a = 0; a < opt.q1; ++a)
         for (int i = 0; i < m; ++i) {
-            basis.add_complex(eng.m1_at(i, a));
+            basis.stage_complex(eng.m1_at(i, a));
             ++raw;
         }
+    basis.flush();
 
     const bool box = opt.moment_set == NormOptions::MomentSet::box;
 
@@ -344,10 +346,11 @@ MorResult reduce_norm(const Qldae& sys, const NormOptions& opt) {
                     }
         eng.prefill_m2(h2_tuples, pool);
         for (const M2Key& key : h2_tuples) {
-            basis.add_complex(eng.m2_at(std::get<0>(key), std::get<1>(key), std::get<2>(key),
-                                        std::get<3>(key)));
+            basis.stage_complex(eng.m2_at(std::get<0>(key), std::get<1>(key), std::get<2>(key),
+                                          std::get<3>(key)));
             ++raw;
         }
+        basis.flush();
     }
 
     // H3 multivariate moments.
@@ -379,9 +382,10 @@ MorResult reduce_norm(const Qldae& sys, const NormOptions& opt) {
                 return eng.m3(t[0], t[1], t[2], t[3], t[4], t[5]);
             });
         for (const ZVec& v : m3_vals) {
-            basis.add_complex(v);
+            basis.stage_complex(v);
             ++raw;
         }
+        basis.flush();
     }
 
     ATMOR_CHECK(basis.size() >= 1, "reduce_norm: basis collapsed to zero vectors");

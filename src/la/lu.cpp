@@ -2,7 +2,23 @@
 
 #include <cmath>
 
+#include "la/simd.hpp"
 #include "util/check.hpp"
+
+namespace {
+
+/// xi[0..k) -= m * xj[0..k) on the elementwise simd kernels. Negating the
+/// multiplier and adding is bit-identical to the subtract form (IEEE negation
+/// is exact), so the blocked-solve == single-solve pins hold in every tier.
+template <class T>
+inline void row_sub(T* xi, T m, const T* xj, int k) {
+    if constexpr (std::is_same_v<T, double>)
+        atmor::la::simd::axpy(-m, xj, xi, static_cast<std::size_t>(k));
+    else
+        atmor::la::simd::zaxpy(-m, xj, xi, static_cast<std::size_t>(k));
+}
+
+}  // namespace
 
 namespace atmor::la {
 
@@ -86,21 +102,13 @@ DenseMatrix<T> LuFactorization<T>::solve(const DenseMatrix<T>& b) const {
     for (int i = 1; i < n; ++i) {
         const T* ri = lu_.row_ptr(i);
         T* xi = x.row_ptr(i);
-        for (int j = 0; j < i; ++j) {
-            const T m = ri[j];
-            const T* xj = x.row_ptr(j);
-            for (int c = 0; c < k; ++c) xi[c] -= m * xj[c];
-        }
+        for (int j = 0; j < i; ++j) row_sub(xi, ri[j], x.row_ptr(j), k);
     }
     // Backward substitution.
     for (int i = n - 1; i >= 0; --i) {
         const T* ri = lu_.row_ptr(i);
         T* xi = x.row_ptr(i);
-        for (int j = i + 1; j < n; ++j) {
-            const T m = ri[j];
-            const T* xj = x.row_ptr(j);
-            for (int c = 0; c < k; ++c) xi[c] -= m * xj[c];
-        }
+        for (int j = i + 1; j < n; ++j) row_sub(xi, ri[j], x.row_ptr(j), k);
         const T d = ri[i];
         for (int c = 0; c < k; ++c) xi[c] /= d;
     }

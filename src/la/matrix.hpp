@@ -9,8 +9,10 @@
 #include <algorithm>
 #include <complex>
 #include <initializer_list>
+#include <type_traits>
 #include <vector>
 
+#include "la/simd.hpp"
 #include "util/check.hpp"
 
 namespace atmor::la {
@@ -138,7 +140,19 @@ using ZVec = std::vector<Complex>;
 
 // ---------------------------------------------------------------------------
 // Matrix products (ikj loop order: streams over rows of B, cache friendly).
+// The k-wide row updates and row reductions run on the la/simd kernels:
+// elementwise updates (axpy/zaxpy) are bit-identical across kernel tiers,
+// row reductions (dot) are reassociated and tolerance-pinned.
 // ---------------------------------------------------------------------------
+
+/// ci[0..m) += aik * bk[0..m) on the simd kernel layer.
+template <class T>
+inline void row_update(T* ci, T aik, const T* bk, int m) {
+    if constexpr (std::is_same_v<T, double>)
+        simd::axpy(aik, bk, ci, static_cast<std::size_t>(m));
+    else
+        simd::zaxpy(aik, bk, ci, static_cast<std::size_t>(m));
+}
 
 template <class T>
 DenseMatrix<T> matmul(const DenseMatrix<T>& a, const DenseMatrix<T>& b) {
@@ -151,8 +165,7 @@ DenseMatrix<T> matmul(const DenseMatrix<T>& a, const DenseMatrix<T>& b) {
         for (int k = 0; k < k_dim; ++k) {
             const T aik = a(i, k);
             if (aik == T(0)) continue;
-            const T* bk = b.row_ptr(k);
-            for (int j = 0; j < m; ++j) ci[j] += aik * bk[j];
+            row_update(ci, aik, b.row_ptr(k), m);
         }
     }
     return c;
@@ -179,8 +192,7 @@ DenseMatrix<T> matmul_blocked(const DenseMatrix<T>& a, const DenseMatrix<T>& b) 
                 for (int k = k0; k < k1; ++k) {
                     const T aik = a(i, k);
                     if (aik == T(0)) continue;
-                    const T* bk = b.row_ptr(k);
-                    for (int j = 0; j < m; ++j) ci[j] += aik * bk[j];
+                    row_update(ci, aik, b.row_ptr(k), m);
                 }
             }
         }
@@ -195,9 +207,14 @@ std::vector<T> matvec(const DenseMatrix<T>& a, const std::vector<T>& x) {
     std::vector<T> y(static_cast<std::size_t>(a.rows()), T(0));
     for (int i = 0; i < a.rows(); ++i) {
         const T* ai = a.row_ptr(i);
-        T acc = T(0);
-        for (int j = 0; j < a.cols(); ++j) acc += ai[j] * x[static_cast<std::size_t>(j)];
-        y[static_cast<std::size_t>(i)] = acc;
+        if constexpr (std::is_same_v<T, double>) {
+            y[static_cast<std::size_t>(i)] =
+                simd::dot(ai, x.data(), static_cast<std::size_t>(a.cols()));
+        } else {
+            T acc = T(0);
+            for (int j = 0; j < a.cols(); ++j) acc += ai[j] * x[static_cast<std::size_t>(j)];
+            y[static_cast<std::size_t>(i)] = acc;
+        }
     }
     return y;
 }
@@ -211,7 +228,7 @@ std::vector<T> matvec_transposed(const DenseMatrix<T>& a, const std::vector<T>& 
         const T* ai = a.row_ptr(i);
         const T xi = x[static_cast<std::size_t>(i)];
         if (xi == T(0)) continue;
-        for (int j = 0; j < a.cols(); ++j) y[static_cast<std::size_t>(j)] += ai[j] * xi;
+        row_update(y.data(), xi, ai, a.cols());
     }
     return y;
 }

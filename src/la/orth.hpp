@@ -12,8 +12,20 @@
 
 namespace atmor::la {
 
-/// Grows an orthonormal set of columns by modified Gram-Schmidt with a single
-/// reorthogonalisation pass; near-dependent vectors are rejected (deflated).
+/// Grows an orthonormal set of columns with deflation of near-dependent
+/// directions.
+///
+/// Two ingestion paths share one deflation rule (reject when the orthogonal
+/// residual falls below deflation_tol * ||candidate||):
+///   * add()/add_columns()/add_complex() -- eager, one vector at a time, by
+///     modified Gram-Schmidt with a single reorthogonalisation pass.
+///   * stage()/stage_complex() + flush() -- panel mode. A flushed panel is
+///     projected against the existing basis by two blocked classical
+///     Gram-Schmidt sweeps (GEMM-shaped on the la/simd kernels), then
+///     orthonormalised within itself by blocked Householder QR, dropping
+///     columns whose R diagonal falls under the deflation threshold. Under
+///     the ATMOR_SCALAR_KERNELS escape hatch flush() degrades to the eager
+///     MGS path.
 class BasisBuilder {
 public:
     /// @param dim ambient dimension
@@ -31,16 +43,32 @@ public:
     /// non-real expansion points; the projector must stay real).
     int add_complex(const ZVec& v);
 
+    /// Queue one vector for the next flush().
+    void stage(const Vec& v);
+
+    /// Queue the real part and (when not numerically zero, same rule as
+    /// add_complex) the imaginary part for the next flush().
+    void stage_complex(const ZVec& v);
+
+    /// Orthonormalise every staged vector against the basis and within the
+    /// panel; append the survivors. Returns how many columns were added.
+    int flush();
+
     [[nodiscard]] int dim() const { return dim_; }
     [[nodiscard]] int size() const { return static_cast<int>(basis_.size()); }
+    [[nodiscard]] int staged() const { return static_cast<int>(staged_.size()); }
 
-    /// Basis as a dim x size matrix with orthonormal columns.
+    /// Basis as a dim x size matrix with orthonormal columns. Requires every
+    /// staged vector to have been flushed.
     [[nodiscard]] Matrix matrix() const;
 
 private:
+    int flush_chunk(std::vector<Vec> panel, std::vector<double> orig);
+
     int dim_;
     double tol_;
     std::vector<Vec> basis_;
+    std::vector<Vec> staged_;
 };
 
 /// Orthonormalise the columns of m (rank-revealing); returns dim x r matrix.

@@ -1,5 +1,6 @@
-// Householder QR factorisation (real), thin-Q extraction, least squares and
-// rank-revealing column-pivoted variant used for basis deflation diagnostics.
+// Blocked Householder QR factorisation (real, compact-WY form), thin-Q
+// extraction, least squares and a rank-revealing column-pivoted variant used
+// for basis deflation diagnostics.
 #pragma once
 
 #include <vector>
@@ -9,6 +10,14 @@
 namespace atmor::la {
 
 /// Householder QR of an m x n matrix (m >= n): A = Q R.
+///
+/// The factorisation is blocked: columns are processed in panels of kPanel
+/// reflectors, each panel's product H_k0 ... H_k1-1 = I - V T V^T held in
+/// compact-WY form (unit-lower V below the diagonal, small upper-triangular
+/// T). Trailing updates and thin-Q assembly apply whole panels as two
+/// GEMM-shaped sweeps on the la/simd kernels instead of one reflector at a
+/// time. The stored reflectors are the classical ones, so the per-vector
+/// paths (apply_qt, solve_least_squares) read the same representation.
 class QrFactorization {
 public:
     explicit QrFactorization(Matrix a);
@@ -25,11 +34,18 @@ public:
     [[nodiscard]] int rows() const { return qr_.rows(); }
     [[nodiscard]] int cols() const { return qr_.cols(); }
 
+    /// Compact-WY panel width.
+    static constexpr int kPanel = 32;
+
 private:
     void apply_qt(Vec& v) const;  // v <- Q^T v
 
-    Matrix qr_;        // Householder vectors below diagonal, R on/above
-    Vec beta_;         // Householder scalars
+    /// T factor of the panel starting at column k0 (LAPACK larft recurrence).
+    [[nodiscard]] Matrix build_t(int k0, int nb) const;
+
+    Matrix qr_;              // Householder vectors below diagonal, R on/above
+    Vec beta_;               // Householder scalars
+    std::vector<Matrix> t_;  // per-panel compact-WY T factors
 };
 
 /// Column-pivoted QR rank estimate: number of diagonal |R_ii| > tol * |R_00|.

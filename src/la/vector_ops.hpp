@@ -1,23 +1,42 @@
 // Free-function vector arithmetic on std::vector<double> / std::vector<complex>.
+//
+// The double and complex primitives route through the la/simd kernel layer
+// (vectorized by default, scalar when the ATMOR_SCALAR_KERNELS escape hatch
+// is active). axpy/scale stay bit-identical across kernel tiers; dot/norm2
+// are reassociated reductions pinned only by tolerance.
 #pragma once
 
 #include <cmath>
 #include <complex>
 #include <vector>
 
+#include "la/simd.hpp"
 #include "util/check.hpp"
 
 namespace atmor::la {
 
-template <class T>
-std::vector<T>& axpy(T alpha, const std::vector<T>& x, std::vector<T>& y) {
+inline std::vector<double>& axpy(double alpha, const std::vector<double>& x,
+                                 std::vector<double>& y) {
     ATMOR_REQUIRE(x.size() == y.size(), "axpy: size mismatch");
-    for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+    simd::axpy(alpha, x.data(), y.data(), x.size());
     return y;
 }
 
-template <class T>
-std::vector<T>& scale(T alpha, std::vector<T>& x) {
+inline std::vector<std::complex<double>>& axpy(std::complex<double> alpha,
+                                               const std::vector<std::complex<double>>& x,
+                                               std::vector<std::complex<double>>& y) {
+    ATMOR_REQUIRE(x.size() == y.size(), "axpy: size mismatch");
+    simd::zaxpy(alpha, x.data(), y.data(), x.size());
+    return y;
+}
+
+inline std::vector<double>& scale(double alpha, std::vector<double>& x) {
+    simd::scale(alpha, x.data(), x.size());
+    return x;
+}
+
+inline std::vector<std::complex<double>>& scale(std::complex<double> alpha,
+                                                std::vector<std::complex<double>>& x) {
     for (auto& v : x) v *= alpha;
     return x;
 }
@@ -30,9 +49,7 @@ std::vector<T> scaled(T alpha, std::vector<T> x) {
 
 inline double dot(const std::vector<double>& a, const std::vector<double>& b) {
     ATMOR_REQUIRE(a.size() == b.size(), "dot: size mismatch");
-    double s = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-    return s;
+    return simd::dot(a.data(), b.data(), a.size());
 }
 
 /// Hermitian inner product <a, b> = sum conj(a_i) b_i.
@@ -44,11 +61,13 @@ inline std::complex<double> dot(const std::vector<std::complex<double>>& a,
     return s;
 }
 
-template <class T>
-double norm2(const std::vector<T>& a) {
-    double s = 0.0;
-    for (const auto& v : a) s += std::norm(std::complex<double>(v));
-    return std::sqrt(s);
+inline double norm2(const std::vector<double>& a) {
+    return std::sqrt(simd::nrm2sq(a.data(), a.size()));
+}
+
+inline double norm2(const std::vector<std::complex<double>>& a) {
+    // Interleaved re/im doubles: ||a||_2^2 is the same flat sum of squares.
+    return std::sqrt(simd::nrm2sq(reinterpret_cast<const double*>(a.data()), 2 * a.size()));
 }
 
 template <class T>

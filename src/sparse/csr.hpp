@@ -62,7 +62,9 @@ public:
     /// Sparse times dense block (SpMM): Y = A X with X of shape cols x k.
     /// Each CSR entry is loaded once and applied across a contiguous k-wide
     /// row of X -- the multi-vector analogue of matvec, used by the blocked
-    /// Galerkin projection. Column c equals matvec(X.col(c)) bit for bit.
+    /// Galerkin projection. Column c matches matvec(X.col(c)) to reduction
+    /// tolerance (matvec reduces rows with the reassociated la/simd spmv
+    /// kernel; spmm accumulates elementwise).
     [[nodiscard]] la::Matrix matmul(const la::Matrix& x) const;
     [[nodiscard]] la::ZMatrix matmul(const la::ZMatrix& x) const;
 

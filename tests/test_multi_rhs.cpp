@@ -167,18 +167,32 @@ TEST(MultiRhs, SparseBackendOnCsrOperatorBitForBit) {
 // SpMM and blocked GEMM.
 // ---------------------------------------------------------------------------
 
-TEST(MultiRhs, CsrSpmmMatchesMatvecBitForBit) {
+// spmm accumulates elementwise (axpy across the block); matvec reduces each
+// row with the reassociated spmv kernel. Per the kernel-layer numerical
+// policy, reductions are pinned by tolerance, not bit-for-bit -- only the
+// blocked-SOLVE paths keep exactness pins.
+TEST(MultiRhs, CsrSpmmMatchesMatvecTightly) {
     circuits::NltlOptions copt;
     copt.stages = 15;
     const volterra::Qldae sys = circuits::current_source_line(copt).to_qldae();
     const sparse::CsrMatrix& a = *sys.g1_csr();
     const Matrix x = random_matrix(a.cols(), 6, 12);
     const Matrix y = a.matmul(x);
-    for (int c = 0; c < 6; ++c) expect_identical_columns(y, a.matvec(x.col(c)), c);
+    for (int c = 0; c < 6; ++c) {
+        const Vec yc = a.matvec(x.col(c));
+        for (int i = 0; i < y.rows(); ++i)
+            EXPECT_NEAR(y(i, c), yc[static_cast<std::size_t>(i)], 1e-12)
+                << "row " << i << " col " << c;
+    }
 
     const ZMatrix zx = random_zmatrix(a.cols(), 4, 13);
     const ZMatrix zy = a.matmul(zx);
-    for (int c = 0; c < 4; ++c) expect_identical_columns(zy, a.matvec(zx.col(c)), c);
+    for (int c = 0; c < 4; ++c) {
+        const ZVec zyc = a.matvec(zx.col(c));
+        for (int i = 0; i < zy.rows(); ++i)
+            EXPECT_LT(std::abs(zy(i, c) - zyc[static_cast<std::size_t>(i)]), 1e-12)
+                << "row " << i << " col " << c;
+    }
 }
 
 TEST(MultiRhs, BlockedGemmMatchesMatmulBitForBit) {
