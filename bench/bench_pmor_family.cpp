@@ -156,7 +156,11 @@ int main(int argc, char** argv) {
     // -- Artifact round-trip: the family serves identically after reload. ---
     const std::string artifact = "family_sample.atmor-fam";
     rom::save_family(family, artifact);
+    util::Timer load_timer;
     const rom::Family loaded = rom::load_family(artifact);
+    const double cold_load_seconds = load_timer.seconds();
+    const std::size_t artifact_bytes = rom::serialize_family(family).size();
+    const std::size_t resident_after_load = rom::resident_bytes(loaded);
     bool roundtrip_ok = loaded.members.size() == family.members.size() &&
                         loaded.cells.size() == family.cells.size();
     if (roundtrip_ok) {
@@ -195,6 +199,9 @@ int main(int argc, char** argv) {
     json.num("family_serve_seconds", serve_seconds);
     json.num("cold_build_seconds", cold_build_seconds);
     json.num("cold_over_serve_ratio", speedup);
+    json.num("artifact_bytes", static_cast<long>(artifact_bytes));
+    json.num("resident_bytes_after_load", static_cast<long>(resident_after_load));
+    json.num("cold_load_seconds", cold_load_seconds);
     json.boolean("family_coverage_ok", inv.ok());
     json.boolean("roundtrip_ok", roundtrip_ok);
     if (!bench::write_json(json, json_path)) return 1;

@@ -17,6 +17,7 @@
 //   usage: bench_rom_serve [stages] [--threads N] [--json-out=PATH]
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -84,6 +85,17 @@ int main(int argc, char** argv) {
     std::printf("disk load:  %.6f s (%.0fx faster than building)\n", disk_seconds,
                 cold_seconds / disk_seconds);
 
+    // Size/footprint record for the perf gate: bytes on disk, heap bytes
+    // once resident, and a bare (registry-free) artifact load.
+    const std::size_t artifact_bytes =
+        static_cast<std::size_t>(std::filesystem::file_size("sample.atmor-rom"));
+    const std::size_t resident_after_load = rom::resident_bytes(*model);
+    util::Timer load_timer;
+    (void)rom::load_model("sample.atmor-rom");
+    const double cold_load_seconds = load_timer.seconds();
+    std::printf("artifact: %zu bytes on disk, %zu bytes resident, bare load %.6f s\n",
+                artifact_bytes, resident_after_load, cold_load_seconds);
+
     // ---------------------------------------------------------------------
     // 3. WARM: repeated online queries against the resident model.
     // ---------------------------------------------------------------------
@@ -150,6 +162,9 @@ int main(int argc, char** argv) {
         << "  \"full_order\": " << full.order() << ",\n  \"rom_order\": " << model->order
         << ",\n  \"cold_build_seconds\": " << cold_seconds
         << ",\n  \"disk_load_seconds\": " << disk_seconds
+        << ",\n  \"artifact_bytes\": " << artifact_bytes
+        << ",\n  \"resident_bytes_after_load\": " << resident_after_load
+        << ",\n  \"cold_load_seconds\": " << cold_load_seconds
         << ",\n  \"warm_freq_sweep_seconds\": " << freq_seconds
         << ",\n  \"warm_transient_batch_seconds\": " << transient_seconds
         << ",\n  \"full_model_transient_batch_seconds\": " << full_transient_seconds

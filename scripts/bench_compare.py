@@ -15,6 +15,10 @@ from the fresh directory and compare leaf by leaf:
   keeps the gate non-blocking on scheduler noise.
 * error/accuracy fields (keys ending in ``_err`` / ``_error``) are gated
   absolutely at --fail-ratio (an accuracy regression is machine-independent).
+* size fields (keys ending in ``_bytes``) are gated absolutely like errors:
+  artifact and resident-footprint sizes are deterministic, so a growth past
+  --fail-ratio FAILS (and past --warn-ratio WARNS) with no machine-speed
+  normalisation.
 * everything else (orders, counters, ratios) is informational.
 
 A missing fresh file or a fresh file missing baseline keys FAILS (a bench
@@ -59,6 +63,10 @@ def is_time_key(key):
 def is_error_key(key):
     name = base_name(key)
     return name.endswith("_err") or name.endswith("_error")
+
+
+def is_bytes_key(key):
+    return base_name(key).endswith("_bytes")
 
 
 def is_invariant_key(key):
@@ -160,6 +168,15 @@ def compare_file(base_path, fresh_path, fail_ratio, warn_ratio, report):
                     not math.isclose(fresh_value, base_value, abs_tol=1e-12):
                 failures.append(
                     f"{key}: accuracy regressed {base_value:.4g} -> {fresh_value:.4g}")
+        elif is_bytes_key(key):
+            if base_value <= 0:
+                continue
+            ratio = fresh_value / base_value
+            line = f"{key}: {base_value:.0f} -> {fresh_value:.0f} bytes ({ratio:.2f}x)"
+            if ratio > fail_ratio:
+                failures.append(line)
+            elif ratio > warn_ratio:
+                warnings.append(line)
     return failures, warnings
 
 

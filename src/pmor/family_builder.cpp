@@ -212,8 +212,19 @@ FamilyBuildResult FamilyBuilder::build() {
         }
     }
 
-    stats.build_seconds = timer.seconds();
     result.family = std::move(family);
+
+    if (opt_.compress) {
+        // Offline compression rides the build: union basis per full-order
+        // group, tier-encoded payloads, measured encoding error folded into
+        // the stored certificates (rom/family_codec.hpp).
+        result.compressed =
+            rom::compress_family(result.family, opt_.compress_options, &result.compress_stats);
+        if (opt_.registry && !opt_.registry->options().artifact_dir.empty())
+            result.artifact_path = opt_.registry->put_family(*result.compressed);
+    }
+
+    stats.build_seconds = timer.seconds();
     return result;
 }
 

@@ -29,4 +29,10 @@ int Family::nearest_member(const pmor::Point& coords) const {
     return nearest(space, coords, members, [](const FamilyMember& m) { return m.coords; });
 }
 
+std::size_t resident_bytes(const Family& f) {
+    std::size_t bytes = 0;
+    for (const FamilyMember& m : f.members) bytes += resident_bytes(m.model);
+    return bytes;
+}
+
 }  // namespace atmor::rom

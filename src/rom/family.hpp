@@ -68,4 +68,10 @@ struct Family {
     [[nodiscard]] int nearest_member(const pmor::Point& coords) const;
 };
 
+/// Approximate heap footprint of every materialized member (sum of
+/// rom::resident_bytes over the members). What an eager whole-artifact load
+/// keeps resident; the lazy mmap reader (rom/family_artifact.hpp) reports
+/// only its touched subset.
+std::size_t resident_bytes(const Family& f);
+
 }  // namespace atmor::rom

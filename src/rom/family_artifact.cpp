@@ -1,0 +1,626 @@
+#include "rom/family_artifact.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "la/matrix.hpp"
+#include "rom/io.hpp"
+#include "util/check.hpp"
+
+namespace atmor::rom {
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'T', 'M', 'O', 'R', 'R', 'O', 'M'};
+constexpr std::size_t kEnvelopeHeader = sizeof(kMagic) + sizeof(std::uint32_t) +
+                                        sizeof(std::uint64_t);
+constexpr std::size_t kEnvelopeChecksum = sizeof(std::uint64_t);
+/// Payload offset of the u64 header_bytes field (kind, layout, tier bytes
+/// precede it); patched after the directory length is known.
+constexpr std::size_t kHeaderBytesOffset = 3;
+
+[[noreturn]] void fail(IoErrorKind kind, const std::string& what) {
+    throw IoError(kind, std::string("rom::family_artifact: ") + what);
+}
+
+std::string hex16(std::uint64_t v) {
+    static const char* digits = "0123456789abcdef";
+    std::string s(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        s[static_cast<std::size_t>(i)] = digits[v & 0xf];
+        v >>= 4;
+    }
+    return s;
+}
+
+bool eager_load_forced() {
+    const char* v = std::getenv("ATMOR_EAGER_LOAD");
+    return v != nullptr && v[0] == '1';
+}
+
+// -- Directory model (parsed form of the sectioned layout). -----------------
+
+struct BlockRef {
+    std::uint8_t storage = 0;  ///< 0 inline, 1 external
+    std::uint64_t offset = 0;  ///< inline: relative to the block region
+    std::uint64_t bytes = 0;
+    std::uint64_t hash = 0;
+};
+
+struct GroupRef {
+    std::uint32_t block = 0;
+    std::int32_t rows = 0;
+    std::int32_t cols = 0;
+};
+
+struct MemberRef {
+    pmor::Point coords;
+    double certified_error = 0.0;
+    double coverage_radius = 0.0;
+    double encoding_error = 0.0;
+    double basis_error = 0.0;
+    std::uint32_t basis_group = 0;
+    std::uint32_t coeff_block = 0;
+    std::int32_t coeff_rows = 0;
+    std::int32_t coeff_cols = 0;
+    std::uint32_t meta_block = 0;
+};
+
+struct SectionedHeader {
+    EncodingTier tier = EncodingTier::f64;
+    std::uint64_t header_bytes = 0;  ///< where the block region begins
+    std::string family_id;
+    pmor::ParamSpace space;
+    double tol = 0.0;
+    std::int32_t training_grid_per_dim = 0;
+    double max_training_error = 0.0;
+    bool converged = false;
+    std::vector<BlockRef> blocks;
+    std::vector<GroupRef> groups;
+    std::vector<MemberRef> members;
+    std::vector<CoverageCell> cells;
+};
+
+/// Parse and INTEGRITY-CHECK the directory of a sectioned payload. Touches
+/// only payload[0, header_bytes) -- the lazy reader's whole cold-start read
+/// set -- and validates every cross-reference (block indices, dimensions
+/// against block sizes, cell member indices), so later block fetches only
+/// have to verify content hashes.
+SectionedHeader parse_sectioned_header(const char* payload, std::size_t payload_len) {
+    if (payload_len < kHeaderBytesOffset + 2 * sizeof(std::uint64_t))
+        fail(IoErrorKind::truncated, "payload too small for a sectioned directory");
+    std::uint64_t header_bytes = 0;
+    std::memcpy(&header_bytes, payload + kHeaderBytesOffset, sizeof(header_bytes));
+    if (header_bytes > payload_len)
+        fail(IoErrorKind::truncated, "directory extends past the end of the payload");
+    if (header_bytes < kHeaderBytesOffset + 2 * sizeof(std::uint64_t))
+        fail(IoErrorKind::corrupt, "directory smaller than its fixed fields");
+
+    const std::size_t dir_len = static_cast<std::size_t>(header_bytes) - sizeof(std::uint64_t);
+    std::uint64_t stored = 0;
+    std::memcpy(&stored, payload + dir_len, sizeof(stored));
+    if (fnv1a(payload, dir_len) != stored)
+        fail(IoErrorKind::checksum_mismatch, "directory checksum mismatch");
+
+    // The directory is small (no member payloads); copy it so Reader's
+    // bounds checks apply and the mapping is never read past header_bytes.
+    const std::string dir(payload, dir_len);
+    Reader r(dir, kFormatVersion);
+    SectionedHeader h;
+    r.expect_kind(PayloadKind::family);
+    if (r.u8() != static_cast<std::uint8_t>(FamilyLayout::sectioned))
+        fail(IoErrorKind::corrupt, "payload is not a sectioned family");
+    const std::uint8_t tier = r.u8();
+    if (tier > static_cast<std::uint8_t>(EncodingTier::q8))
+        fail(IoErrorKind::corrupt, "unknown encoding tier tag " + std::to_string(tier));
+    h.tier = static_cast<EncodingTier>(tier);
+    h.header_bytes = r.u64();
+    if (h.header_bytes != header_bytes)
+        fail(IoErrorKind::corrupt, "inconsistent header_bytes field");
+    h.family_id = r.str();
+    h.space = r.param_space();
+    h.tol = r.f64();
+    h.training_grid_per_dim = r.i32();
+    h.max_training_error = r.f64();
+    const std::uint8_t conv = r.u8();
+    if (conv > 1) fail(IoErrorKind::corrupt, "family converged flag not 0/1");
+    h.converged = conv == 1;
+
+    const std::size_t region = payload_len - static_cast<std::size_t>(header_bytes);
+    const std::uint32_t nblocks = r.u32();
+    h.blocks.reserve(nblocks);
+    for (std::uint32_t i = 0; i < nblocks; ++i) {
+        BlockRef b;
+        b.storage = r.u8();
+        if (b.storage > 1) fail(IoErrorKind::corrupt, "unknown block storage tag");
+        b.offset = r.u64();
+        b.bytes = r.u64();
+        b.hash = r.u64();
+        if (b.storage == 0 && (b.offset > region || b.bytes > region - b.offset))
+            fail(IoErrorKind::truncated,
+                 "inline block " + std::to_string(i) + " extends past the end of the payload");
+        h.blocks.push_back(b);
+    }
+
+    const std::uint32_t ngroups = r.u32();
+    h.groups.reserve(ngroups);
+    for (std::uint32_t i = 0; i < ngroups; ++i) {
+        GroupRef g;
+        g.block = r.u32();
+        g.rows = r.i32();
+        g.cols = r.i32();
+        if (g.block >= h.blocks.size())
+            fail(IoErrorKind::corrupt, "basis group references a missing block");
+        if (g.rows < 0 || g.cols < 0)
+            fail(IoErrorKind::corrupt, "negative basis group dimension");
+        if (h.blocks[g.block].bytes != encoded_matrix_bytes(g.rows, g.cols, h.tier))
+            fail(IoErrorKind::corrupt, "basis block size disagrees with the group dimensions");
+        h.groups.push_back(g);
+    }
+
+    const std::size_t ndims = static_cast<std::size_t>(h.space.dims());
+    const std::uint32_t nmembers = r.u32();
+    h.members.reserve(nmembers);
+    for (std::uint32_t i = 0; i < nmembers; ++i) {
+        MemberRef m;
+        const std::uint64_t nc = r.u64();
+        if (nc != ndims)
+            fail(IoErrorKind::corrupt, "member coordinate count disagrees with the space");
+        m.coords.reserve(ndims);
+        for (std::size_t c = 0; c < ndims; ++c) m.coords.push_back(r.f64());
+        m.certified_error = r.f64();
+        m.coverage_radius = r.f64();
+        m.encoding_error = r.f64();
+        m.basis_error = r.f64();
+        m.basis_group = r.u32();
+        m.coeff_block = r.u32();
+        m.coeff_rows = r.i32();
+        m.coeff_cols = r.i32();
+        m.meta_block = r.u32();
+        if (m.basis_group >= h.groups.size())
+            fail(IoErrorKind::corrupt, "member references a missing basis group");
+        if (m.coeff_block >= h.blocks.size() || m.meta_block >= h.blocks.size())
+            fail(IoErrorKind::corrupt, "member references a missing block");
+        if (m.coeff_rows < 0 || m.coeff_cols < 0)
+            fail(IoErrorKind::corrupt, "negative member coefficient dimension");
+        if (m.coeff_rows != h.groups[m.basis_group].cols)
+            fail(IoErrorKind::corrupt, "coefficient rows disagree with the union rank");
+        if (h.blocks[m.coeff_block].bytes !=
+            encoded_matrix_bytes(m.coeff_rows, m.coeff_cols, h.tier))
+            fail(IoErrorKind::corrupt,
+                 "coefficient block size disagrees with the member dimensions");
+        h.members.push_back(std::move(m));
+    }
+
+    h.cells = r.coverage_cells(ndims, static_cast<int>(nmembers));
+    if (!r.at_end()) fail(IoErrorKind::corrupt, "trailing bytes after the family directory");
+    return h;
+}
+
+/// Fetch a block's bytes and verify its content hash. Inline blocks come
+/// straight out of the mapped payload; external ones resolve against
+/// `block_dir` (the registry's cross-artifact dedup store).
+std::string fetch_block(const char* payload, const SectionedHeader& h, std::uint32_t index,
+                        const std::string& block_dir) {
+    const BlockRef& b = h.blocks[index];
+    std::string bytes;
+    if (b.storage == 0) {
+        bytes.assign(payload + h.header_bytes + b.offset, static_cast<std::size_t>(b.bytes));
+    } else {
+        if (block_dir.empty())
+            fail(IoErrorKind::corrupt,
+                 "external block reference in a self-contained artifact");
+        const std::string path =
+            (std::filesystem::path(block_dir) / (hex16(b.hash) + ".blk")).string();
+        std::ifstream in(path, std::ios::binary);
+        if (!in) fail(IoErrorKind::open_failed, "cannot open shared block " + path);
+        bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+        if (!in.good() && !in.eof())
+            fail(IoErrorKind::open_failed, "cannot read shared block " + path);
+        if (bytes.size() != b.bytes)
+            fail(IoErrorKind::truncated, "shared block " + path + " has " +
+                                             std::to_string(bytes.size()) + " bytes, expected " +
+                                             std::to_string(b.bytes));
+    }
+    if (fnv1a(bytes.data(), bytes.size()) != b.hash)
+        fail(IoErrorKind::checksum_mismatch,
+             "block " + std::to_string(index) + " failed its content hash");
+    return bytes;
+}
+
+la::Matrix fetch_basis(const char* payload, const SectionedHeader& h, std::uint32_t group,
+                       const std::string& block_dir) {
+    const GroupRef& g = h.groups[group];
+    const std::string bytes = fetch_block(payload, h, g.block, block_dir);
+    return decode_matrix_block(bytes.data(), bytes.size(), g.rows, g.cols, h.tier);
+}
+
+/// Decode one member against its (already decoded) union basis.
+FamilyMember materialize_member(const char* payload, const SectionedHeader& h,
+                                std::size_t index, const la::Matrix& basis,
+                                const std::string& block_dir) {
+    const MemberRef& m = h.members[index];
+    const std::string coeff_bytes = fetch_block(payload, h, m.coeff_block, block_dir);
+    const la::Matrix coeff = decode_matrix_block(coeff_bytes.data(), coeff_bytes.size(),
+                                                 m.coeff_rows, m.coeff_cols, h.tier);
+    la::Matrix v = la::matmul_blocked(basis, coeff);
+    const std::string meta_bytes = fetch_block(payload, h, m.meta_block, block_dir);
+    ReducedModel model =
+        decode_member_meta(meta_bytes.data(), meta_bytes.size(), h.tier, std::move(v));
+    return FamilyMember{m.coords, m.certified_error, m.coverage_radius, std::move(model)};
+}
+
+template <class Range, class CoordsOf>
+int nearest(const pmor::ParamSpace& space, const pmor::Point& coords, const Range& items,
+            CoordsOf coords_of) {
+    int best = -1;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        const double d = space.distance(coords, coords_of(items[i]));
+        if (d < best_dist) {
+            best_dist = d;
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Serialization.
+// ---------------------------------------------------------------------------
+
+std::string serialize_family_artifact(const CompressedFamily& cf,
+                                      const BlockExternalizer& externalize) {
+    ATMOR_REQUIRE(!cf.members.empty(), "serialize_family_artifact: family has no members");
+
+    // Content-addressed block interning: identical payloads (e.g. two
+    // members sharing a coefficient block) are stored once per artifact, and
+    // the externalizer can move a block out of the file entirely (the
+    // registry's cross-artifact dedup).
+    std::vector<BlockRef> blocks;
+    std::vector<const std::string*> block_bytes;
+    std::unordered_map<std::uint64_t, std::uint32_t> by_hash;
+    std::uint64_t inline_offset = 0;
+    const auto intern = [&](const std::string& bytes) -> std::uint32_t {
+        const std::uint64_t hash = fnv1a(bytes.data(), bytes.size());
+        const auto it = by_hash.find(hash);
+        if (it != by_hash.end()) {
+            ATMOR_REQUIRE(*block_bytes[it->second] == bytes,
+                          "serialize_family_artifact: content hash collision");
+            return it->second;
+        }
+        BlockRef b;
+        b.hash = hash;
+        b.bytes = bytes.size();
+        if (externalize && externalize(hash, bytes)) {
+            b.storage = 1;
+        } else {
+            b.storage = 0;
+            b.offset = inline_offset;
+            inline_offset += bytes.size();
+        }
+        const std::uint32_t index = static_cast<std::uint32_t>(blocks.size());
+        blocks.push_back(b);
+        block_bytes.push_back(&bytes);
+        by_hash.emplace(hash, index);
+        return index;
+    };
+
+    std::vector<GroupRef> groups;
+    groups.reserve(cf.basis_groups.size());
+    for (const BasisGroup& g : cf.basis_groups)
+        groups.push_back(GroupRef{intern(g.bytes), g.rows, g.cols});
+    struct MemberBlocks {
+        std::uint32_t coeff = 0;
+        std::uint32_t meta = 0;
+    };
+    std::vector<MemberBlocks> member_blocks;
+    member_blocks.reserve(cf.members.size());
+    for (const CompressedMember& m : cf.members)
+        member_blocks.push_back(MemberBlocks{intern(m.coeff_bytes), intern(m.meta_bytes)});
+
+    Writer w;
+    w.kind(PayloadKind::family);
+    w.u8(static_cast<std::uint8_t>(FamilyLayout::sectioned));
+    w.u8(static_cast<std::uint8_t>(cf.tier));
+    w.u64(0);  // header_bytes, patched below
+    w.str(cf.family_id);
+    w.param_space(cf.space);
+    w.f64(cf.tol);
+    w.i32(cf.training_grid_per_dim);
+    w.f64(cf.max_training_error);
+    w.u8(cf.converged ? 1 : 0);
+    w.u32(static_cast<std::uint32_t>(blocks.size()));
+    for (const BlockRef& b : blocks) {
+        w.u8(b.storage);
+        w.u64(b.offset);
+        w.u64(b.bytes);
+        w.u64(b.hash);
+    }
+    w.u32(static_cast<std::uint32_t>(groups.size()));
+    for (const GroupRef& g : groups) {
+        w.u32(g.block);
+        w.i32(g.rows);
+        w.i32(g.cols);
+    }
+    w.u32(static_cast<std::uint32_t>(cf.members.size()));
+    for (std::size_t i = 0; i < cf.members.size(); ++i) {
+        const CompressedMember& m = cf.members[i];
+        w.u64(m.coords.size());
+        for (double c : m.coords) w.f64(c);
+        w.f64(m.certified_error);
+        w.f64(m.coverage_radius);
+        w.f64(m.encoding_error);
+        w.f64(m.basis_error);
+        w.u32(m.basis_group);
+        w.u32(member_blocks[i].coeff);
+        w.i32(m.coeff_rows);
+        w.i32(m.coeff_cols);
+        w.u32(member_blocks[i].meta);
+    }
+    w.coverage_cells(cf.cells);
+
+    std::string payload = w.bytes();
+    const std::uint64_t header_bytes = payload.size() + sizeof(std::uint64_t);
+    std::memcpy(&payload[kHeaderBytesOffset], &header_bytes, sizeof(header_bytes));
+    const std::uint64_t checksum = fnv1a(payload.data(), payload.size());
+    payload.append(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+    for (std::size_t i = 0; i < blocks.size(); ++i)
+        if (blocks[i].storage == 0) payload.append(*block_bytes[i]);
+    return frame(payload);
+}
+
+void save_family_artifact(const CompressedFamily& cf, const std::string& path) {
+    write_file_atomically(serialize_family_artifact(cf), path);
+}
+
+namespace detail {
+
+Family family_from_sectioned_payload(const std::string& payload, const std::string& block_dir) {
+    const SectionedHeader h = parse_sectioned_header(payload.data(), payload.size());
+    Family f;
+    f.family_id = h.family_id;
+    f.space = h.space;
+    f.tol = h.tol;
+    f.training_grid_per_dim = h.training_grid_per_dim;
+    f.max_training_error = h.max_training_error;
+    f.converged = h.converged;
+    std::vector<la::Matrix> bases;
+    bases.reserve(h.groups.size());
+    for (std::uint32_t g = 0; g < h.groups.size(); ++g)
+        bases.push_back(fetch_basis(payload.data(), h, g, block_dir));
+    f.members.reserve(h.members.size());
+    for (std::size_t i = 0; i < h.members.size(); ++i)
+        f.members.push_back(materialize_member(payload.data(), h, i,
+                                               bases[h.members[i].basis_group], block_dir));
+    f.cells = h.cells;
+    return f;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// FamilyArtifact.
+// ---------------------------------------------------------------------------
+
+struct FamilyArtifact::Impl {
+    // -- Lazy (mmap) state. --------------------------------------------------
+    void* map = nullptr;
+    std::size_t map_len = 0;
+    const char* payload = nullptr;  ///< into the mapping
+    std::size_t payload_len = 0;
+    std::string block_dir;
+    SectionedHeader header;
+    bool is_lazy = false;
+
+    // -- Eager state (fallback and from_family). -----------------------------
+    Family eager;
+
+    std::size_t file_size = 0;
+
+    /// Guards the caches; one thread materializes a given section, everyone
+    /// else waits (sections decode in milliseconds, contention is cheap).
+    mutable std::mutex mu;
+    mutable std::vector<std::shared_ptr<const la::Matrix>> basis_cache;
+    mutable std::vector<std::shared_ptr<const FamilyMember>> member_cache;
+    mutable std::size_t resident = 0;
+    mutable int materialized = 0;
+
+    ~Impl() {
+        if (map != nullptr) ::munmap(map, map_len);
+    }
+};
+
+FamilyArtifact FamilyArtifact::from_family(Family f) {
+    auto impl = std::make_shared<Impl>();
+    impl->eager = std::move(f);
+    impl->resident = atmor::rom::resident_bytes(impl->eager);
+    impl->materialized = static_cast<int>(impl->eager.members.size());
+    FamilyArtifact a;
+    a.impl_ = std::move(impl);
+    return a;
+}
+
+FamilyArtifact FamilyArtifact::open(const std::string& path) {
+    const auto eager_fallback = [&path](std::size_t file_size) {
+        FamilyArtifact a = from_family(load_family(path));
+        a.impl_->file_size = file_size;
+        return a;
+    };
+
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) fail(IoErrorKind::open_failed, "cannot open " + path);
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        fail(IoErrorKind::open_failed, "cannot stat " + path);
+    }
+    const std::size_t len = static_cast<std::size_t>(st.st_size);
+    if (eager_load_forced()) {
+        ::close(fd);
+        return eager_fallback(len);
+    }
+    if (len < kEnvelopeHeader + kEnvelopeChecksum) {
+        ::close(fd);
+        fail(IoErrorKind::truncated, path + " is smaller than the artifact header");
+    }
+    void* map = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (map == MAP_FAILED) fail(IoErrorKind::open_failed, "cannot mmap " + path);
+
+    auto impl = std::make_shared<Impl>();
+    impl->map = map;
+    impl->map_len = len;
+    const char* base = static_cast<const char*>(map);
+
+    // Envelope checks mirror unframe(), except the whole-payload checksum:
+    // the sectioned layout carries its own directory checksum + per-block
+    // hashes, which is what keeps cold-start O(touched members).
+    if (std::memcmp(base, kMagic, sizeof(kMagic)) != 0)
+        fail(IoErrorKind::bad_magic, path + " is not an atmor ROM artifact");
+    std::uint32_t version = 0;
+    std::memcpy(&version, base + sizeof(kMagic), sizeof(version));
+    if (version < kMinSupportedVersion || version > kFormatVersion)
+        fail(IoErrorKind::version_mismatch,
+             path + " is format v" + std::to_string(version) + ", supported: v" +
+                 std::to_string(kMinSupportedVersion) + "..v" + std::to_string(kFormatVersion));
+    std::uint64_t payload_size = 0;
+    std::memcpy(&payload_size, base + sizeof(kMagic) + sizeof(version), sizeof(payload_size));
+    if (payload_size != len - kEnvelopeHeader - kEnvelopeChecksum)
+        fail(IoErrorKind::truncated, path + " payload size disagrees with the file size");
+    impl->payload = base + kEnvelopeHeader;
+    impl->payload_len = static_cast<std::size_t>(payload_size);
+
+    const bool sectioned =
+        version_caps(version).sectioned_family && impl->payload_len >= 2 &&
+        impl->payload[0] == static_cast<char>(PayloadKind::family) &&
+        impl->payload[1] == static_cast<char>(FamilyLayout::sectioned);
+    if (!sectioned) return eager_fallback(len);  // impl (and the mapping) released
+
+    impl->header = parse_sectioned_header(impl->payload, impl->payload_len);
+    impl->is_lazy = true;
+    impl->file_size = len;
+    impl->block_dir =
+        (std::filesystem::path(path).parent_path() / "blocks").string();
+    impl->basis_cache.resize(impl->header.groups.size());
+    impl->member_cache.resize(impl->header.members.size());
+    impl->resident = static_cast<std::size_t>(impl->header.header_bytes);
+    FamilyArtifact a;
+    a.impl_ = std::move(impl);
+    return a;
+}
+
+const std::string& FamilyArtifact::family_id() const {
+    return impl_->is_lazy ? impl_->header.family_id : impl_->eager.family_id;
+}
+const pmor::ParamSpace& FamilyArtifact::space() const {
+    return impl_->is_lazy ? impl_->header.space : impl_->eager.space;
+}
+double FamilyArtifact::tol() const {
+    return impl_->is_lazy ? impl_->header.tol : impl_->eager.tol;
+}
+int FamilyArtifact::training_grid_per_dim() const {
+    return impl_->is_lazy ? impl_->header.training_grid_per_dim
+                          : impl_->eager.training_grid_per_dim;
+}
+double FamilyArtifact::max_training_error() const {
+    return impl_->is_lazy ? impl_->header.max_training_error : impl_->eager.max_training_error;
+}
+bool FamilyArtifact::converged() const {
+    return impl_->is_lazy ? impl_->header.converged : impl_->eager.converged;
+}
+const std::vector<CoverageCell>& FamilyArtifact::cells() const {
+    return impl_->is_lazy ? impl_->header.cells : impl_->eager.cells;
+}
+int FamilyArtifact::member_count() const {
+    return impl_->is_lazy ? static_cast<int>(impl_->header.members.size())
+                          : static_cast<int>(impl_->eager.members.size());
+}
+const pmor::Point& FamilyArtifact::member_coords(int i) const {
+    ATMOR_REQUIRE(i >= 0 && i < member_count(), "member index out of range");
+    return impl_->is_lazy ? impl_->header.members[static_cast<std::size_t>(i)].coords
+                          : impl_->eager.members[static_cast<std::size_t>(i)].coords;
+}
+
+std::shared_ptr<const FamilyMember> FamilyArtifact::member(int i) const {
+    ATMOR_REQUIRE(i >= 0 && i < member_count(), "member index out of range");
+    const std::size_t idx = static_cast<std::size_t>(i);
+    if (!impl_->is_lazy)
+        return std::shared_ptr<const FamilyMember>(impl_, &impl_->eager.members[idx]);
+
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (impl_->member_cache[idx]) return impl_->member_cache[idx];
+    const MemberRef& m = impl_->header.members[idx];
+    std::shared_ptr<const la::Matrix>& basis = impl_->basis_cache[m.basis_group];
+    if (!basis) {
+        basis = std::make_shared<const la::Matrix>(
+            fetch_basis(impl_->payload, impl_->header, m.basis_group, impl_->block_dir));
+        impl_->resident += static_cast<std::size_t>(basis->rows()) *
+                           static_cast<std::size_t>(basis->cols()) * sizeof(double);
+    }
+    auto member = std::make_shared<const FamilyMember>(
+        materialize_member(impl_->payload, impl_->header, idx, *basis, impl_->block_dir));
+    impl_->resident += atmor::rom::resident_bytes(member->model);
+    ++impl_->materialized;
+    impl_->member_cache[idx] = member;
+    return member;
+}
+
+int FamilyArtifact::locate(const pmor::Point& coords) const {
+    return nearest(space(), coords, cells(), [](const CoverageCell& c) { return c.coords; });
+}
+
+int FamilyArtifact::nearest_member(const pmor::Point& coords) const {
+    if (!impl_->is_lazy)
+        return nearest(space(), coords, impl_->eager.members,
+                       [](const FamilyMember& m) { return m.coords; });
+    return nearest(space(), coords, impl_->header.members,
+                   [](const MemberRef& m) { return m.coords; });
+}
+
+bool FamilyArtifact::lazy() const { return impl_->is_lazy; }
+std::size_t FamilyArtifact::file_bytes() const { return impl_->file_size; }
+
+std::size_t FamilyArtifact::resident_bytes() const {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    return impl_->resident;
+}
+
+int FamilyArtifact::materialized_members() const {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    return impl_->materialized;
+}
+
+EncodingTier FamilyArtifact::tier() const {
+    return impl_->is_lazy ? impl_->header.tier : EncodingTier::f64;
+}
+
+Family FamilyArtifact::to_family() const {
+    if (!impl_->is_lazy) return impl_->eager;
+    Family f;
+    f.family_id = impl_->header.family_id;
+    f.space = impl_->header.space;
+    f.tol = impl_->header.tol;
+    f.training_grid_per_dim = impl_->header.training_grid_per_dim;
+    f.max_training_error = impl_->header.max_training_error;
+    f.converged = impl_->header.converged;
+    f.members.reserve(impl_->header.members.size());
+    for (int i = 0; i < member_count(); ++i) f.members.push_back(*member(i));
+    f.cells = impl_->header.cells;
+    return f;
+}
+
+}  // namespace atmor::rom

@@ -1,0 +1,129 @@
+// The v4 SECTIONED family artifact: compressed union-basis storage with
+// per-member section offsets, a content-addressed block table, and an
+// mmap-backed reader that materializes members lazily.
+//
+// Layout of a sectioned family payload (inside the usual io envelope):
+//
+//   u8  PayloadKind::family | u8 FamilyLayout::sectioned | u8 EncodingTier
+//   u64 header_bytes              -- at fixed payload offset 3; where the
+//                                    block region begins (patched last)
+//   str family_id | param_space | f64 tol | i32 grid | f64 max_err | u8 conv
+//   block table: u32 count x { u8 storage (0 inline / 1 external),
+//                              u64 offset (inline: relative to the block
+//                              region), u64 bytes, u64 fnv1a hash }
+//   basis groups: u32 count x { u32 block, i32 rows, i32 cols }
+//   member directory: u32 count x { coords, f64 certified/coverage/encoding/
+//                              basis error, u32 basis_group, u32 coeff_block,
+//                              i32 coeff_rows, i32 coeff_cols, u32 meta_block }
+//   coverage cells (validated against the member count)
+//   u64 directory checksum        -- fnv1a over payload[0, here)
+//   inline block payloads         -- the block region, hash-addressed
+//
+// Integrity is LAYERED so the lazy reader never has to touch bytes it does
+// not serve: the directory carries its own checksum (verified at open), and
+// every block carries a content hash (verified when the block is first
+// materialized). The eager load path (rom::load_family on a sectioned file)
+// additionally enjoys the envelope's whole-payload checksum. Net effect: a
+// flipped bit anywhere in the file surfaces as a typed IoError on whichever
+// path observes it -- never a garbage member.
+//
+// Blocks are deduplicated by content hash within an artifact, and an
+// externalizer hook lets rom::Registry share identical blocks ACROSS
+// artifacts (stored once under <artifact_dir>/blocks/<hex16(hash)>.blk).
+//
+// FamilyArtifact::open maps the file read-only (POSIX mmap), parses and
+// verifies only the directory, and decodes basis groups / members on first
+// touch -- cold-start cost is O(touched members), the working set is page
+// cache, and repeated member(i) calls share one immutable materialization.
+// `ATMOR_EAGER_LOAD=1` (or a non-sectioned artifact) falls back to the
+// classic eager whole-file load behind the same interface.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "rom/family.hpp"
+#include "rom/family_codec.hpp"
+
+namespace atmor::rom {
+
+/// Decides where a unique content block lives: return true to store the
+/// block externally (the callee must persist it so that the loader finds
+/// <block_dir>/<hex16(hash)>.blk next to the artifact), false to embed it
+/// inline. Called once per unique hash, in deterministic payload order.
+using BlockExternalizer = std::function<bool(std::uint64_t hash, const std::string& bytes)>;
+
+/// Frame a CompressedFamily as a sectioned v4 artifact. Without an
+/// externalizer every block is embedded inline (self-contained file).
+std::string serialize_family_artifact(const CompressedFamily& cf,
+                                      const BlockExternalizer& externalize = nullptr);
+
+/// Compress-and-save convenience: atomic publication, all blocks inline.
+void save_family_artifact(const CompressedFamily& cf, const std::string& path);
+
+namespace detail {
+/// Materialize a full Family from an unframed sectioned payload (the eager
+/// path rom::deserialize_family dispatches to). External block references
+/// resolve against `block_dir`; "" means inline-only (any external reference
+/// then throws IoError{corrupt}). Verifies the directory checksum and every
+/// block hash.
+Family family_from_sectioned_payload(const std::string& payload, const std::string& block_dir);
+}  // namespace detail
+
+/// Read-only view of a family artifact with lazy member materialization.
+/// Copyable (shared immutable state); thread-safe: concurrent member(i)
+/// calls race only on an internal mutex and at most one thread decodes a
+/// given section.
+class FamilyArtifact {
+public:
+    /// Map `path` and verify its directory. Falls back to an eager whole-
+    /// file load (same interface, lazy() == false) when the artifact is not
+    /// sectioned or ATMOR_EAGER_LOAD=1 is set. External blocks resolve
+    /// against <dirname(path)>/blocks.
+    static FamilyArtifact open(const std::string& path);
+
+    /// Wrap an already-materialized family (eager mode; used by the fallback
+    /// and by tests).
+    static FamilyArtifact from_family(Family f);
+
+    [[nodiscard]] const std::string& family_id() const;
+    [[nodiscard]] const pmor::ParamSpace& space() const;
+    [[nodiscard]] double tol() const;
+    [[nodiscard]] int training_grid_per_dim() const;
+    [[nodiscard]] double max_training_error() const;
+    [[nodiscard]] bool converged() const;
+    [[nodiscard]] const std::vector<CoverageCell>& cells() const;
+    [[nodiscard]] int member_count() const;
+    /// Parameter coordinates of member `i` (directory data; never triggers
+    /// materialization).
+    [[nodiscard]] const pmor::Point& member_coords(int i) const;
+
+    /// Materialize (or fetch the cached) member `i`. Throws a typed IoError
+    /// if the backing section fails its hash check.
+    [[nodiscard]] std::shared_ptr<const FamilyMember> member(int i) const;
+
+    /// Nearest training cell / member, same metric as rom::Family.
+    [[nodiscard]] int locate(const pmor::Point& coords) const;
+    [[nodiscard]] int nearest_member(const pmor::Point& coords) const;
+
+    /// True when backed by a live mapping (members decode on demand).
+    [[nodiscard]] bool lazy() const;
+    /// Size of the artifact file (eager mode: serialized size estimate 0).
+    [[nodiscard]] std::size_t file_bytes() const;
+    /// Heap bytes currently materialized (directory + decoded sections).
+    [[nodiscard]] std::size_t resident_bytes() const;
+    [[nodiscard]] int materialized_members() const;
+    [[nodiscard]] EncodingTier tier() const;
+
+    /// Materialize everything into a standalone Family (eager snapshot).
+    [[nodiscard]] Family to_family() const;
+
+private:
+    struct Impl;
+    FamilyArtifact() = default;
+    std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace atmor::rom

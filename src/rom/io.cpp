@@ -5,6 +5,7 @@
 #include <fstream>
 #include <utility>
 
+#include "rom/family_artifact.hpp"
 #include "util/check.hpp"
 
 namespace atmor::rom {
@@ -138,9 +139,8 @@ void Writer::qldae(const volterra::Qldae& sys) {
     tensor4(sys.g3());
 }
 
-void Writer::family(const Family& f) {
-    str(f.family_id);
-    const auto& dims = f.space.descriptors();
+void Writer::param_space(const pmor::ParamSpace& space) {
+    const auto& dims = space.descriptors();
     u64(dims.size());
     for (const pmor::ParamDescriptor& d : dims) {
         str(d.name);
@@ -148,6 +148,46 @@ void Writer::family(const Family& f) {
         f64(d.max);
         u8(static_cast<std::uint8_t>(d.scale));
     }
+}
+
+void Writer::coverage_cells(const std::vector<CoverageCell>& cells) {
+    u64(cells.size());
+    for (const CoverageCell& c : cells) {
+        u64(c.coords.size());
+        for (double v : c.coords) f64(v);
+        i32(c.best);
+        f64(c.best_error);
+        i32(c.second);
+        f64(c.second_error);
+    }
+}
+
+void Writer::provenance(const Provenance& p) {
+    str(p.source);
+    str(p.method);
+    u64(p.expansion_points.size());
+    for (la::Complex s0 : p.expansion_points) complex(s0);
+    i32(p.k1);
+    i32(p.k2);
+    i32(p.k3);
+    i32(p.full_order);
+    u64(p.basis_hash);
+    // v2 accuracy block.
+    u64(p.point_orders.size());
+    for (const PointOrder& po : p.point_orders) {
+        i32(po.k1);
+        i32(po.k2);
+        i32(po.k3);
+    }
+    f64(p.tol);
+    f64(p.band_min);
+    f64(p.band_max);
+    f64(p.estimated_error);
+}
+
+void Writer::family(const Family& f) {
+    str(f.family_id);
+    param_space(f.space);
     f64(f.tol);
     i32(f.training_grid_per_dim);
     f64(f.max_training_error);
@@ -160,38 +200,11 @@ void Writer::family(const Family& f) {
         f64(m.coverage_radius);
         model(m.model);
     }
-    u64(f.cells.size());
-    for (const CoverageCell& c : f.cells) {
-        u64(c.coords.size());
-        for (double v : c.coords) f64(v);
-        i32(c.best);
-        f64(c.best_error);
-        i32(c.second);
-        f64(c.second_error);
-    }
+    coverage_cells(f.cells);
 }
 
 void Writer::model(const ReducedModel& m) {
-    str(m.provenance.source);
-    str(m.provenance.method);
-    u64(m.provenance.expansion_points.size());
-    for (la::Complex s0 : m.provenance.expansion_points) complex(s0);
-    i32(m.provenance.k1);
-    i32(m.provenance.k2);
-    i32(m.provenance.k3);
-    i32(m.provenance.full_order);
-    u64(m.provenance.basis_hash);
-    // v2 accuracy block.
-    u64(m.provenance.point_orders.size());
-    for (const PointOrder& po : m.provenance.point_orders) {
-        i32(po.k1);
-        i32(po.k2);
-        i32(po.k3);
-    }
-    f64(m.provenance.tol);
-    f64(m.provenance.band_min);
-    f64(m.provenance.band_max);
-    f64(m.provenance.estimated_error);
+    provenance(m.provenance);
     f64(m.build_seconds);
     i32(m.raw_vectors);
     i32(m.order);
@@ -359,7 +372,7 @@ volterra::Qldae Reader::qldae() {
     });
 }
 
-ReducedModel Reader::model() {
+Provenance Reader::provenance() {
     Provenance prov;
     prov.source = str();
     prov.method = str();
@@ -371,7 +384,7 @@ ReducedModel Reader::model() {
     prov.k3 = i32();
     prov.full_order = i32();
     prov.basis_hash = u64();
-    if (version_ >= 2) {
+    if (version_caps(version_).accuracy_provenance) {
         const std::size_t norders = count(u64(), 3 * sizeof(std::int32_t));
         prov.point_orders.reserve(norders);
         for (std::size_t p = 0; p < norders; ++p) {
@@ -386,6 +399,11 @@ ReducedModel Reader::model() {
         prov.band_max = f64();
         prov.estimated_error = f64();
     }
+    return prov;
+}
+
+ReducedModel Reader::model() {
+    Provenance prov = provenance();
     const double build_seconds = f64();
     const std::int32_t raw_vectors = i32();
     const std::int32_t order = i32();
@@ -399,16 +417,14 @@ ReducedModel Reader::model() {
 }
 
 void Reader::expect_kind(PayloadKind k) {
-    if (version_ < kPayloadKindVersion) return;  // pre-v3 payloads carry no tag
+    if (!version_caps(version_).payload_kind_tag) return;  // pre-v3: no tag
     const std::uint8_t tag = u8();
     if (tag != static_cast<std::uint8_t>(k))
         fail(IoErrorKind::corrupt, "payload kind " + std::to_string(tag) + ", expected " +
                                        std::to_string(static_cast<int>(k)));
 }
 
-Family Reader::family() {
-    Family f;
-    f.family_id = str();
+pmor::ParamSpace Reader::param_space() {
     const std::size_t ndims = count(u64(), 1);
     std::vector<pmor::ParamDescriptor> dims;
     dims.reserve(ndims);
@@ -422,7 +438,37 @@ Family Reader::family() {
         desc.scale = static_cast<pmor::Scale>(scale);
         dims.push_back(std::move(desc));
     }
-    f.space = structurally([&] { return pmor::ParamSpace(std::move(dims)); });
+    return structurally([&] { return pmor::ParamSpace(std::move(dims)); });
+}
+
+std::vector<CoverageCell> Reader::coverage_cells(std::size_t ndims, int member_count) {
+    const std::size_t ncells = count(u64(), 1);
+    std::vector<CoverageCell> cells;
+    cells.reserve(ncells);
+    for (std::size_t i = 0; i < ncells; ++i) {
+        CoverageCell cell;
+        const std::size_t nc = count(u64(), sizeof(double));
+        if (nc != ndims)
+            fail(IoErrorKind::corrupt, "cell coordinate count disagrees with the space");
+        cell.coords.reserve(nc);
+        for (std::size_t c = 0; c < nc; ++c) cell.coords.push_back(f64());
+        cell.best = i32();
+        cell.best_error = f64();
+        cell.second = i32();
+        cell.second_error = f64();
+        if (cell.best < -1 || cell.best >= member_count || cell.second < -1 ||
+            cell.second >= member_count)
+            fail(IoErrorKind::corrupt, "coverage cell references a missing member");
+        cells.push_back(std::move(cell));
+    }
+    return cells;
+}
+
+Family Reader::family() {
+    Family f;
+    f.family_id = str();
+    f.space = param_space();
+    const std::size_t ndims = static_cast<std::size_t>(f.space.dims());
     f.tol = f64();
     f.training_grid_per_dim = i32();
     f.max_training_error = f64();
@@ -445,25 +491,7 @@ Family Reader::family() {
             FamilyMember{std::move(coords), certified_error, coverage_radius, model()});
     }
 
-    const std::size_t ncells = count(u64(), 1);
-    f.cells.reserve(ncells);
-    const int member_count = static_cast<int>(nmembers);
-    for (std::size_t i = 0; i < ncells; ++i) {
-        CoverageCell cell;
-        const std::size_t nc = count(u64(), sizeof(double));
-        if (nc != ndims)
-            fail(IoErrorKind::corrupt, "cell coordinate count disagrees with the space");
-        cell.coords.reserve(nc);
-        for (std::size_t c = 0; c < nc; ++c) cell.coords.push_back(f64());
-        cell.best = i32();
-        cell.best_error = f64();
-        cell.second = i32();
-        cell.second_error = f64();
-        if (cell.best < -1 || cell.best >= member_count || cell.second < -1 ||
-            cell.second >= member_count)
-            fail(IoErrorKind::corrupt, "coverage cell references a missing member");
-        f.cells.push_back(std::move(cell));
-    }
+    f.cells = coverage_cells(ndims, static_cast<int>(nmembers));
     return f;
 }
 
@@ -530,21 +558,39 @@ ReducedModel deserialize_model(const std::string& bytes) {
 std::string serialize_family(const Family& f) {
     Writer w;
     w.kind(PayloadKind::family);
+    w.u8(static_cast<std::uint8_t>(FamilyLayout::inline_members));
     w.family(f);
     return frame(w.bytes());
 }
 
-Family deserialize_family(const std::string& bytes) {
+namespace {
+
+Family deserialize_family_impl(const std::string& bytes, const std::string& block_dir) {
     std::uint32_t version = kFormatVersion;
     const std::string payload = unframe(bytes, &version);
-    if (version < kPayloadKindVersion)
+    const VersionCaps caps = version_caps(version);
+    if (!caps.family_payload)
         fail(IoErrorKind::corrupt,
              "format v" + std::to_string(version) + " artifacts cannot hold families");
     Reader r(payload, version);
     r.expect_kind(PayloadKind::family);
+    if (caps.sectioned_family) {
+        const std::uint8_t layout = r.u8();
+        if (layout == static_cast<std::uint8_t>(FamilyLayout::sectioned))
+            return detail::family_from_sectioned_payload(payload, block_dir);
+        if (layout != static_cast<std::uint8_t>(FamilyLayout::inline_members))
+            fail(IoErrorKind::corrupt,
+                 "unknown family layout tag " + std::to_string(layout));
+    }
     Family f = r.family();
     if (!r.at_end()) fail(IoErrorKind::corrupt, "trailing bytes after the family payload");
     return f;
+}
+
+}  // namespace
+
+Family deserialize_family(const std::string& bytes) {
+    return deserialize_family_impl(bytes, /*block_dir=*/"");
 }
 
 void write_file_atomically(const std::string& bytes, const std::string& path) {
@@ -585,7 +631,10 @@ Family load_family(const std::string& path) {
     if (!in) fail(IoErrorKind::open_failed, "cannot open " + path + " for reading");
     std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
     if (in.bad()) fail(IoErrorKind::open_failed, "read error on " + path);
-    return deserialize_family(bytes);
+    // A sectioned artifact may reference shared blocks in the conventional
+    // `blocks/` directory beside the file (the registry's dedup store).
+    return deserialize_family_impl(
+        bytes, (std::filesystem::path(path).parent_path() / "blocks").string());
 }
 
 }  // namespace atmor::rom

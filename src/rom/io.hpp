@@ -36,11 +36,33 @@ namespace atmor::rom {
 ///   v3: payloads lead with a one-byte PayloadKind tag, making single
 ///       models, registry entries and the new Family containers
 ///       self-describing. v1/v2 artifacts (no tag) still load.
-inline constexpr std::uint32_t kFormatVersion = 3;
+///   v4: family payloads follow the kind tag with a FamilyLayout byte:
+///       `inline_members` keeps the exact v3 member layout, `sectioned` is
+///       the compressed union-basis layout (rom/family_artifact.hpp) with
+///       encoding tiers, per-member section offsets and a content-addressed
+///       block table. Model/registry payloads are unchanged.
+inline constexpr std::uint32_t kFormatVersion = 4;
 inline constexpr std::uint32_t kMinSupportedVersion = 1;
 
-/// First version whose payloads carry the PayloadKind tag.
-inline constexpr std::uint32_t kPayloadKindVersion = 3;
+/// What a given artifact version's payloads can hold -- the single source of
+/// truth for version gating. Readers consult this table instead of spelling
+/// `version >= N` comparisons per call site, so adding v5 is one row here
+/// plus the new parsing branch, not an audit of scattered literals.
+struct VersionCaps {
+    bool accuracy_provenance = false;  ///< v2+: point orders / tol / band block
+    bool payload_kind_tag = false;     ///< v3+: payloads lead with PayloadKind
+    bool family_payload = false;       ///< v3+: Family containers exist
+    bool sectioned_family = false;     ///< v4+: union-basis sectioned families
+};
+
+[[nodiscard]] constexpr VersionCaps version_caps(std::uint32_t version) {
+    VersionCaps caps;
+    caps.accuracy_provenance = version >= 2;
+    caps.payload_kind_tag = version >= 3;
+    caps.family_payload = version >= 3;
+    caps.sectioned_family = version >= 4;
+    return caps;
+}
 
 /// Conventional artifact extension (the registry's disk tier uses it).
 inline constexpr const char* kArtifactExtension = ".atmor-rom";
@@ -53,6 +75,12 @@ enum class PayloadKind : std::uint8_t {
     model = 0,           ///< bare ReducedModel (save_model / load_model)
     registry_entry = 1,  ///< full registry key + model (the disk tier)
     family = 2,          ///< parametric rom::Family container
+};
+
+/// Second payload byte of a v4 family artifact: how the members are stored.
+enum class FamilyLayout : std::uint8_t {
+    inline_members = 0,  ///< raw-double member models, exact v3 body
+    sectioned = 1,       ///< union-basis blocks + member directory (v4)
 };
 
 enum class IoErrorKind {
@@ -94,7 +122,13 @@ public:
     void qldae(const volterra::Qldae& sys);
     void model(const ReducedModel& m);
     void family(const Family& f);
-    /// Payload-kind tag; top-level serializers write it first (v3 layout).
+    /// The shared sub-records family() / model() and the sectioned v4 layout
+    /// (rom/family_artifact.cpp) compose from; byte layouts are identical to
+    /// the inline spellings they replaced.
+    void param_space(const pmor::ParamSpace& space);
+    void coverage_cells(const std::vector<CoverageCell>& cells);
+    void provenance(const Provenance& p);
+    /// Payload-kind tag; top-level serializers write it first (v3+ layout).
     void kind(PayloadKind k) { u8(static_cast<std::uint8_t>(k)); }
 
     [[nodiscard]] const std::string& bytes() const { return buf_; }
@@ -129,11 +163,18 @@ public:
     volterra::Qldae qldae();
     ReducedModel model();
     Family family();
+    /// Inverses of the Writer sub-records. coverage_cells validates the
+    /// coordinate count against `ndims` and the member references against
+    /// `member_count` exactly like family() always did.
+    pmor::ParamSpace param_space();
+    std::vector<CoverageCell> coverage_cells(std::size_t ndims, int member_count);
+    Provenance provenance();
     /// Consume and check the payload-kind tag. No-op for pre-v3 payloads
     /// (which carry no tag); a tag mismatch throws IoError{corrupt} -- a v3
     /// family fed to a model loader must not mis-parse as a model.
     void expect_kind(PayloadKind k);
 
+    [[nodiscard]] std::uint32_t version() const { return version_; }
     [[nodiscard]] bool at_end() const { return pos_ == buf_.size(); }
 
 private:
@@ -163,8 +204,11 @@ std::string unframe(const std::string& bytes, std::uint32_t* version_out = nullp
 std::string serialize_model(const ReducedModel& m);
 ReducedModel deserialize_model(const std::string& bytes);
 
-/// Framed family container (v3-only payload kind; deserialize_family rejects
-/// pre-v3 artifacts, which cannot hold families).
+/// Framed family container. serialize_family emits the inline_members
+/// layout (raw-double members, exact pre-v4 body); deserialize_family
+/// accepts both v4 layouts -- a sectioned payload is decoded through
+/// rom/family_artifact.cpp with every block materialized and hash-checked --
+/// and rejects pre-v3 artifacts, which cannot hold families.
 std::string serialize_family(const Family& f);
 Family deserialize_family(const std::string& bytes);
 

@@ -71,6 +71,11 @@ struct ReducedModel {
     Provenance provenance;
 };
 
+/// Approximate heap footprint of a materialized model (basis + reduced
+/// system payload arrays; bookkeeping overhead excluded). The serving
+/// benches report it as resident_bytes_after_load.
+std::size_t resident_bytes(const ReducedModel& m);
+
 /// FNV-1a 64-bit over a byte range; the shared hash for basis provenance,
 /// io checksums and registry artifact names.
 std::uint64_t fnv1a(const void* data, std::size_t bytes,

@@ -64,6 +64,54 @@ std::string Registry::artifact_path(const std::string& key) const {
         .string();
 }
 
+std::string Registry::family_artifact_path(const std::string& family_id) const {
+    if (opt_.artifact_dir.empty()) return {};
+    return (std::filesystem::path(opt_.artifact_dir) /
+            (hex16(fnv1a(family_id.data(), family_id.size())) + kFamilyExtension))
+        .string();
+}
+
+std::string Registry::put_family(const CompressedFamily& cf) {
+    const std::string path = family_artifact_path(cf.family_id);
+    if (path.empty())
+        throw IoError(IoErrorKind::open_failed,
+                      "registry: family artifacts require the disk tier (artifact_dir)");
+    const std::filesystem::path block_dir =
+        std::filesystem::path(opt_.artifact_dir) / "blocks";
+    std::filesystem::create_directories(block_dir);
+    long written = 0;
+    long shared = 0;
+    const std::string bytes = serialize_family_artifact(
+        cf, [&](std::uint64_t hash, const std::string& block) {
+            if (block.size() < kExternalBlockBytes) return false;
+            const std::string block_path = (block_dir / (hex16(hash) + ".blk")).string();
+            if (std::filesystem::exists(block_path)) {
+                ++shared;  // identical content already stored by some artifact
+            } else {
+                write_file_atomically(block, block_path);
+                ++written;
+            }
+            return true;
+        });
+    write_file_atomically(bytes, path);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.family_saves;
+    stats_.blocks_written += written;
+    stats_.blocks_shared += shared;
+    return path;
+}
+
+FamilyArtifact Registry::open_family(const std::string& family_id) {
+    const std::string path = family_artifact_path(family_id);
+    if (path.empty())
+        throw IoError(IoErrorKind::open_failed,
+                      "registry: family artifacts require the disk tier (artifact_dir)");
+    FamilyArtifact artifact = FamilyArtifact::open(path);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.family_loads;
+    return artifact;
+}
+
 std::shared_ptr<const ReducedModel> Registry::cached(const std::string& key) const {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = slots_.find(key);

@@ -131,10 +131,10 @@ std::shared_ptr<ServeEngine::ModelState> ServeEngine::state_for(const std::strin
     return out;
 }
 
-std::shared_ptr<ServeEngine::ModelState> ServeEngine::member_state(const Family& family,
-                                                                   int member) {
-    const FamilyMember& fm = family.members[static_cast<std::size_t>(member)];
-    const std::string key = "family:" + family.family_id + "#" + std::to_string(member) + ":" +
+std::shared_ptr<ServeEngine::ModelState> ServeEngine::member_state(const std::string& family_id,
+                                                                   int member,
+                                                                   const FamilyMember& fm) {
+    const std::string key = "family:" + family_id + "#" + std::to_string(member) + ":" +
                             std::to_string(fm.model.provenance.basis_hash);
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -174,48 +174,99 @@ std::vector<la::ZMatrix> ServeEngine::frequency_response(const std::string& key,
     return out;
 }
 
+struct ServeEngine::FamilyView {
+    const std::string& family_id;
+    const pmor::ParamSpace& space;
+    double tol = 0.0;
+    const std::vector<CoverageCell>& cells;
+    int member_count = 0;
+    /// Materialize (or alias) member `i`; the lazy artifact path decodes the
+    /// member's sections here, so the core calls it only for members a query
+    /// actually serves.
+    std::function<std::shared_ptr<const FamilyMember>(int)> member;
+
+    [[nodiscard]] int locate(const pmor::Point& coords) const {
+        int best = -1;
+        double best_dist = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const double d = space.distance(coords, cells[i].coords);
+            if (d < best_dist) {
+                best_dist = d;
+                best = static_cast<int>(i);
+            }
+        }
+        return best;
+    }
+};
+
 ParametricAnswer ServeEngine::serve_parametric(const Family& family, const pmor::Point& coords,
                                                const std::vector<la::Complex>& grid,
                                                const ParametricOptions& opt) {
+    const FamilyView view{
+        family.family_id, family.space, family.tol, family.cells,
+        static_cast<int>(family.members.size()),
+        [&family](int i) {
+            // Non-owning alias: the family outlives the query by contract.
+            return std::shared_ptr<const FamilyMember>(
+                std::shared_ptr<const FamilyMember>{},
+                &family.members[static_cast<std::size_t>(i)]);
+        }};
+    return serve_parametric_impl(view, coords, grid, opt);
+}
+
+ParametricAnswer ServeEngine::serve_parametric(const FamilyArtifact& family,
+                                               const pmor::Point& coords,
+                                               const std::vector<la::Complex>& grid,
+                                               const ParametricOptions& opt) {
+    const FamilyView view{family.family_id(), family.space(),        family.tol(),
+                          family.cells(),     family.member_count(),
+                          [&family](int i) { return family.member(i); }};
+    return serve_parametric_impl(view, coords, grid, opt);
+}
+
+ParametricAnswer ServeEngine::serve_parametric_impl(const FamilyView& view,
+                                                    const pmor::Point& coords,
+                                                    const std::vector<la::Complex>& grid,
+                                                    const ParametricOptions& opt) {
     ATMOR_REQUIRE(!grid.empty(), "ServeEngine::serve_parametric: empty frequency grid");
-    ATMOR_REQUIRE(!family.members.empty(), "ServeEngine::serve_parametric: family is empty");
-    family.space.require_inside(coords, "ServeEngine::serve_parametric");
-    const double tol = opt.tol > 0.0 ? opt.tol : family.tol;
+    ATMOR_REQUIRE(view.member_count > 0, "ServeEngine::serve_parametric: family is empty");
+    view.space.require_inside(coords, "ServeEngine::serve_parametric");
+    const double tol = opt.tol > 0.0 ? opt.tol : view.tol;
     ATMOR_REQUIRE(tol > 0.0, "ServeEngine::serve_parametric: no tolerance (family tol is 0)");
     util::Timer timer;
     ParametricAnswer ans;
 
-    const int cell_index = family.locate(coords);
+    const int cell_index = view.locate(coords);
     const CoverageCell* cell =
-        cell_index >= 0 ? &family.cells[static_cast<std::size_t>(cell_index)] : nullptr;
+        cell_index >= 0 ? &view.cells[static_cast<std::size_t>(cell_index)] : nullptr;
     // Families are public aggregates ("assemble by hand" is supported), so
     // the coverage table's member references are validated here like
     // load_family validates them -- a typed error, never an OOB read.
-    const int member_count = static_cast<int>(family.members.size());
     if (cell)
-        ATMOR_REQUIRE(cell->best >= -1 && cell->best < member_count && cell->second >= -1 &&
-                          cell->second < member_count,
+        ATMOR_REQUIRE(cell->best >= -1 && cell->best < view.member_count &&
+                          cell->second >= -1 && cell->second < view.member_count,
                       "ServeEngine::serve_parametric: coverage cell ["
-                          << family.space.key(cell->coords) << "] references a missing member");
+                          << view.space.key(cell->coords) << "] references a missing member");
 
     bool blended = false;
     if (cell && cell->best >= 0 && cell->best_error <= tol) {
         // -- Certified member path. ----------------------------------------
         ans.member = cell->best;
-        ans.response = member_state(family, cell->best)->evaluator->output_h1_sweep(grid);
-        const FamilyMember& best = family.members[static_cast<std::size_t>(cell->best)];
+        const std::shared_ptr<const FamilyMember> best = view.member(cell->best);
+        ans.response = member_state(view.family_id, cell->best, *best)
+                           ->evaluator->output_h1_sweep(grid);
         double certified_error = cell->best_error;
 
         if (opt.blend && cell->second >= 0 && cell->second_error <= tol) {
-            const FamilyMember& second =
-                family.members[static_cast<std::size_t>(cell->second)];
-            const double d_best = family.space.distance(coords, best.coords);
-            const double d_second = family.space.distance(coords, second.coords);
+            const std::shared_ptr<const FamilyMember> second = view.member(cell->second);
+            const double d_best = view.space.distance(coords, best->coords);
+            const double d_second = view.space.distance(coords, second->coords);
             const double w =
                 d_best + d_second <= 0.0 ? 1.0 : d_second / (d_best + d_second);
             if (w < 1.0) {
                 const std::vector<la::ZMatrix> other =
-                    member_state(family, cell->second)->evaluator->output_h1_sweep(grid);
+                    member_state(view.family_id, cell->second, *second)
+                        ->evaluator->output_h1_sweep(grid);
                 for (std::size_t g = 0; g < ans.response.size(); ++g) {
                     ans.response[g] *= la::Complex(w, 0.0);
                     ans.response[g] += la::Complex(1.0 - w, 0.0) * other[g];
@@ -230,21 +281,21 @@ ParametricAnswer ServeEngine::serve_parametric(const Family& family, const pmor:
         // The served contract: the member's band/method provenance with the
         // coverage cell's certified cross error (>= the member's own
         // build-time estimate) and the tolerance actually enforced.
-        ans.certificate = certificate_of(best.model);
+        ans.certificate = certificate_of(best->model);
         ans.certificate.tol = tol;
         ans.certificate.estimated_error = certified_error;
     } else {
         // -- Rejection path: no member certifies under tol. ----------------
         ATMOR_REQUIRE(static_cast<bool>(opt.fallback_build),
                       "ServeEngine::serve_parametric: no family member certifies point ["
-                          << family.space.key(coords) << "] under tol " << tol
+                          << view.space.key(coords) << "] under tol " << tol
                           << " and no fallback_build was provided");
         // The default key is tolerance-tagged: a later query at the same
         // point demanding a TIGHTER accuracy must not silently reuse a
         // looser cached fallback model.
         const std::string key =
             opt.fallback_key ? opt.fallback_key(coords)
-                             : "family:" + family.family_id + "@" + family.space.key(coords) +
+                             : "family:" + view.family_id + "@" + view.space.key(coords) +
                                    "|fallback(tol=" + util::key_num(tol) + ")";
         const std::shared_ptr<ModelState> st =
             state_for(key, [&] { return opt.fallback_build(coords); });

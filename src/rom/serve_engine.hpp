@@ -145,6 +145,16 @@ public:
                                                     const std::vector<la::Complex>& grid,
                                                     const ParametricOptions& opt = {});
 
+    /// Parametric serving straight off a (possibly mmap-backed) family
+    /// artifact: identical routing, certificates and answers as the Family
+    /// overload -- both run the same core -- but members materialize only
+    /// when a query actually routes to them, so serving one point against a
+    /// lazy artifact touches O(1) members, not the whole file.
+    [[nodiscard]] ParametricAnswer serve_parametric(const FamilyArtifact& family,
+                                                    const pmor::Point& coords,
+                                                    const std::vector<la::Complex>& grid,
+                                                    const ParametricOptions& opt = {});
+
     [[nodiscard]] ServeStats stats() const;
 
     [[nodiscard]] const std::shared_ptr<Registry>& registry() const { return registry_; }
@@ -184,10 +194,23 @@ private:
     [[nodiscard]] std::shared_ptr<ModelState> state_for(const std::string& key,
                                                         const Registry::Builder& build);
 
+    /// Accessor bundle the parametric core serves through, so the eager
+    /// Family and lazy FamilyArtifact overloads share one implementation
+    /// (and can never drift): header data by reference, members through a
+    /// materializing callback the lazy path only invokes for the member(s)
+    /// a query actually routes to.
+    struct FamilyView;
+    [[nodiscard]] ParametricAnswer serve_parametric_impl(const FamilyView& view,
+                                                         const pmor::Point& coords,
+                                                         const std::vector<la::Complex>& grid,
+                                                         const ParametricOptions& opt);
+
     /// Serving state for a family member (already-built artifact, no
     /// registry resolution); keyed by family id + member index + basis hash
     /// so a reloaded family with identical members reuses the caches.
-    [[nodiscard]] std::shared_ptr<ModelState> member_state(const Family& family, int member);
+    [[nodiscard]] std::shared_ptr<ModelState> member_state(const std::string& family_id,
+                                                           int member,
+                                                           const FamilyMember& fm);
 
     void note_query(double seconds, long freq_points, long waveforms);
 

@@ -14,16 +14,29 @@
 // and in every failing case the loader must return NOTHING: the typed
 // exception is the only observable effect (no partial object escapes, since
 // deserialize_* returns by value only on success).
+// The v4 sectioned family artifact adds a second integrity regime: the
+// DIRECTORY carries its own checksum and every payload block its own hash,
+// so the sweeps here also cover the case the envelope checksum cannot --
+// a re-framed payload (envelope checksum regenerated over mutated bytes)
+// must STILL be rejected, and the lazy mmap reader (which skips the
+// envelope checksum by design) must catch every flip at open or at the
+// first member materialization that touches the damaged section.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "circuits/nltl.hpp"
 #include "core/atmor.hpp"
 #include "pmor/family_builder.hpp"
+#include "rom/family_artifact.hpp"
+#include "rom/family_codec.hpp"
 #include "rom/io.hpp"
+#include "rom/reduced_model.hpp"
 #include "test_qldae_helpers.hpp"
 #include "util/rng.hpp"
 
@@ -191,6 +204,42 @@ TEST(RomIoFuzz, FamilyBitFlips) {
     bitflip_sweep(Kind::family, rom::serialize_family(small_family()), "v3 family", 13);
 }
 
+rom::CompressedFamily small_compressed() {
+    rom::CompressOptions copt;
+    copt.tier = rom::EncodingTier::q16;  // the lossiest tier: most codec paths
+    return rom::compress_family(small_family(), copt);
+}
+
+std::string write_temp(const std::string& name, const std::string& bytes) {
+    const auto path =
+        (std::filesystem::temp_directory_path() / ("atmor_fuzz_" + name)).string();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    return path;
+}
+
+std::uint64_t directory_bytes_of(const std::string& payload) {
+    // Sectioned payload: u8 kind | u8 layout | u8 tier | u64 header_bytes,
+    // where header_bytes = directory length + its 8-byte checksum.
+    std::uint64_t header_bytes = 0;
+    std::memcpy(&header_bytes, payload.data() + 3, sizeof(header_bytes));
+    return header_bytes;
+}
+
+/// Open a (possibly damaged) artifact file lazily and drain every member, so
+/// each inline block's hash gate actually fires. True only when the whole
+/// artifact survives.
+bool try_open_and_drain(const std::string& path, rom::IoErrorKind* error_out) {
+    try {
+        const rom::FamilyArtifact art = rom::FamilyArtifact::open(path);
+        for (int i = 0; i < art.member_count(); ++i) (void)art.member(i);
+        return true;
+    } catch (const rom::IoError& e) {
+        *error_out = e.kind();
+        return false;
+    }
+}
+
 TEST(RomIoFuzz, TruncatedPayloadBehindAConsistentFrameIsTyped) {
     // The frame can be internally consistent (size and checksum agree) while
     // the PAYLOAD is cut short: re-frame every truncated payload prefix and
@@ -228,6 +277,174 @@ TEST(RomIoFuzz, TrailingGarbageBehindAConsistentFrameIsTyped) {
                     kind_out == rom::IoErrorKind::truncated)
             << extra << " trailing bytes: " << rom::to_string(kind_out);
     }
+}
+
+// ---------------------------------------------------------------------------
+// v4 sectioned family artifacts (eager deserialize_family path).
+// ---------------------------------------------------------------------------
+
+TEST(RomIoFuzz, V4SectionedFamilyTruncationAtEveryBoundary) {
+    truncation_sweep(Kind::family, rom::serialize_family_artifact(small_compressed()),
+                     "v4 family");
+}
+
+TEST(RomIoFuzz, V4SectionedFamilyBitFlips) {
+    bitflip_sweep(Kind::family, rom::serialize_family_artifact(small_compressed()),
+                  "v4 family", 13);
+}
+
+TEST(RomIoFuzz, V4ReframedPayloadFlipsAreCaughtBelowTheEnvelope) {
+    // The adversarial case the envelope cannot see: mutate the PAYLOAD and
+    // regenerate a consistent envelope around it. v1-v3 artifacts would load
+    // such bytes; a sectioned artifact must not -- the directory checksum
+    // covers every directory byte (including the block table with its
+    // hashes) and each block's own hash covers the block region, so EVERY
+    // single-bit payload flip behind a freshly minted frame is still a typed
+    // error. Exhaustive over the directory + its checksum field, strided
+    // over the (checksummed-per-block) payload blocks.
+    const std::string framed = rom::serialize_family_artifact(small_compressed());
+    const std::string payload = rom::unframe(framed);
+    const std::uint64_t dir_end = directory_bytes_of(payload);
+    ASSERT_LT(dir_end, payload.size());
+
+    std::vector<std::size_t> offsets;
+    for (std::size_t i = 0; i < dir_end; ++i) offsets.push_back(i);
+    for (std::size_t i = dir_end; i < payload.size(); i += 5) offsets.push_back(i);
+
+    for (const std::size_t at : offsets) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::string mutated = payload;
+            mutated[at] = static_cast<char>(mutated[at] ^ (1 << bit));
+            rom::IoErrorKind kind_out{};
+            const bool loaded = try_load(Kind::family, rom::frame(mutated), &kind_out);
+            ASSERT_FALSE(loaded) << "re-framed v4 payload: flipping bit " << bit
+                                 << " of byte " << at << " parsed";
+        }
+    }
+    // Control arm: the unmutated re-frame is the original artifact.
+    rom::IoErrorKind kind_out{};
+    ASSERT_TRUE(try_load(Kind::family, rom::frame(payload), &kind_out));
+}
+
+TEST(RomIoFuzz, V4ForgedStructuralFieldsBehindValidChecksumsAreTyped) {
+    // Deeper than the checksum gates: forge structural bytes and PATCH the
+    // directory checksum (and re-frame), so the mutation reaches the
+    // structural readers themselves. Tier, layout and kind tags plus the
+    // header_bytes field are the dispatch-critical bytes; none of their
+    // forgeries may crash or yield an object.
+    const std::string payload = rom::unframe(rom::serialize_family_artifact(small_compressed()));
+    const std::uint64_t dir_end = directory_bytes_of(payload);
+    const std::size_t dir_len = static_cast<std::size_t>(dir_end) - 8;
+
+    const auto forge = [&](std::size_t at, char value) {
+        std::string mutated = payload;
+        mutated[at] = value;
+        if (at < dir_len) {  // keep the directory checksum telling the truth
+            const std::uint64_t sum = rom::fnv1a(mutated.data(), dir_len);
+            std::memcpy(&mutated[dir_len], &sum, sizeof(sum));
+        }
+        rom::IoErrorKind kind_out{};
+        const bool loaded = try_load(Kind::family, rom::frame(mutated), &kind_out);
+        ASSERT_FALSE(loaded) << "forged byte " << at << " = " << static_cast<int>(value)
+                             << " parsed";
+    };
+
+    forge(0, '\x00');  // kind: model tag on a family loader
+    forge(0, '\x7f');  // kind: unknown tag
+    forge(1, '\x02');  // layout: unknown -> must not fall through to inline
+    forge(1, '\x7f');
+    forge(2, '\x04');  // tier: one past q8 (unknown tag)
+    forge(2, '\x03');  // tier: VALID q8 tag over q16-sized blocks (size gate)
+    forge(2, '\x7f');
+    for (int byte = 0; byte < 8; ++byte) {  // header_bytes: every byte forged high
+        forge(3 + static_cast<std::size_t>(byte), '\x66');
+    }
+}
+
+// ---------------------------------------------------------------------------
+// v4 lazy mmap reader (FamilyArtifact::open path).
+// ---------------------------------------------------------------------------
+
+TEST(RomIoFuzz, V4LazyOpenOfEveryTruncationIsTyped) {
+    const std::string bytes = rom::serialize_family_artifact(small_compressed());
+    const std::string path = write_temp("trunc.atmor-fam", bytes);
+    for (std::size_t keep = 0; keep < bytes.size(); keep += 3) {
+        (void)write_temp("trunc.atmor-fam", bytes.substr(0, keep));
+        rom::IoErrorKind kind_out{};
+        const bool loaded = try_open_and_drain(path, &kind_out);
+        ASSERT_FALSE(loaded) << "lazy open of " << keep << "-byte prefix parsed";
+        ASSERT_TRUE(kind_out == rom::IoErrorKind::truncated ||
+                    kind_out == rom::IoErrorKind::bad_magic ||
+                    kind_out == rom::IoErrorKind::corrupt)
+            << "prefix " << keep << ": " << rom::to_string(kind_out);
+    }
+    (void)write_temp("trunc.atmor-fam", bytes);
+    rom::IoErrorKind kind_out{};
+    ASSERT_TRUE(try_open_and_drain(path, &kind_out));
+    std::filesystem::remove(path);
+}
+
+TEST(RomIoFuzz, V4LazyFlipsAreCaughtAtOpenOrFirstTouch) {
+    // The lazy reader never checksums the whole payload (that is the point:
+    // O(directory) cold start), so its integrity story is layered -- header
+    // flips die at open's bounds/magic gates, directory flips at the
+    // directory checksum, block flips at the per-block hash when a member
+    // materializes. Sweep everything but the trailing envelope checksum
+    // (which only the eager path consumes, and which the eager sweeps above
+    // already pin).
+    const std::string bytes = rom::serialize_family_artifact(small_compressed());
+    const std::string path = write_temp("flip.atmor-fam", bytes);
+    for (std::size_t at = 0; at + kChecksumBytes < bytes.size(); at += 7) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::string mutated = bytes;
+            mutated[at] = static_cast<char>(mutated[at] ^ (1 << bit));
+            (void)write_temp("flip.atmor-fam", mutated);
+            rom::IoErrorKind kind_out{};
+            const bool loaded = try_open_and_drain(path, &kind_out);
+            ASSERT_FALSE(loaded) << "lazy artifact: flipping bit " << bit << " of byte "
+                                 << at << " went unnoticed by open + full drain";
+        }
+    }
+    (void)write_temp("flip.atmor-fam", bytes);
+    rom::IoErrorKind kind_out{};
+    ASSERT_TRUE(try_open_and_drain(path, &kind_out));
+    std::filesystem::remove(path);
+}
+
+TEST(RomIoFuzz, ExternalArtifactUnderEnvVar) {
+    // CI hook: point ATMOR_FUZZ_ARTIFACT at any .atmor-fam file (e.g. the
+    // uploaded sample artifact) and this test fuzzes THAT artifact through
+    // the lazy reader -- strided truncations and bit flips, each of which
+    // must be a typed error with no crash. Skipped when the variable is
+    // unset, so local runs stay hermetic.
+    const char* target = std::getenv("ATMOR_FUZZ_ARTIFACT");
+    if (target == nullptr || *target == '\0')
+        GTEST_SKIP() << "set ATMOR_FUZZ_ARTIFACT=<path> to fuzz an external artifact";
+    std::string bytes;
+    {
+        std::ifstream in(target, std::ios::binary);
+        ASSERT_TRUE(in.good()) << "cannot read " << target;
+        bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+    }
+    const std::string path = write_temp("external.atmor-fam", bytes);
+    rom::IoErrorKind kind_out{};
+    ASSERT_TRUE(try_open_and_drain(path, &kind_out)) << "control arm failed";
+
+    const std::size_t trunc_stride = std::max<std::size_t>(1, bytes.size() / 512);
+    for (std::size_t keep = 0; keep < bytes.size(); keep += trunc_stride) {
+        (void)write_temp("external.atmor-fam", bytes.substr(0, keep));
+        ASSERT_FALSE(try_open_and_drain(path, &kind_out))
+            << "truncation to " << keep << " bytes parsed";
+    }
+    const std::size_t flip_stride = std::max<std::size_t>(1, bytes.size() / 256);
+    for (std::size_t at = 0; at + kChecksumBytes < bytes.size(); at += flip_stride) {
+        std::string mutated = bytes;
+        mutated[at] = static_cast<char>(mutated[at] ^ 0x10);
+        (void)write_temp("external.atmor-fam", mutated);
+        ASSERT_FALSE(try_open_and_drain(path, &kind_out))
+            << "bit flip at byte " << at << " went unnoticed";
+    }
+    std::filesystem::remove(path);
 }
 
 }  // namespace
