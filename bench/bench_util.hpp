@@ -20,6 +20,7 @@
 
 #include "la/simd.hpp"
 #include "ode/transient.hpp"
+#include "util/latency.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -146,6 +147,21 @@ inline void add_env_header(Json& json) {
     json.str("compiler", "unknown");
 #endif
     json.str("simd_level", la::simd::active_level());
+}
+
+/// Emit one request class's latency distribution as the flat fields the perf
+/// gate understands: `<cls>_count` plus `_p50/_p95/_p99/_mean/_max_seconds`.
+/// The `_seconds` suffix routes every field through bench_compare.py's
+/// time-ratio rule; the tail fields (`_p95`/`_p99`/`_max`) get its wider
+/// tail-ratio thresholds.
+inline void add_latency_fields(Json& json, const std::string& cls,
+                               const util::LatencyHistogram& hist) {
+    json.num(cls + "_count", hist.count());
+    json.num(cls + "_p50_seconds", hist.percentile(50.0));
+    json.num(cls + "_p95_seconds", hist.percentile(95.0));
+    json.num(cls + "_p99_seconds", hist.percentile(99.0));
+    json.num(cls + "_mean_seconds", hist.mean_seconds());
+    json.num(cls + "_max_seconds", hist.max_seconds());
 }
 
 /// Write a bench JSON artifact; a failed write is itself a bench failure.

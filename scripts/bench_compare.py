@@ -13,6 +13,12 @@ from the fresh directory and compare leaf by leaf:
   --fail-ratio factor (default 2.0) is a genuine relative regression and
   FAILS. Fields past --warn-ratio (default 1.3) WARN without failing, which
   keeps the gate non-blocking on scheduler noise.
+* tail-latency fields (``_p95_seconds`` / ``_p99_seconds`` / ``_max_seconds``,
+  emitted by the bench_serve_load histograms) use the same machine-normalised
+  ratio rule but the wider --tail-fail-ratio (default 3.0) and
+  --tail-warn-ratio (default 2.0) thresholds, and are EXCLUDED from the
+  median calibration: a single scheduler stall legitimately moves a p99 in a
+  way it can never move a median, so tails gate regressions, not jitter.
 * error/accuracy fields (keys ending in ``_err`` / ``_error``) are gated
   absolutely at --fail-ratio (an accuracy regression is machine-independent).
 * size fields (keys ending in ``_bytes``) are gated absolutely like errors:
@@ -60,6 +66,13 @@ def is_time_key(key):
     return name.endswith("_seconds") or name.endswith("_s") or name.endswith("seconds")
 
 
+def is_tail_key(key):
+    """Tail-latency fields: wider thresholds, excluded from calibration."""
+    name = base_name(key)
+    return name.endswith("_p95_seconds") or name.endswith("_p99_seconds") \
+        or name.endswith("_max_seconds")
+
+
 def is_error_key(key):
     name = base_name(key)
     return name.endswith("_err") or name.endswith("_error")
@@ -73,7 +86,8 @@ def is_invariant_key(key):
     return base_name(key).endswith("_ok")
 
 
-def compare_file(base_path, fresh_path, fail_ratio, warn_ratio, report):
+def compare_file(base_path, fresh_path, fail_ratio, warn_ratio,
+                 tail_fail_ratio, tail_warn_ratio, report):
     base = json.loads(base_path.read_text())
     fresh = json.loads(fresh_path.read_text())
     base_leaves = dict(leaves(base))
@@ -103,7 +117,7 @@ def compare_file(base_path, fresh_path, fail_ratio, warn_ratio, report):
     # every time field. 1.0 when there are no usable time fields.
     time_ratios = []
     for key, base_value in base_leaves.items():
-        if not is_time_key(key) or key not in fresh_leaves:
+        if not is_time_key(key) or is_tail_key(key) or key not in fresh_leaves:
             continue
         fresh_value = fresh_leaves[key]
         if isinstance(base_value, (int, float)) and base_value > 0 and \
@@ -135,6 +149,19 @@ def compare_file(base_path, fresh_path, fail_ratio, warn_ratio, report):
     elif kernel_enforced is False:
         report.append("    kernel gate: informative only (portable kernel build)")
 
+    # Serving gates (bench_serve_load): the >=3x 8-worker saturation-scaling
+    # floor and the p99<=10*p50 warm-tail ceiling are enforced only on
+    # runners with >= 8 cores driving >= 8 workers; elsewhere the fields are
+    # recorded informatively and serve_scaling_ok / warm_tail_ok pass
+    # vacuously (a true -> false flip is still caught by the invariant rule).
+    serve_enforced = fresh_leaves.get("serve_scaling_gate_enforced")
+    if serve_enforced is True:
+        report.append("    serve gates: ENFORCED (>= 8 cores: 8-worker saturation "
+                      ">= 3x 1-worker, warm p99 <= 10x p50)")
+    elif serve_enforced is False:
+        report.append("    serve gates: informative only (fresh runner has < 8 "
+                      "cores or ran < 8 workers)")
+
     for key, base_value in sorted(base_leaves.items()):
         if key not in fresh_leaves:
             continue
@@ -156,11 +183,14 @@ def compare_file(base_path, fresh_path, fail_ratio, warn_ratio, report):
                 continue
             ratio = fresh_value / base_value
             normalised = ratio / scale if scale > 0 else ratio
+            fail_at = tail_fail_ratio if is_tail_key(key) else fail_ratio
+            warn_at = tail_warn_ratio if is_tail_key(key) else warn_ratio
             line = f"{key}: {base_value:.4g}s -> {fresh_value:.4g}s " \
-                   f"({ratio:.2f}x raw, {normalised:.2f}x calibrated)"
-            if normalised > fail_ratio:
+                   f"({ratio:.2f}x raw, {normalised:.2f}x calibrated" \
+                   f"{', tail rule' if is_tail_key(key) else ''})"
+            if normalised > fail_at:
                 failures.append(line)
-            elif normalised > warn_ratio:
+            elif normalised > warn_at:
                 warnings.append(line)
         elif is_error_key(key):
             floor = 1e-300
@@ -190,6 +220,11 @@ def main():
                         help="calibrated slowdown that fails the gate (default 2.0)")
     parser.add_argument("--warn-ratio", type=float, default=1.3,
                         help="calibrated slowdown that warns (default 1.3)")
+    parser.add_argument("--tail-fail-ratio", type=float, default=3.0,
+                        help="calibrated tail (_p95/_p99/_max_seconds) slowdown "
+                             "that fails the gate (default 3.0)")
+    parser.add_argument("--tail-warn-ratio", type=float, default=2.0,
+                        help="calibrated tail slowdown that warns (default 2.0)")
     parser.add_argument("--update", action="store_true",
                         help="copy fresh files over the baselines instead of comparing")
     args = parser.parse_args()
@@ -219,7 +254,8 @@ def main():
             total_failures += 1
             continue
         failures, warnings = compare_file(base_path, fresh_path, args.fail_ratio,
-                                          args.warn_ratio, report)
+                                          args.warn_ratio, args.tail_fail_ratio,
+                                          args.tail_warn_ratio, report)
         for line in report:
             print(line)
         for line in warnings:

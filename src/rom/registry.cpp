@@ -94,10 +94,9 @@ std::string Registry::put_family(const CompressedFamily& cf) {
             return true;
         });
     write_file_atomically(bytes, path);
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.family_saves;
-    stats_.blocks_written += written;
-    stats_.blocks_shared += shared;
+    stats_.family_saves.fetch_add(1, std::memory_order_relaxed);
+    stats_.blocks_written.fetch_add(written, std::memory_order_relaxed);
+    stats_.blocks_shared.fetch_add(shared, std::memory_order_relaxed);
     return path;
 }
 
@@ -107,8 +106,7 @@ FamilyArtifact Registry::open_family(const std::string& family_id) {
         throw IoError(IoErrorKind::open_failed,
                       "registry: family artifacts require the disk tier (artifact_dir)");
     FamilyArtifact artifact = FamilyArtifact::open(path);
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.family_loads;
+    stats_.family_loads.fetch_add(1, std::memory_order_relaxed);
     return artifact;
 }
 
@@ -124,7 +122,7 @@ void Registry::insert_locked(const std::string& key, ModelPtr model) {
     if (lru_.size() > opt_.max_memory_models) {
         slots_.erase(lru_.back().first);
         lru_.pop_back();
-        ++stats_.evictions;
+        stats_.evictions.fetch_add(1, std::memory_order_relaxed);
     }
 }
 
@@ -133,19 +131,19 @@ std::shared_ptr<const ReducedModel> Registry::get_or_build(const std::string& ke
     ATMOR_REQUIRE(!key.empty(), "Registry::get_or_build: empty key");
     ATMOR_REQUIRE(static_cast<bool>(build), "Registry::get_or_build: null builder");
     std::promise<ModelPtr> promise;
+    stats_.lookups.fetch_add(1, std::memory_order_relaxed);
     {
         std::unique_lock<std::mutex> lock(mutex_);
-        ++stats_.lookups;
         auto slot = slots_.find(key);
         if (slot != slots_.end()) {
             lru_.splice(lru_.begin(), lru_, slot->second);  // touch
-            ++stats_.memory_hits;
+            stats_.memory_hits.fetch_add(1, std::memory_order_relaxed);
             return slot->second->second;
         }
         auto flight = inflight_.find(key);
         if (flight != inflight_.end()) {
             std::shared_future<ModelPtr> future = flight->second;
-            ++stats_.coalesced;
+            stats_.coalesced.fetch_add(1, std::memory_order_relaxed);
             lock.unlock();
             return future.get();  // rethrows the leader's builder exception
         }
@@ -153,35 +151,31 @@ std::shared_ptr<const ReducedModel> Registry::get_or_build(const std::string& ke
     }
 
     // This caller is the flight leader: disk probe then build, outside the
-    // lock so other keys proceed concurrently.
+    // lock so other keys proceed concurrently. The counter bumps along the
+    // way are relaxed atomics on purpose -- taking mutex_ from the middle of
+    // a minutes-long build would stall every warm lookup behind it.
     ModelPtr model;
     try {
         const std::string path = artifact_path(key);
         if (!path.empty() && std::filesystem::exists(path)) {
             try {
                 model = std::make_shared<const ReducedModel>(load_entry(key, path));
-                std::lock_guard<std::mutex> lock(mutex_);
-                ++stats_.disk_hits;
+                stats_.disk_hits.fetch_add(1, std::memory_order_relaxed);
             } catch (const IoError&) {
                 // Damaged or wrong-key artifact: rebuild and overwrite below.
-                std::lock_guard<std::mutex> lock(mutex_);
-                ++stats_.disk_errors;
+                stats_.disk_errors.fetch_add(1, std::memory_order_relaxed);
             }
         }
         if (!model) {
             model = std::make_shared<const ReducedModel>(build());
-            {
-                std::lock_guard<std::mutex> lock(mutex_);
-                ++stats_.builds;
-            }
+            stats_.builds.fetch_add(1, std::memory_order_relaxed);
             if (!path.empty()) {
                 try {
                     save_entry(key, *model, path);
                 } catch (const IoError&) {
                     // Serving must not fail because the artifact tier is
                     // unwritable; the model is still returned and cached.
-                    std::lock_guard<std::mutex> lock(mutex_);
-                    ++stats_.disk_errors;
+                    stats_.disk_errors.fetch_add(1, std::memory_order_relaxed);
                 }
             }
         }
@@ -204,8 +198,19 @@ std::shared_ptr<const ReducedModel> Registry::get_or_build(const std::string& ke
 }
 
 RegistryStats Registry::stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
+    RegistryStats s;
+    s.lookups = stats_.lookups.load(std::memory_order_relaxed);
+    s.memory_hits = stats_.memory_hits.load(std::memory_order_relaxed);
+    s.coalesced = stats_.coalesced.load(std::memory_order_relaxed);
+    s.disk_hits = stats_.disk_hits.load(std::memory_order_relaxed);
+    s.builds = stats_.builds.load(std::memory_order_relaxed);
+    s.evictions = stats_.evictions.load(std::memory_order_relaxed);
+    s.disk_errors = stats_.disk_errors.load(std::memory_order_relaxed);
+    s.family_saves = stats_.family_saves.load(std::memory_order_relaxed);
+    s.family_loads = stats_.family_loads.load(std::memory_order_relaxed);
+    s.blocks_written = stats_.blocks_written.load(std::memory_order_relaxed);
+    s.blocks_shared = stats_.blocks_shared.load(std::memory_order_relaxed);
+    return s;
 }
 
 std::size_t Registry::memory_count() const {

@@ -17,6 +17,7 @@
 // concurrently.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <future>
 #include <list>
@@ -95,6 +96,9 @@ public:
     /// block would cost more in metadata than the dedup saves).
     static constexpr std::size_t kExternalBlockBytes = 4096;
 
+    /// Per-field consistent snapshot (each field one relaxed atomic load);
+    /// takes no lock, so stats polling never contends with lookups or an
+    /// in-flight build.
     [[nodiscard]] RegistryStats stats() const;
     [[nodiscard]] std::size_t memory_count() const;
     [[nodiscard]] const RegistryOptions& options() const { return opt_; }
@@ -105,6 +109,24 @@ private:
     /// Insert into the LRU front, evicting past capacity. Caller holds mutex_.
     void insert_locked(const std::string& key, ModelPtr model);
 
+    /// Relaxed-atomic counters behind the RegistryStats snapshot. Lock-free
+    /// on purpose: the flight leader bumps disk_hits/builds/disk_errors from
+    /// the MIDDLE of a cold build, and with plain counters those bumps would
+    /// reacquire mutex_ and stall warm lookups behind a build in progress.
+    struct AtomicStats {
+        std::atomic<long> lookups{0};
+        std::atomic<long> memory_hits{0};
+        std::atomic<long> coalesced{0};
+        std::atomic<long> disk_hits{0};
+        std::atomic<long> builds{0};
+        std::atomic<long> evictions{0};
+        std::atomic<long> disk_errors{0};
+        std::atomic<long> family_saves{0};
+        std::atomic<long> family_loads{0};
+        std::atomic<long> blocks_written{0};
+        std::atomic<long> blocks_shared{0};
+    };
+
     RegistryOptions opt_;
 
     mutable std::mutex mutex_;
@@ -113,7 +135,7 @@ private:
     std::unordered_map<std::string, std::list<std::pair<std::string, ModelPtr>>::iterator>
         slots_;
     std::unordered_map<std::string, std::shared_future<ModelPtr>> inflight_;
-    RegistryStats stats_;  // guarded by mutex_
+    AtomicStats stats_;  // lock-free; snapshot via stats()
 };
 
 }  // namespace atmor::rom

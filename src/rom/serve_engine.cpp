@@ -1,8 +1,11 @@
 #include "rom/serve_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
+#include "rom/reduced_model.hpp"
 #include "util/check.hpp"
 #include "util/key_format.hpp"
 #include "util/timer.hpp"
@@ -19,11 +22,6 @@ constexpr std::size_t kServeCacheSlots = 64;
 /// Bound on distinct transient configurations whose warm Newton
 /// factorisations a model keeps alive simultaneously.
 constexpr std::size_t kMaxWarmStarts = 8;
-
-/// Bound on live per-model serving states: keyed models, family members and
-/// per-tolerance fallback builds all land in states_, and parametric sweep
-/// traffic can mint distinct keys without limit.
-constexpr std::size_t kMaxModelStates = 128;
 
 std::shared_ptr<la::SolverBackend> make_freq_backend(const volterra::Qldae& rom) {
     if (rom.g1_op().is_sparse())
@@ -47,6 +45,20 @@ void accumulate(la::SolverStats& acc, const la::SolverStats& s) {
     acc.max_factor_dim = std::max(acc.max_factor_dim, s.max_factor_dim);
 }
 
+/// acc += v, relaxed (C++17 atomics have no floating-point fetch_add).
+void add_relaxed(std::atomic<double>& acc, double v) {
+    double cur = acc.load(std::memory_order_relaxed);
+    while (!acc.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+    }
+}
+
+/// acc = max(acc, v), relaxed.
+void max_relaxed(std::atomic<double>& acc, double v) {
+    double cur = acc.load(std::memory_order_relaxed);
+    while (cur < v && !acc.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+}
+
 /// The build-time accuracy contract a model's provenance records.
 ErrorCertificate certificate_of(const ReducedModel& m) {
     ErrorCertificate cert;
@@ -62,9 +74,18 @@ ErrorCertificate certificate_of(const ReducedModel& m) {
 
 }  // namespace
 
-ServeEngine::ServeEngine(std::shared_ptr<Registry> registry)
-    : registry_(std::move(registry)) {
+ServeEngine::ServeEngine(std::shared_ptr<Registry> registry, ServeOptions opt)
+    : registry_(std::move(registry)),
+      opt_(opt),
+      shard_capacity_(std::max<std::size_t>(1, opt.max_model_states / kShardCount)) {
     ATMOR_REQUIRE(registry_ != nullptr, "ServeEngine: null registry");
+    ATMOR_REQUIRE(opt_.coalesce_window_seconds >= 0.0,
+                  "ServeEngine: negative coalesce window");
+    ATMOR_REQUIRE(opt_.max_model_states >= 1, "ServeEngine: need at least one model state");
+}
+
+ServeEngine::Shard& ServeEngine::shard_for(const std::string& key) {
+    return shards_[fnv1a(key.data(), key.size()) & (kShardCount - 1)];
 }
 
 std::shared_ptr<const ReducedModel> ServeEngine::model(const std::string& key,
@@ -82,52 +103,55 @@ std::shared_ptr<ServeEngine::ModelState> ServeEngine::make_state(
     return st;
 }
 
-void ServeEngine::bound_states_locked(const std::string& keep_key) {
-    while (states_.size() > kMaxModelStates) {
-        auto victim = states_.end();
-        for (auto it = states_.begin(); it != states_.end(); ++it) {
+void ServeEngine::bound_shard_locked(Shard& shard, const std::string& keep_key) {
+    while (shard.states.size() > shard_capacity_) {
+        auto victim = shard.states.end();
+        for (auto it = shard.states.begin(); it != shard.states.end(); ++it) {
             if (it->first == keep_key) continue;
-            if (victim == states_.end() || it->second->last_used < victim->second->last_used)
+            if (victim == shard.states.end() ||
+                it->second->last_used < victim->second->last_used)
                 victim = it;
         }
-        if (victim == states_.end()) break;
-        accumulate(evicted_solver_, victim->second->evaluator->backend()->stats());
-        accumulate(evicted_solver_, victim->second->transient_backend->stats());
-        states_.erase(victim);
+        if (victim == shard.states.end()) break;
+        accumulate(shard.evicted_solver, victim->second->evaluator->backend()->stats());
+        accumulate(shard.evicted_solver, victim->second->transient_backend->stats());
+        shard.states.erase(victim);
     }
 }
 
 std::shared_ptr<ServeEngine::ModelState> ServeEngine::state_for(const std::string& key,
                                                                 const Registry::Builder& build) {
-    // Resolve through the registry OUTSIDE the engine lock: a cold build can
-    // take minutes and must not stall queries against other models.
+    // Resolve through the registry OUTSIDE every engine lock: a cold build
+    // can take minutes and must not stall queries against any other model --
+    // the registry's single-flight map serialises only same-key callers.
     std::shared_ptr<const ReducedModel> m = registry_->get_or_build(key, build);
+    Shard& shard = shard_for(key);
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        auto it = states_.find(key);
-        if (it != states_.end() && it->second->model == m) {
-            it->second->last_used = ++state_tick_;
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.states.find(key);
+        if (it != shard.states.end() && it->second->model == m) {
+            it->second->last_used = state_tick_.fetch_add(1, std::memory_order_relaxed) + 1;
             return it->second;
         }
     }
     // Construct outside the lock too (ROM copy + cache sizing); on a race
     // the first insertion wins and the loser's state is dropped.
     std::shared_ptr<ModelState> fresh = make_state(std::move(m));
-    std::lock_guard<std::mutex> lock(mutex_);
-    std::shared_ptr<ModelState>& st = states_[key];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    std::shared_ptr<ModelState>& st = shard.states[key];
     if (!st || st->model != fresh->model) {
         if (st) {
             // The key's model was rebuilt: fold the superseded state's
             // counters in so stats() stays monotonic across replacement,
             // exactly like LRU eviction does.
-            accumulate(evicted_solver_, st->evaluator->backend()->stats());
-            accumulate(evicted_solver_, st->transient_backend->stats());
+            accumulate(shard.evicted_solver, st->evaluator->backend()->stats());
+            accumulate(shard.evicted_solver, st->transient_backend->stats());
         }
         st = std::move(fresh);
     }
-    st->last_used = ++state_tick_;
+    st->last_used = state_tick_.fetch_add(1, std::memory_order_relaxed) + 1;
     std::shared_ptr<ModelState> out = st;  // st invalidates if eviction rehashes
-    bound_states_locked(key);
+    bound_shard_locked(shard, key);
     return out;
 }
 
@@ -136,30 +160,136 @@ std::shared_ptr<ServeEngine::ModelState> ServeEngine::member_state(const std::st
                                                                    const FamilyMember& fm) {
     const std::string key = "family:" + family_id + "#" + std::to_string(member) + ":" +
                             std::to_string(fm.model.provenance.basis_hash);
+    Shard& shard = shard_for(key);
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        auto it = states_.find(key);
-        if (it != states_.end()) {
-            it->second->last_used = ++state_tick_;
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.states.find(key);
+        if (it != shard.states.end()) {
+            it->second->last_used = state_tick_.fetch_add(1, std::memory_order_relaxed) + 1;
             return it->second;
         }
     }
     std::shared_ptr<ModelState> fresh =
         make_state(std::make_shared<const ReducedModel>(fm.model));
-    std::lock_guard<std::mutex> lock(mutex_);
-    std::shared_ptr<ModelState>& st = states_[key];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    std::shared_ptr<ModelState>& st = shard.states[key];
     if (!st) st = std::move(fresh);
-    st->last_used = ++state_tick_;
+    st->last_used = state_tick_.fetch_add(1, std::memory_order_relaxed) + 1;
     std::shared_ptr<ModelState> out = st;
-    bound_states_locked(key);
+    bound_shard_locked(shard, key);
     return out;
+}
+
+std::vector<la::ZMatrix> ServeEngine::coalesced_sweep(ModelState& st,
+                                                      const std::vector<la::Complex>& grid) {
+    SweepCoalescer& co = st.coalescer;
+    {
+        std::unique_lock<std::mutex> lock(co.mutex);
+        if (co.leader_active) {
+            // Another request's sweep on this model is collecting or in
+            // flight: park on its batch. The leader evaluates our points in
+            // its next round and fulfills the promise (or propagates the
+            // round's exception).
+            auto waiter = std::make_unique<SweepWaiter>();
+            waiter->grid = &grid;
+            std::future<std::vector<la::ZMatrix>> answer = waiter->promise.get_future();
+            co.pending.push_back(std::move(waiter));
+            lock.unlock();
+            counters_.coalesced_queries.fetch_add(1, std::memory_order_relaxed);
+            return answer.get();
+        }
+        co.leader_active = true;
+    }
+
+    // Optional collection window: let simultaneous requests land before the
+    // first round. Off by default -- with no window, merging happens only
+    // when a later request overlaps an in-flight solve, so an uncontended
+    // query pays nothing.
+    if (opt_.coalesce_window_seconds > 0.0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(opt_.coalesce_window_seconds));
+
+    std::vector<la::ZMatrix> own;
+    bool own_done = false;
+    std::vector<std::unique_ptr<SweepWaiter>> batch;
+    try {
+        while (true) {
+            {
+                std::lock_guard<std::mutex> lock(co.mutex);
+                batch.swap(co.pending);  // batch is empty here: swap = take all
+                if (own_done && batch.empty()) {
+                    co.leader_active = false;
+                    break;
+                }
+            }
+            // Union of the batch's distinct grid points, first-seen order.
+            // Each point is evaluated ONCE and scattered to every request
+            // that asked for it: a point's value is a pure function of its
+            // shift, so the copy is bit-identical to evaluating that
+            // request's grid alone.
+            std::map<std::pair<double, double>, std::size_t> point_index;
+            std::vector<la::Complex> unique;
+            long requested = 0;
+            const auto add_points = [&](const std::vector<la::Complex>& g) {
+                requested += static_cast<long>(g.size());
+                for (const la::Complex& s : g) {
+                    const auto [it, fresh] =
+                        point_index.emplace(std::make_pair(s.real(), s.imag()), unique.size());
+                    (void)it;
+                    if (fresh) unique.push_back(s);
+                }
+            };
+            if (!own_done) add_points(grid);
+            for (const auto& w : batch) add_points(*w->grid);
+
+            // One blocked multi-RHS sweep over the union (each point solves
+            // all input columns in one factor pass; the grid fans out on the
+            // global pool).
+            const std::vector<la::ZMatrix> results = st.evaluator->output_h1_sweep(unique);
+
+            const auto scatter = [&](const std::vector<la::Complex>& g) {
+                std::vector<la::ZMatrix> out;
+                out.reserve(g.size());
+                for (const la::Complex& s : g)
+                    out.push_back(
+                        results[point_index.at(std::make_pair(s.real(), s.imag()))]);
+                return out;
+            };
+            const int round_requests = (own_done ? 0 : 1) + static_cast<int>(batch.size());
+            if (!own_done) {
+                own = scatter(grid);
+                own_done = true;
+            }
+            for (auto& w : batch) w->promise.set_value(scatter(*w->grid));
+            batch.clear();
+
+            if (round_requests > 1)
+                counters_.coalesced_batches.fetch_add(1, std::memory_order_relaxed);
+            counters_.deduped_points.fetch_add(requested - static_cast<long>(unique.size()),
+                                               std::memory_order_relaxed);
+        }
+    } catch (...) {
+        // Fail every parked request with this round's exception and resign
+        // leadership (drain + resign under ONE lock hold, so a request
+        // enqueueing afterwards finds no leader and serves itself).
+        std::vector<std::unique_ptr<SweepWaiter>> orphans;
+        {
+            std::lock_guard<std::mutex> lock(co.mutex);
+            orphans.swap(co.pending);
+            co.leader_active = false;
+        }
+        const std::exception_ptr err = std::current_exception();
+        for (auto& w : batch) w->promise.set_exception(err);
+        for (auto& w : orphans) w->promise.set_exception(err);
+        throw;
+    }
+    return own;
 }
 
 ErrorCertificate ServeEngine::certificate(const std::string& key,
                                           const Registry::Builder& build) {
     ErrorCertificate cert = certificate_of(*state_for(key, build)->model);
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++counters_.certificate_queries;
+    counters_.certificate_queries.fetch_add(1, std::memory_order_relaxed);
     return cert;
 }
 
@@ -169,7 +299,7 @@ std::vector<la::ZMatrix> ServeEngine::frequency_response(const std::string& key,
     ATMOR_REQUIRE(!grid.empty(), "ServeEngine::frequency_response: empty frequency grid");
     const std::shared_ptr<ModelState> st = state_for(key, build);
     util::Timer timer;
-    std::vector<la::ZMatrix> out = st->evaluator->output_h1_sweep(grid);
+    std::vector<la::ZMatrix> out = coalesced_sweep(*st, grid);
     note_query(timer.seconds(), static_cast<long>(grid.size()), -1);
     return out;
 }
@@ -253,8 +383,8 @@ ParametricAnswer ServeEngine::serve_parametric_impl(const FamilyView& view,
         // -- Certified member path. ----------------------------------------
         ans.member = cell->best;
         const std::shared_ptr<const FamilyMember> best = view.member(cell->best);
-        ans.response = member_state(view.family_id, cell->best, *best)
-                           ->evaluator->output_h1_sweep(grid);
+        ans.response =
+            coalesced_sweep(*member_state(view.family_id, cell->best, *best), grid);
         double certified_error = cell->best_error;
 
         if (opt.blend && cell->second >= 0 && cell->second_error <= tol) {
@@ -264,9 +394,8 @@ ParametricAnswer ServeEngine::serve_parametric_impl(const FamilyView& view,
             const double w =
                 d_best + d_second <= 0.0 ? 1.0 : d_second / (d_best + d_second);
             if (w < 1.0) {
-                const std::vector<la::ZMatrix> other =
-                    member_state(view.family_id, cell->second, *second)
-                        ->evaluator->output_h1_sweep(grid);
+                const std::vector<la::ZMatrix> other = coalesced_sweep(
+                    *member_state(view.family_id, cell->second, *second), grid);
                 for (std::size_t g = 0; g < ans.response.size(); ++g) {
                     ans.response[g] *= la::Complex(w, 0.0);
                     ans.response[g] += la::Complex(1.0 - w, 0.0) * other[g];
@@ -297,10 +426,12 @@ ParametricAnswer ServeEngine::serve_parametric_impl(const FamilyView& view,
             opt.fallback_key ? opt.fallback_key(coords)
                              : "family:" + view.family_id + "@" + view.space.key(coords) +
                                    "|fallback(tol=" + util::key_num(tol) + ")";
+        // state_for runs the build through the registry outside every engine
+        // lock, so a slow fallback never blocks warm member serves.
         const std::shared_ptr<ModelState> st =
             state_for(key, [&] { return opt.fallback_build(coords); });
         ans.fallback = true;
-        ans.response = st->evaluator->output_h1_sweep(grid);
+        ans.response = coalesced_sweep(*st, grid);
         ans.certificate = certificate_of(*st->model);
     }
 
@@ -308,12 +439,9 @@ ParametricAnswer ServeEngine::serve_parametric_impl(const FamilyView& view,
     // frequency_queries/points pair (a blended answer evaluates two sweeps
     // anyway); note_query still aggregates the latency fields.
     note_query(timer.seconds(), -1, -1);
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++counters_.parametric_queries;
-        if (ans.fallback) ++counters_.parametric_fallbacks;
-        if (blended) ++counters_.parametric_blended;
-    }
+    counters_.parametric_queries.fetch_add(1, std::memory_order_relaxed);
+    if (ans.fallback) counters_.parametric_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    if (blended) counters_.parametric_blended.fetch_add(1, std::memory_order_relaxed);
     return ans;
 }
 
@@ -360,26 +488,37 @@ std::vector<ode::TransientResult> ServeEngine::transient_batch(
 }
 
 void ServeEngine::note_query(double seconds, long freq_points, long waveforms) {
-    std::lock_guard<std::mutex> lock(mutex_);
     if (freq_points >= 0) {
-        ++counters_.frequency_queries;
-        counters_.frequency_points += freq_points;
+        counters_.frequency_queries.fetch_add(1, std::memory_order_relaxed);
+        counters_.frequency_points.fetch_add(freq_points, std::memory_order_relaxed);
     }
     if (waveforms >= 0) {
-        ++counters_.transient_queries;
-        counters_.transient_waveforms += waveforms;
+        counters_.transient_queries.fetch_add(1, std::memory_order_relaxed);
+        counters_.transient_waveforms.fetch_add(waveforms, std::memory_order_relaxed);
     }
-    counters_.busy_seconds += seconds;
-    counters_.max_query_seconds = std::max(counters_.max_query_seconds, seconds);
+    add_relaxed(counters_.busy_seconds, seconds);
+    max_relaxed(counters_.max_query_seconds, seconds);
 }
 
 ServeStats ServeEngine::stats() const {
     ServeStats s;
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        s = counters_;
-        accumulate(s.solver, evicted_solver_);
-        for (const auto& [key, st] : states_) {
+    s.frequency_queries = counters_.frequency_queries.load(std::memory_order_relaxed);
+    s.frequency_points = counters_.frequency_points.load(std::memory_order_relaxed);
+    s.transient_queries = counters_.transient_queries.load(std::memory_order_relaxed);
+    s.transient_waveforms = counters_.transient_waveforms.load(std::memory_order_relaxed);
+    s.certificate_queries = counters_.certificate_queries.load(std::memory_order_relaxed);
+    s.parametric_queries = counters_.parametric_queries.load(std::memory_order_relaxed);
+    s.parametric_fallbacks = counters_.parametric_fallbacks.load(std::memory_order_relaxed);
+    s.parametric_blended = counters_.parametric_blended.load(std::memory_order_relaxed);
+    s.coalesced_queries = counters_.coalesced_queries.load(std::memory_order_relaxed);
+    s.coalesced_batches = counters_.coalesced_batches.load(std::memory_order_relaxed);
+    s.deduped_points = counters_.deduped_points.load(std::memory_order_relaxed);
+    s.busy_seconds = counters_.busy_seconds.load(std::memory_order_relaxed);
+    s.max_query_seconds = counters_.max_query_seconds.load(std::memory_order_relaxed);
+    for (const Shard& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        accumulate(s.solver, shard.evicted_solver);
+        for (const auto& [key, st] : shard.states) {
             (void)key;
             accumulate(s.solver, st->evaluator->backend()->stats());
             accumulate(s.solver, st->transient_backend->stats());

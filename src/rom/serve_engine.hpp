@@ -1,5 +1,6 @@
 // The online half of the offline/online split: batched queries against
-// registry-resident reduced models.
+// registry-resident reduced models, built to be hit from a POOL of request
+// handler threads at once.
 //
 // A query never touches the full-order system. Frequency-response sweeps fan
 // out across grid points on the global work-stealing ThreadPool through a
@@ -7,13 +8,32 @@
 // across queries (a repeated grid is pure cache hits). Transient batches ride
 // ode::simulate_batch's warm-factorisation path, with the warm Newton
 // Jacobian stamped ONCE per (model, step size, method) and replayed by every
-// later batch. Per-query latency and the underlying registry / solver
-// counters are surfaced through stats(), so "a warm engine does zero
-// reductions and zero full-order factorisations" is an assertable property
-// (max_factor_dim stays at reduced order), not a claim.
+// later batch.
+//
+// Concurrency model (the serving claims are counters, not eyeballs):
+//  * Engine state is HASH-SHARDED: per-model ModelStates live in kShardCount
+//    independently locked shards, so queries against different models never
+//    contend on engine locks, and a query against one model contends only on
+//    that model's warm structures. No query path takes a global engine lock.
+//  * Query counters are relaxed atomics; stats() assembles a per-field
+//    consistent snapshot (each field is a single atomic load -- never torn,
+//    monotonic -- though fields incremented by in-flight queries may lag one
+//    another by a query).
+//  * Concurrent sweep requests against ONE model COALESCE: a request landing
+//    while another request's sweep is in flight (or within the optional
+//    collection window) joins that leader's batch. The leader evaluates the
+//    UNION of the batch's distinct grid points as one blocked multi-RHS
+//    sweep and scatters per-request answers. Every grid point's value is a
+//    pure function of its shift, so a coalesced answer is BIT-IDENTICAL to
+//    serial per-query execution (pinned by test_serve_concurrent and the
+//    bench_serve_load invariant checker), and shared points across requests
+//    are evaluated once (deduped_points counts the wins).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -87,13 +107,21 @@ struct ParametricAnswer {
 
 struct ServeStats {
     long frequency_queries = 0;   ///< sweep queries answered
-    long frequency_points = 0;    ///< grid points evaluated across them
+    long frequency_points = 0;    ///< grid points requested across them
     long transient_queries = 0;   ///< batch queries answered
     long transient_waveforms = 0; ///< waveforms integrated across them
     long certificate_queries = 0; ///< error-bound lookups answered
     long parametric_queries = 0;  ///< serve_parametric calls answered
     long parametric_fallbacks = 0; ///< routed to the on-demand build path
     long parametric_blended = 0;  ///< answered by a two-member blend
+    // -- Cross-request coalescing. Every request is still accounted above
+    // (frequency_points counts REQUESTED points), so coalescing never loses
+    // or double-counts per-request stats; these measure how much work the
+    // merge avoided.
+    long coalesced_queries = 0;   ///< sweeps answered by joining another request's batch
+    long coalesced_batches = 0;   ///< merged multi-request batches evaluated
+    long deduped_points = 0;      ///< requested points served from a batch-mate's
+                                  ///< identical point instead of a fresh solve
     double busy_seconds = 0.0;    ///< summed per-query wall time
     double max_query_seconds = 0.0;
     RegistryStats registry;       ///< model-resolution counters
@@ -103,9 +131,25 @@ struct ServeStats {
     la::SolverStats solver;
 };
 
+/// Engine-wide serving knobs.
+struct ServeOptions {
+    /// Extra collection window a sweep leader waits before evaluating its
+    /// batch, in seconds. 0 (the default) coalesces only requests that land
+    /// while another sweep on the same model is ALREADY in flight -- no
+    /// added latency when traffic is light. A small positive window trades
+    /// uncontended-query latency for larger merged batches at saturation.
+    double coalesce_window_seconds = 0.0;
+    /// Bound on live per-model serving states across all shards: keyed
+    /// models, family members and per-tolerance fallback builds all pin a
+    /// model copy plus factorization caches, and parametric sweep traffic
+    /// can mint distinct keys without limit. Evicted least-recently-used,
+    /// per shard.
+    std::size_t max_model_states = 128;
+};
+
 class ServeEngine {
 public:
-    explicit ServeEngine(std::shared_ptr<Registry> registry);
+    explicit ServeEngine(std::shared_ptr<Registry> registry, ServeOptions opt = {});
 
     /// Resolve a model through the registry (memory / disk / single-flight
     /// build). The returned handle stays valid independent of eviction.
@@ -114,7 +158,8 @@ public:
 
     /// Batched frequency response: the output-mapped H1(grid[p]) of the
     /// reduced model, in grid order (exactly TransferEvaluator::
-    /// output_h1_sweep of the ROM). Fans out across grid points.
+    /// output_h1_sweep of the ROM -- coalescing with concurrent requests
+    /// never changes the bits). Fans out across grid points.
     [[nodiscard]] std::vector<la::ZMatrix> frequency_response(
         const std::string& key, const Registry::Builder& build,
         const std::vector<la::Complex>& grid);
@@ -139,7 +184,8 @@ public:
     /// blended with the runner-up) with the cell's offline-certified error
     /// as the per-query certificate, or route to the fallback build when no
     /// member certifies under tolerance. Member evaluators are cached like
-    /// keyed models, so repeated queries replay factorisations.
+    /// keyed models, so repeated queries replay factorisations; member
+    /// sweeps coalesce with concurrent requests against the same member.
     [[nodiscard]] ParametricAnswer serve_parametric(const Family& family,
                                                     const pmor::Point& coords,
                                                     const std::vector<la::Complex>& grid,
@@ -155,11 +201,35 @@ public:
                                                     const std::vector<la::Complex>& grid,
                                                     const ParametricOptions& opt = {});
 
+    /// Per-field consistent snapshot: every counter is one relaxed atomic
+    /// load (never torn, monotonic across calls); the solver block
+    /// aggregates each shard's live and evicted backend counters under that
+    /// shard's lock only.
     [[nodiscard]] ServeStats stats() const;
 
     [[nodiscard]] const std::shared_ptr<Registry>& registry() const { return registry_; }
+    [[nodiscard]] const ServeOptions& options() const { return opt_; }
 
 private:
+    /// A sweep request parked on another request's batch: the leader
+    /// evaluates its grid and fulfills the promise (value or the batch's
+    /// exception). The grid pointer stays valid because the owner blocks on
+    /// the future until fulfilled.
+    struct SweepWaiter {
+        const std::vector<la::Complex>* grid = nullptr;
+        std::promise<std::vector<la::ZMatrix>> promise;
+    };
+
+    /// Per-model batching stage for sweep requests. leader_active marks a
+    /// request currently collecting/evaluating; later arrivals enqueue on
+    /// pending and are served by the leader's next round. The mutex guards
+    /// only the queue handoff -- never a solve.
+    struct SweepCoalescer {
+        std::mutex mutex;
+        bool leader_active = false;  ///< guarded by mutex
+        std::vector<std::unique_ptr<SweepWaiter>> pending;  ///< guarded by mutex
+    };
+
     /// Per-model serving state: the evaluator + backends live as long as the
     /// engine so factorisation caches and warm starts persist across queries
     /// (even past registry eviction).
@@ -167,10 +237,11 @@ private:
         std::shared_ptr<const ReducedModel> model;
         std::shared_ptr<volterra::TransferEvaluator> evaluator;
         std::shared_ptr<la::SolverBackend> transient_backend;
-        /// LRU tick for the states_ bound (kMaxModelStates in the .cpp):
-        /// keyed, family-member and fallback states all pin a model copy
-        /// plus factorization caches, so the engine cannot keep one per
-        /// distinct key forever under parametric sweep traffic.
+        SweepCoalescer coalescer;  ///< batches concurrent sweeps on this model
+        /// LRU tick for the shard bound: keyed, family-member and fallback
+        /// states all pin a model copy plus factorization caches, so the
+        /// engine cannot keep one per distinct key forever under parametric
+        /// sweep traffic.
         std::uint64_t last_used = 0;
         std::mutex warm_mutex;  ///< guards the warm-start map below
         /// One warm Newton factorisation per transient configuration, so
@@ -183,16 +254,56 @@ private:
         std::uint64_t warm_tick = 0;
     };
 
+    /// One lock + state map per hash shard; queries on models in different
+    /// shards share NO engine lock. evicted_solver accumulates the backend
+    /// counters of evicted/replaced states so stats() stays monotonic.
+    struct Shard {
+        mutable std::mutex mutex;
+        std::unordered_map<std::string, std::shared_ptr<ModelState>> states;
+        la::SolverStats evicted_solver;  ///< guarded by mutex
+    };
+
+    /// Relaxed-atomic query counters: every increment is lock-free, so the
+    /// sharded hot path carries no counter lock traffic. Doubles are updated
+    /// by CAS loops (C++17 atomics have no floating fetch_add).
+    struct Counters {
+        std::atomic<long> frequency_queries{0};
+        std::atomic<long> frequency_points{0};
+        std::atomic<long> transient_queries{0};
+        std::atomic<long> transient_waveforms{0};
+        std::atomic<long> certificate_queries{0};
+        std::atomic<long> parametric_queries{0};
+        std::atomic<long> parametric_fallbacks{0};
+        std::atomic<long> parametric_blended{0};
+        std::atomic<long> coalesced_queries{0};
+        std::atomic<long> coalesced_batches{0};
+        std::atomic<long> deduped_points{0};
+        std::atomic<double> busy_seconds{0.0};
+        std::atomic<double> max_query_seconds{0.0};
+    };
+
+    static constexpr std::size_t kShardCount = 16;  // power of two (hash mask)
+
+    [[nodiscard]] Shard& shard_for(const std::string& key);
+
     /// Evaluator + backend wiring for a resolved model (shared by the keyed
     /// and family-member paths so the two can never drift); called OUTSIDE
-    /// the engine lock -- construction copies the ROM and sizes caches.
+    /// any shard lock -- construction copies the ROM and sizes caches.
     [[nodiscard]] static std::shared_ptr<ModelState> make_state(
         std::shared_ptr<const ReducedModel> model);
 
     /// The state for `key`, (re)initialised when the registry hands back a
-    /// different model instance than last time.
+    /// different model instance than last time. Registry resolution (and any
+    /// cold build behind it) runs OUTSIDE every engine lock, so a slow build
+    /// never blocks warm serves -- not even of models in the same shard.
     [[nodiscard]] std::shared_ptr<ModelState> state_for(const std::string& key,
                                                         const Registry::Builder& build);
+
+    /// The coalescing sweep path every output_h1 sweep goes through: become
+    /// the model's batch leader (evaluating own + merged grids until the
+    /// pending queue drains) or park on the active leader's batch.
+    [[nodiscard]] std::vector<la::ZMatrix> coalesced_sweep(ModelState& st,
+                                                           const std::vector<la::Complex>& grid);
 
     /// Accessor bundle the parametric core serves through, so the eager
     /// Family and lazy FamilyArtifact overloads share one implementation
@@ -214,18 +325,19 @@ private:
 
     void note_query(double seconds, long freq_points, long waveforms);
 
-    /// Evict least-recently-used states past the bound (never `keep_key`);
-    /// their solver counters fold into evicted_solver_ so stats() stays
-    /// monotonic. Caller holds mutex_. Outstanding ModelState handles stay
-    /// valid; a later query for an evicted key re-resolves and rebuilds.
-    void bound_states_locked(const std::string& keep_key);
+    /// Evict least-recently-used states past the shard's share of
+    /// max_model_states (never `keep_key`); their solver counters fold into
+    /// the shard's evicted_solver so stats() stays monotonic. Caller holds
+    /// the shard mutex. Outstanding ModelState handles stay valid; a later
+    /// query for an evicted key re-resolves and rebuilds.
+    void bound_shard_locked(Shard& shard, const std::string& keep_key);
 
     std::shared_ptr<Registry> registry_;
-    mutable std::mutex mutex_;
-    std::unordered_map<std::string, std::shared_ptr<ModelState>> states_;
-    std::uint64_t state_tick_ = 0;    // guarded by mutex_
-    la::SolverStats evicted_solver_;  // guarded by mutex_
-    ServeStats counters_;  // latency/query fields; registry/solver filled on read
+    ServeOptions opt_;
+    std::size_t shard_capacity_;  ///< per-shard live-state bound
+    std::array<Shard, kShardCount> shards_;
+    std::atomic<std::uint64_t> state_tick_{0};
+    Counters counters_;
 };
 
 }  // namespace atmor::rom
