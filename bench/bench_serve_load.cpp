@@ -28,7 +28,16 @@
 // factor dim pinned at reduced order while serving.
 //
 //   usage: bench_serve_load [workers] [requests_per_class] [--threads N]
-//                           [--json-out=PATH]
+//                           [--json-out=PATH] [--daemon]
+//
+// --daemon adds a fourth phase: the same mixed workload (spelled as wire
+// ServeRequests -- BuildSpecs instead of builder lambdas, WaveformSpecs
+// instead of input closures) served by a net::Daemon over loopback from N
+// concurrent clients. Every wire answer is compared byte-for-byte against
+// a fresh in-process reference engine (the unified-API contract), the
+// admission path is probed with an over-budget tenant (typed Overloaded,
+// never a drop), and the daemon must drain to requests == responses on
+// stop. Latencies land in daemon_* JSON fields under the same tail rules.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -44,6 +53,8 @@
 #include "circuits/waveforms.hpp"
 #include "core/atmor.hpp"
 #include "mor/adaptive.hpp"
+#include "net/client.hpp"
+#include "net/daemon.hpp"
 #include "pmor/family_builder.hpp"
 #include "rom/registry.hpp"
 #include "rom/serve_engine.hpp"
@@ -82,6 +93,16 @@ std::vector<std::vector<la::Complex>> make_grids(int grid_count) {
 int main(int argc, char** argv) {
     bench::init_threads(argc, argv);
     const std::string json_path = bench::json_out_arg(argc, argv, "BENCH_serve_load.json");
+    bool run_daemon = false;
+    for (int i = 1; i < argc;) {
+        if (std::string(argv[i]) == "--daemon") {
+            run_daemon = true;
+            for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+            --argc;
+        } else {
+            ++i;
+        }
+    }
     const int workers = std::max(1, bench::arg_int(argc, argv, 1, 8));
     const int per_class = std::max(8, bench::arg_int(argc, argv, 2, 48));
 
@@ -443,6 +464,214 @@ int main(int argc, char** argv) {
                      expected_tr);
 
     // ---------------------------------------------------------------------
+    // Phase 4 (--daemon) -- the same mix over loopback, spelled as wire
+    // requests. The daemon runs its OWN engine + registry; a fresh serial
+    // reference engine resolves the same BuildSpecs, so byte-equality of
+    // the responses pins the unified in-process/on-the-wire API.
+    // ---------------------------------------------------------------------
+    bool daemon_bits_ok = true;
+    bool daemon_drain_ok = true;
+    bool daemon_admission_ok = true;
+    long daemon_request_count = 0;
+    util::LatencyHistogram daemon_hist;
+    if (run_daemon) {
+        const auto model_spec = [&](int m) {
+            rom::BuildSpec s;
+            s.recipe = "nltl_load";
+            s.params = {static_cast<double>(m)};
+            return s;
+        };
+        const auto write_spec = [&](int i) {
+            rom::BuildSpec s;
+            s.recipe = "nltl_load_write";
+            s.params = {static_cast<double>(i)};
+            return s;
+        };
+        // The daemon-side twin of `builders`/`do_registry_write`, keyed by
+        // spec instead of closure; deterministic, so the daemon's build and
+        // the reference's build agree bitwise.
+        const auto resolver = [&](const rom::BuildSpec& spec) -> rom::ReducedModel {
+            core::AtMorOptions mor;
+            mor.k3 = 0;
+            if (spec.recipe == "nltl_load") {
+                mor.k1 = 4;
+                mor.k2 = 2;
+                mor.expansion_points = {la::Complex(1.0 + 0.3 * spec.params.at(0), 0.0)};
+            } else if (spec.recipe == "nltl_load_write") {
+                mor.k1 = 3;
+                mor.k2 = 2;
+                mor.expansion_points = {la::Complex(0.8 + 0.01 * spec.params.at(0), 0.0)};
+            } else {
+                throw rom::UnresolvedError("bench catalog: unknown recipe '" + spec.recipe +
+                                           "'");
+            }
+            core::MorResult r = core::reduce_associated(plant, mor);
+            r.provenance.source = spec.key();
+            return r;
+        };
+        const auto make_serving_engine = [&] {
+            auto eng = std::make_shared<rom::ServeEngine>(
+                std::make_shared<rom::Registry>(ropt));
+            eng->set_spec_resolver(resolver);
+            eng->host_family(family, popt);  // fallback hooks live daemon-side
+            return eng;
+        };
+
+        std::vector<rom::WaveformSpec> wire_waveforms;
+        for (int s = 0; s < 2; ++s)
+            wire_waveforms.push_back(
+                rom::WaveformSpec::pulse(0.4 + 0.05 * s, 0.5, 1.0, 2.0 + 0.2 * s, 1.5));
+        const auto wire_request = [&](Cls cls, int i) {
+            rom::ServeRequest req;
+            req.tenant = "bench";
+            switch (cls) {
+                case Cls::warm_freq: {
+                    const int k = (i % 2 == 0) ? 0 : 1 + (i / 2) % (kKeyedModels - 1);
+                    req.body = rom::FrequencySweepRequest{
+                        rom::ModelRef::from_spec(model_spec(k)),
+                        grids[static_cast<std::size_t>(i % 4)]};
+                    break;
+                }
+                case Cls::warm_parametric: {
+                    rom::ParametricQueryRequest pq;
+                    pq.family_id = family.family_id;
+                    pq.coords = warm_points[static_cast<std::size_t>(i) % warm_points.size()];
+                    pq.grid = grids[static_cast<std::size_t>(i % 4)];
+                    req.body = pq;
+                    break;
+                }
+                case Cls::transient: {
+                    rom::TransientBatchRequest tb;
+                    tb.model = rom::ModelRef::from_spec(model_spec(i % kKeyedModels));
+                    tb.inputs = wire_waveforms;
+                    tb.options = rom::TransientSpec::from_options(topt);
+                    req.body = tb;
+                    break;
+                }
+                case Cls::cold_fallback: {
+                    rom::ParametricQueryRequest pq;
+                    pq.family_id = family.family_id;
+                    pq.coords = cold_points[static_cast<std::size_t>(i) % cold_points.size()];
+                    pq.grid = grids[0];
+                    pq.tol = cold_popt.tol;
+                    req.body = pq;
+                    break;
+                }
+                default:
+                    req.body = rom::CertificateRequest{rom::ModelRef::from_spec(write_spec(i))};
+                    break;
+            }
+            return req;
+        };
+
+        // Round-robin interleave of the open-loop class mix.
+        std::vector<rom::ServeRequest> wire_requests;
+        {
+            std::vector<std::pair<Cls, int>> counts = {
+                {Cls::warm_freq, per_class},
+                {Cls::warm_parametric, per_class},
+                {Cls::transient, std::max(4, per_class / 2)},
+                {Cls::cold_fallback, std::max(2, per_class / 8)},
+                {Cls::registry_write, std::max(2, per_class / 8)}};
+            for (int i = 0; true; ++i) {
+                bool any = false;
+                for (auto& [cls, n] : counts)
+                    if (i < n) {
+                        wire_requests.push_back(wire_request(cls, i));
+                        any = true;
+                    }
+                if (!any) break;
+            }
+        }
+        daemon_request_count = static_cast<long>(wire_requests.size());
+
+        auto daemon_engine = make_serving_engine();
+        net::DaemonOptions dopt;
+        dopt.workers = workers;
+        dopt.max_queue_depth = wire_requests.size() + 1;  // measure, don't shed
+        net::Daemon daemon(daemon_engine, dopt);
+        daemon.start();
+        std::printf("\ndaemon: %zu wire requests x %d clients on 127.0.0.1:%u\n",
+                    wire_requests.size(), workers, daemon.port());
+
+        std::vector<std::string> wire_answers(wire_requests.size());
+        {
+            std::vector<std::thread> clients;
+            clients.reserve(static_cast<std::size_t>(workers));
+            for (int c = 0; c < workers; ++c) {
+                clients.emplace_back([&, c] {
+                    net::ServeClient client("127.0.0.1", daemon.port());
+                    for (std::size_t i = static_cast<std::size_t>(c); i < wire_requests.size();
+                         i += static_cast<std::size_t>(workers)) {
+                        const auto t0 = Clock::now();
+                        wire_answers[i] =
+                            client.call_raw(rom::encode_request(wire_requests[i]));
+                        daemon_hist.record(std::chrono::duration<double>(Clock::now() - t0)
+                                               .count());
+                    }
+                });
+            }
+            for (std::thread& t : clients) t.join();
+        }
+
+        // Over-budget tenant: a second daemon on the SAME engine with a
+        // starved token bucket. Exactly `burst` requests pass; the rest must
+        // come back as typed serve_overloaded responses on a live
+        // connection, never a drop or a disconnect.
+        {
+            net::DaemonOptions lopt;
+            lopt.workers = 1;
+            lopt.tenant_rate = 0.001;
+            lopt.tenant_burst = 2.0;
+            net::Daemon limited(daemon_engine, lopt);
+            limited.start();
+            net::ServeClient probe("127.0.0.1", limited.port());
+            int ok = 0, typed_overloaded = 0;
+            for (int i = 0; i < 6; ++i) {
+                rom::ServeRequest req;
+                req.tenant = "overbudget";
+                req.body = rom::CertificateRequest{rom::ModelRef::from_spec(model_spec(0))};
+                const rom::ServeResponse resp = probe.call(req);
+                if (resp.ok())
+                    ++ok;
+                else if (resp.error.code == util::ErrorCode::serve_overloaded)
+                    ++typed_overloaded;
+            }
+            limited.request_stop();
+            limited.wait();
+            daemon_admission_ok = ok == 2 && typed_overloaded == 4 &&
+                                  limited.stats().overloaded_tenant == 4;
+            inv.require(daemon_admission_ok,
+                        "over-budget tenant gets typed Overloaded rejections");
+        }
+
+        daemon.request_stop();
+        daemon.wait();
+        const net::DaemonStats dstats = daemon.stats();
+        daemon_drain_ok = dstats.requests_admitted == daemon_request_count &&
+                          dstats.responses_sent == dstats.requests_admitted &&
+                          dstats.protocol_errors == 0;
+        inv.require(daemon_drain_ok, "daemon drains to requests == responses on stop");
+
+        // Serial reference: a fresh engine answers the SAME wire requests
+        // in-process; encode_response of its answers must equal the bytes
+        // the daemon sent (the unified-API analogue of phase 3).
+        auto reference = make_serving_engine();
+        for (std::size_t i = 0; i < wire_requests.size(); ++i) {
+            const std::string expected =
+                rom::encode_response(reference->serve(wire_requests[i]));
+            if (wire_answers[i] != expected) daemon_bits_ok = false;
+        }
+        inv.require(daemon_bits_ok,
+                    "wire answers are bit-identical to in-process serve() answers");
+        std::printf("daemon latency: p50 %.3e s, p95 %.3e s, p99 %.3e s; "
+                    "bits %s, drain %s, admission %s\n",
+                    daemon_hist.percentile(50.0), daemon_hist.percentile(95.0),
+                    daemon_hist.percentile(99.0), daemon_bits_ok ? "ok" : "MISMATCH",
+                    daemon_drain_ok ? "ok" : "BROKEN", daemon_admission_ok ? "ok" : "BROKEN");
+    }
+
+    // ---------------------------------------------------------------------
     // Gates + JSON.
     // ---------------------------------------------------------------------
     const unsigned hw = std::thread::hardware_concurrency();
@@ -485,6 +714,13 @@ int main(int argc, char** argv) {
     json.num("deduped_points", stats.deduped_points);
     json.boolean("bit_identity_ok", bits_ok);
     json.boolean("stats_accounting_ok", accounting_ok);
+    if (run_daemon) {
+        json.num("daemon_requests", daemon_request_count);
+        bench::add_latency_fields(json, "daemon", daemon_hist);
+        json.boolean("daemon_bit_identity_ok", daemon_bits_ok);
+        json.boolean("daemon_drain_ok", daemon_drain_ok);
+        json.boolean("daemon_admission_typed_ok", daemon_admission_ok);
+    }
     if (!bench::write_json(json, json_path)) return 1;
     return inv.exit_code();
 }

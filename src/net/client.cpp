@@ -1,0 +1,128 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "rom/io.hpp"
+
+namespace atmor::net {
+
+namespace {
+
+[[noreturn]] void fail_socket(const std::string& what) {
+    throw ProtocolError(ProtocolErrorKind::socket_failed,
+                        "client: " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+ServeClient::ServeClient(const std::string& host, std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) fail_socket("socket()");
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd_);
+        fd_ = -1;
+        throw ProtocolError(ProtocolErrorKind::socket_failed,
+                            "client: invalid host address '" + host + "'");
+    }
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd_);
+        fd_ = -1;
+        errno = err;
+        fail_socket("connect(" + host + ":" + std::to_string(port) + ")");
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+ServeClient::~ServeClient() {
+    if (fd_ >= 0) ::close(fd_);
+}
+
+ServeClient::ServeClient(ServeClient&& other) noexcept
+    : fd_(other.fd_), rx_(std::move(other.rx_)) {
+    other.fd_ = -1;
+}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+    if (this != &other) {
+        if (fd_ >= 0) ::close(fd_);
+        fd_ = other.fd_;
+        rx_ = std::move(other.rx_);
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+std::string ServeClient::call_raw(const std::string& request_payload) {
+    if (fd_ < 0)
+        throw ProtocolError(ProtocolErrorKind::socket_failed, "client: not connected");
+
+    const std::string frame = frame_message(FrameKind::request, request_payload);
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+        const ssize_t n =
+            ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            fail_socket("send()");
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+
+    // Read until one complete frame parses off the receive buffer. Typed
+    // framing errors from try_unframe (wrong magic, version skew, damaged
+    // checksum) propagate to the caller as-is.
+    char buf[64 * 1024];
+    while (true) {
+        FrameKind kind = FrameKind::response;
+        std::string payload;
+        const std::size_t consumed = try_unframe(rx_, &kind, &payload);
+        if (consumed > 0) {
+            rx_.erase(0, consumed);
+            if (kind != FrameKind::response)
+                throw ProtocolError(ProtocolErrorKind::corrupt,
+                                    "client: daemon sent a request frame");
+            return payload;
+        }
+        const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n > 0) {
+            rx_.append(buf, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n == 0)
+            throw ProtocolError(ProtocolErrorKind::truncated,
+                                "client: daemon closed the connection mid-frame (" +
+                                    std::to_string(rx_.size()) + " bytes buffered)");
+        if (errno == EINTR) continue;
+        fail_socket("recv()");
+    }
+}
+
+rom::ServeResponse ServeClient::call(const rom::ServeRequest& req) {
+    const std::string payload = call_raw(rom::encode_request(req));
+    try {
+        return rom::decode_response(payload);
+    } catch (const rom::IoError& e) {
+        // The frame's checksum passed but the payload does not decode: the
+        // peers disagree about the serve_api layout. A protocol-level fault,
+        // reported as such.
+        throw ProtocolError(ProtocolErrorKind::corrupt,
+                            std::string("client: response payload does not decode: ") +
+                                e.what());
+    }
+}
+
+}  // namespace atmor::net

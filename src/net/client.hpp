@@ -1,0 +1,50 @@
+// Blocking client for the serving protocol: the other half of the unified
+// API. A ServeClient speaks the SAME ServeRequest/ServeResponse types as an
+// in-process ServeEngine call -- call() is the wire spelling of
+// engine.serve(req), and (by the codec's determinism) returns answers
+// byte-identical to it. One connection per client, reused across calls;
+// not thread-safe (one request in flight per connection by design -- use a
+// client per thread, as the bench and tests do).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/protocol.hpp"
+#include "rom/serve_api.hpp"
+
+namespace atmor::net {
+
+class ServeClient {
+public:
+    /// Connect to a daemon. Throws ProtocolError{socket_failed} when the
+    /// endpoint refuses.
+    ServeClient(const std::string& host, std::uint16_t port);
+    ~ServeClient();
+
+    ServeClient(const ServeClient&) = delete;
+    ServeClient& operator=(const ServeClient&) = delete;
+    ServeClient(ServeClient&& other) noexcept;
+    ServeClient& operator=(ServeClient&& other) noexcept;
+
+    /// Send one request and block for its response. Transport failures are
+    /// typed ProtocolErrors (socket_failed on OS errors, truncated when the
+    /// peer closes mid-frame); a response payload that fails to decode
+    /// behind a valid frame is ProtocolError{corrupt}. A response whose
+    /// error field is set is returned as-is -- the caller inspects
+    /// resp.error exactly as with ServeEngine::serve.
+    [[nodiscard]] rom::ServeResponse call(const rom::ServeRequest& req);
+
+    /// Frame and send pre-encoded payload bytes, returning the raw response
+    /// payload bytes (no decode). The bit-identity pins in the tests/bench
+    /// compare THESE against rom::encode_response of the in-process answer.
+    [[nodiscard]] std::string call_raw(const std::string& request_payload);
+
+    [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+private:
+    int fd_ = -1;
+    std::string rx_;  ///< bytes received past the last frame
+};
+
+}  // namespace atmor::net

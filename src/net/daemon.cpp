@@ -1,0 +1,506 @@
+#include "net/daemon.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "rom/io.hpp"
+#include "rom/serve_api.hpp"
+#include "util/check.hpp"
+
+namespace atmor::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+    const int flags = fcntl(fd, F_GETFL, 0);
+    if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// A typed-error response frame (the "never a silent drop" path): whatever
+/// went wrong before the engine saw the request still earns the client a
+/// ServeResponse with a stable code.
+std::string error_frame(rom::RequestKind kind, util::ErrorCode code, const std::string& what) {
+    rom::ServeResponse resp;
+    resp.kind = kind;
+    resp.error.code = code;
+    resp.error.message = what;
+    return frame_message(FrameKind::response, rom::encode_response(resp));
+}
+
+}  // namespace
+
+struct Daemon::Impl {
+    // -- IO-thread-owned connection state. -----------------------------------
+    struct Conn {
+        int fd = -1;
+        std::string in;        ///< unparsed received bytes
+        std::string out;       ///< unflushed response bytes
+        std::size_t out_off = 0;
+        int in_flight = 0;     ///< admitted requests not yet answered
+        bool read_closed = false;
+        bool closing = false;  ///< framing broke: close once out flushes
+    };
+
+    /// Per-tenant token bucket (IO thread only -- no lock).
+    struct Bucket {
+        double tokens = 0.0;
+        std::chrono::steady_clock::time_point last;
+    };
+
+    struct WorkItem {
+        std::uint64_t conn = 0;
+        std::string payload;
+    };
+    struct Completion {
+        std::uint64_t conn = 0;
+        std::string frame;
+    };
+
+    int listen_fd = -1;
+    int wake_read = -1;
+    int wake_write = -1;
+    std::atomic<bool> stop_requested{false};
+
+    std::unordered_map<std::uint64_t, Conn> conns;
+    std::unordered_map<std::string, Bucket> buckets;
+    std::uint64_t next_conn_id = 1;
+
+    std::mutex work_mutex;
+    std::condition_variable work_cv;
+    std::deque<WorkItem> work;
+    bool workers_done = false;
+
+    std::mutex done_mutex;
+    std::deque<Completion> done;
+
+    std::atomic<std::size_t> queued_or_running{0};  ///< admitted, not yet completed
+
+    // -- Counters (DaemonStats). ---------------------------------------------
+    std::atomic<long> connections_accepted{0};
+    std::atomic<long> requests_admitted{0};
+    std::atomic<long> responses_sent{0};
+    std::atomic<long> overloaded_queue{0};
+    std::atomic<long> overloaded_tenant{0};
+    std::atomic<long> protocol_errors{0};
+    std::atomic<long> drained_requests{0};
+
+    void wake() {
+        if (wake_write >= 0) {
+            const char byte = 1;
+            [[maybe_unused]] ssize_t n = ::write(wake_write, &byte, 1);
+        }
+    }
+
+    ~Impl() {
+        for (auto& [id, c] : conns) {
+            (void)id;
+            if (c.fd >= 0) ::close(c.fd);
+        }
+        if (listen_fd >= 0) ::close(listen_fd);
+        if (wake_read >= 0) ::close(wake_read);
+        if (wake_write >= 0) ::close(wake_write);
+    }
+};
+
+Daemon::Daemon(std::shared_ptr<rom::ServeEngine> engine, DaemonOptions opt)
+    : engine_(std::move(engine)), opt_(std::move(opt)), impl_(std::make_unique<Impl>()) {
+    ATMOR_REQUIRE(engine_ != nullptr, "net::Daemon: null engine");
+    ATMOR_REQUIRE(opt_.workers >= 1, "net::Daemon: need at least one worker");
+    ATMOR_REQUIRE(opt_.max_queue_depth >= 1, "net::Daemon: need a queue slot");
+    ATMOR_REQUIRE(opt_.tenant_rate >= 0.0 && opt_.tenant_burst >= 1.0,
+                  "net::Daemon: invalid tenant bucket parameters");
+}
+
+Daemon::~Daemon() {
+    if (started_.load() && !joined_.load()) {
+        request_stop();
+        wait();
+    }
+}
+
+void Daemon::start() {
+    ATMOR_REQUIRE(!started_.load(), "net::Daemon: start() called twice");
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw ProtocolError(ProtocolErrorKind::socket_failed,
+                            std::string("daemon: socket(): ") + std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(opt_.port);
+    if (::inet_pton(AF_INET, opt_.bind_address.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        throw ProtocolError(ProtocolErrorKind::socket_failed,
+                            "daemon: invalid bind address '" + opt_.bind_address + "'");
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, 128) != 0) {
+        const std::string err = std::strerror(errno);
+        ::close(fd);
+        throw ProtocolError(ProtocolErrorKind::socket_failed, "daemon: bind/listen: " + err);
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+    port_ = ntohs(bound.sin_port);
+    set_nonblocking(fd);
+    impl_->listen_fd = fd;
+
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) {
+        ::close(fd);
+        impl_->listen_fd = -1;
+        throw ProtocolError(ProtocolErrorKind::socket_failed,
+                            std::string("daemon: pipe(): ") + std::strerror(errno));
+    }
+    set_nonblocking(pipe_fds[0]);
+    set_nonblocking(pipe_fds[1]);
+    impl_->wake_read = pipe_fds[0];
+    impl_->wake_write = pipe_fds[1];
+
+    started_.store(true);
+    io_thread_ = std::thread([this] { io_loop(); });
+    workers_.reserve(static_cast<std::size_t>(opt_.workers));
+    for (int i = 0; i < opt_.workers; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+void Daemon::request_stop() {
+    // Async-signal-safe by construction: one atomic store + one write(2).
+    impl_->stop_requested.store(true, std::memory_order_release);
+    impl_->wake();
+}
+
+void Daemon::wait() {
+    if (joined_.exchange(true)) return;
+    if (io_thread_.joinable()) io_thread_.join();
+    for (std::thread& w : workers_)
+        if (w.joinable()) w.join();
+}
+
+void Daemon::stop() {
+    request_stop();
+    wait();
+}
+
+DaemonStats Daemon::stats() const {
+    DaemonStats s;
+    s.connections_accepted = impl_->connections_accepted.load(std::memory_order_relaxed);
+    s.requests_admitted = impl_->requests_admitted.load(std::memory_order_relaxed);
+    s.responses_sent = impl_->responses_sent.load(std::memory_order_relaxed);
+    s.overloaded_queue = impl_->overloaded_queue.load(std::memory_order_relaxed);
+    s.overloaded_tenant = impl_->overloaded_tenant.load(std::memory_order_relaxed);
+    s.protocol_errors = impl_->protocol_errors.load(std::memory_order_relaxed);
+    s.drained_requests = impl_->drained_requests.load(std::memory_order_relaxed);
+    return s;
+}
+
+void Daemon::worker_loop() {
+    Impl& im = *impl_;
+    while (true) {
+        Impl::WorkItem item;
+        {
+            std::unique_lock<std::mutex> lock(im.work_mutex);
+            im.work_cv.wait(lock, [&] { return im.workers_done || !im.work.empty(); });
+            if (im.work.empty()) return;  // workers_done and drained
+            item = std::move(im.work.front());
+            im.work.pop_front();
+        }
+
+        std::string frame;
+        try {
+            const rom::ServeRequest req = rom::decode_request(item.payload);
+            // serve() never throws: engine-side failures come back as the
+            // typed error taxonomy inside the response.
+            const rom::ServeResponse resp = engine_->serve(req);
+            frame = frame_message(FrameKind::response, rom::encode_response(resp));
+        } catch (const rom::IoError& e) {
+            // Damaged payload behind a valid frame: typed error response,
+            // the connection survives.
+            im.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+            frame = error_frame(rom::RequestKind::frequency_sweep, rom::error_code(e.kind()),
+                                e.what());
+        } catch (const std::exception& e) {
+            im.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+            frame = error_frame(rom::RequestKind::frequency_sweep,
+                                util::ErrorCode::internal, e.what());
+        }
+        {
+            std::lock_guard<std::mutex> lock(im.done_mutex);
+            im.done.push_back(Impl::Completion{item.conn, std::move(frame)});
+        }
+        im.wake();
+    }
+}
+
+void Daemon::io_loop() {
+    Impl& im = *impl_;
+    const bool rate_limited = opt_.tenant_rate > 0.0;
+
+    // -- IO-thread helpers (lambdas so they can see the locals). -------------
+    const auto flush = [&](Impl::Conn& c) {
+        while (c.out_off < c.out.size()) {
+            const ssize_t n = ::send(c.fd, c.out.data() + c.out_off, c.out.size() - c.out_off,
+                                     MSG_NOSIGNAL);
+            if (n > 0) {
+                c.out_off += static_cast<std::size_t>(n);
+                continue;
+            }
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+            return false;  // peer gone; caller closes
+        }
+        c.out.clear();
+        c.out_off = 0;
+        return true;
+    };
+
+    const auto admit = [&](std::uint64_t conn_id, Impl::Conn& c, std::string payload) {
+        // Cheap header peek: tenant (encoded first for exactly this reason)
+        // and the request kind, without decoding the body.
+        std::string tenant;
+        rom::RequestKind kind = rom::RequestKind::frequency_sweep;
+        try {
+            rom::Reader r(payload);
+            tenant = r.str();
+            const std::uint8_t k = r.u8();
+            if (k <= static_cast<std::uint8_t>(rom::RequestKind::certificate))
+                kind = static_cast<rom::RequestKind>(k);
+        } catch (const rom::IoError& e) {
+            im.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+            c.out += error_frame(kind, rom::error_code(e.kind()), e.what());
+            return;
+        }
+
+        // Queue-depth backpressure before any expensive work.
+        if (im.queued_or_running.load(std::memory_order_relaxed) >= opt_.max_queue_depth) {
+            im.overloaded_queue.fetch_add(1, std::memory_order_relaxed);
+            c.out += error_frame(kind, util::ErrorCode::serve_overloaded,
+                                 "daemon overloaded: worker queue is full");
+            return;
+        }
+
+        // Per-tenant token bucket (IO-thread-local, lock-free).
+        if (rate_limited) {
+            const auto now = std::chrono::steady_clock::now();
+            auto [it, fresh] = im.buckets.try_emplace(tenant);
+            Impl::Bucket& b = it->second;
+            if (fresh) {
+                b.tokens = opt_.tenant_burst;
+                b.last = now;
+            } else {
+                const double dt = std::chrono::duration<double>(now - b.last).count();
+                b.tokens = std::min(opt_.tenant_burst, b.tokens + dt * opt_.tenant_rate);
+                b.last = now;
+            }
+            if (b.tokens < 1.0) {
+                im.overloaded_tenant.fetch_add(1, std::memory_order_relaxed);
+                c.out += error_frame(kind, util::ErrorCode::serve_overloaded,
+                                     "tenant '" + tenant + "' is over its request rate");
+                return;
+            }
+            b.tokens -= 1.0;
+        }
+
+        im.requests_admitted.fetch_add(1, std::memory_order_relaxed);
+        im.queued_or_running.fetch_add(1, std::memory_order_relaxed);
+        ++c.in_flight;
+        {
+            std::lock_guard<std::mutex> lock(im.work_mutex);
+            im.work.push_back(Impl::WorkItem{conn_id, std::move(payload)});
+        }
+        im.work_cv.notify_one();
+    };
+
+    const auto parse_frames = [&](std::uint64_t conn_id, Impl::Conn& c) {
+        while (!c.closing) {
+            FrameKind kind = FrameKind::request;
+            std::string payload;
+            std::size_t consumed = 0;
+            try {
+                consumed = try_unframe(c.in, &kind, &payload, opt_.max_frame_bytes);
+            } catch (const ProtocolError& e) {
+                im.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+                c.out += error_frame(rom::RequestKind::frequency_sweep, error_code(e.kind()),
+                                     e.what());
+                if (e.kind() == ProtocolErrorKind::checksum_mismatch) {
+                    // The header survived its checks, so the frame boundary
+                    // is trustworthy: skip the damaged frame and keep the
+                    // connection alive.
+                    std::uint64_t payload_size = 0;
+                    std::memcpy(&payload_size, c.in.data() + 13, sizeof(payload_size));
+                    c.in.erase(0, kFrameHeaderBytes + static_cast<std::size_t>(payload_size) +
+                                      kFrameChecksumBytes);
+                    continue;
+                }
+                // Broken framing: no trustworthy next boundary. Flush the
+                // typed error, then close.
+                c.closing = true;
+                c.in.clear();
+                break;
+            }
+            if (consumed == 0) break;  // incomplete frame: wait for more bytes
+            c.in.erase(0, consumed);
+            if (kind != FrameKind::request) {
+                im.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+                c.out += error_frame(rom::RequestKind::frequency_sweep,
+                                     util::ErrorCode::proto_corrupt,
+                                     "daemon received a response frame");
+                c.closing = true;
+                c.in.clear();
+                break;
+            }
+            admit(conn_id, c, std::move(payload));
+        }
+    };
+
+    std::vector<pollfd> fds;
+    std::vector<std::uint64_t> fd_conn;  // conn id per pollfd slot (0: not a conn)
+    char buf[64 * 1024];
+
+    while (true) {
+        const bool draining = im.stop_requested.load(std::memory_order_acquire);
+
+        // Close connections with nothing left to do (drain closes idle ones).
+        for (auto it = im.conns.begin(); it != im.conns.end();) {
+            Impl::Conn& c = it->second;
+            const bool flushed = c.out_off >= c.out.size();
+            const bool done = c.in_flight == 0 && flushed && (c.closing || c.read_closed || draining);
+            if (done) {
+                ::close(c.fd);
+                it = im.conns.erase(it);
+            } else {
+                ++it;
+            }
+        }
+
+        if (draining && im.conns.empty() &&
+            im.queued_or_running.load(std::memory_order_relaxed) == 0)
+            break;
+
+        fds.clear();
+        fd_conn.clear();
+        fds.push_back(pollfd{im.wake_read, POLLIN, 0});
+        fd_conn.push_back(0);
+        if (!draining) {
+            fds.push_back(pollfd{im.listen_fd, POLLIN, 0});
+            fd_conn.push_back(0);
+        }
+        for (auto& [id, c] : im.conns) {
+            short events = 0;
+            if (!draining && !c.closing && !c.read_closed) events |= POLLIN;
+            if (c.out_off < c.out.size()) events |= POLLOUT;
+            fds.push_back(pollfd{c.fd, events, 0});
+            fd_conn.push_back(id);
+        }
+
+        // Finite timeout as a lost-wakeup backstop; every state change also
+        // pokes the wake pipe.
+        ::poll(fds.data(), fds.size(), 250);
+
+        // Drain the wake pipe.
+        if (fds[0].revents & POLLIN)
+            while (::read(im.wake_read, buf, sizeof(buf)) > 0) {
+            }
+
+        // Completions: append response frames, release in-flight slots.
+        std::deque<Impl::Completion> done;
+        {
+            std::lock_guard<std::mutex> lock(im.done_mutex);
+            done.swap(im.done);
+        }
+        for (Impl::Completion& d : done) {
+            im.responses_sent.fetch_add(1, std::memory_order_relaxed);
+            if (draining) im.drained_requests.fetch_add(1, std::memory_order_relaxed);
+            im.queued_or_running.fetch_sub(1, std::memory_order_relaxed);
+            auto it = im.conns.find(d.conn);
+            if (it == im.conns.end()) continue;  // connection died before its answer
+            it->second.out += d.frame;
+            --it->second.in_flight;
+        }
+
+        // Accept new connections.
+        if (!draining) {
+            while (true) {
+                const int cfd = ::accept(im.listen_fd, nullptr, nullptr);
+                if (cfd < 0) break;
+                set_nonblocking(cfd);
+                const int one = 1;
+                ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+                im.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+                Impl::Conn c;
+                c.fd = cfd;
+                im.conns.emplace(im.next_conn_id++, std::move(c));
+            }
+        }
+
+        // Per-connection IO.
+        for (std::size_t i = 1; i < fds.size(); ++i) {
+            if (fd_conn[i] == 0) continue;
+            auto it = im.conns.find(fd_conn[i]);
+            if (it == im.conns.end()) continue;
+            Impl::Conn& c = it->second;
+            bool dead = false;
+            if (fds[i].revents & (POLLERR | POLLNVAL)) dead = true;
+            if (!dead && (fds[i].revents & POLLIN)) {
+                while (true) {
+                    const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+                    if (n > 0) {
+                        c.in.append(buf, static_cast<std::size_t>(n));
+                        continue;
+                    }
+                    if (n == 0) {
+                        c.read_closed = true;
+                        break;
+                    }
+                    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+                    dead = true;
+                    break;
+                }
+                if (!dead) parse_frames(fd_conn[i], c);
+            }
+            if (!dead && (c.out_off < c.out.size())) dead = !flush(c);
+            if (dead) {
+                // A vanished peer abandons its in-flight requests: release
+                // their slots now so drain termination never waits on
+                // answers with nowhere to go (their completions are dropped
+                // on arrival).
+                ::close(c.fd);
+                im.conns.erase(it);
+            }
+        }
+    }
+
+    // Drain complete: release the workers (they exit once the queue -- by
+    // now empty -- is drained) and tear the sockets down.
+    {
+        std::lock_guard<std::mutex> lock(im.work_mutex);
+        im.workers_done = true;
+    }
+    im.work_cv.notify_all();
+    ::close(im.listen_fd);
+    im.listen_fd = -1;
+    ::close(im.wake_read);
+    im.wake_read = -1;
+    // wake_write stays open: request_stop() may still be called (e.g. a late
+    // signal) and must stay safe; the fd is reclaimed in the destructor.
+}
+
+}  // namespace atmor::net

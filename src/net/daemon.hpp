@@ -1,0 +1,125 @@
+// The network front door over rom::ServeEngine: a poll-based event loop on
+// ONE IO thread (acceptor + connection reads/writes + admission control)
+// feeding N worker threads that run the engine's unified serve() dispatch.
+// The sharding/coalescing substrate already makes the engine safe for a
+// thread pool, so the daemon adds exactly what a socket adds: framing,
+// admission, and lifecycle.
+//
+// Admission control runs BEFORE any payload work, in the IO thread:
+//   * queue-depth backpressure: a request arriving with the worker queue at
+//     max_queue_depth is answered immediately with a typed Overloaded
+//     response (ErrorCode::serve_overloaded) -- never a silent drop;
+//   * per-tenant token buckets: each request's tenant (peeked from the
+//     payload prefix without decoding the body) spends one token; a tenant
+//     over its rate gets the same typed Overloaded answer while other
+//     tenants sail through. Buckets live in the IO thread -- no locks.
+//
+// Error containment mirrors the taxonomy split: a damaged PAYLOAD behind a
+// valid frame (checksum_mismatch, or an undecodable request body) earns a
+// typed error response and the connection SURVIVES; a broken FRAMING stream
+// (bad magic, version skew, oversized announcement) earns the typed error
+// response and then the connection closes, because the byte stream has no
+// trustworthy next frame boundary. The daemon itself never dies on input.
+//
+// Graceful drain: request_stop() is async-signal-safe (an atomic flag plus
+// a wake-pipe write), so a SIGTERM handler may call it directly. The loop
+// then stops accepting and stops READING, but every admitted request is
+// still served and every response flushed before the workers join.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "rom/serve_engine.hpp"
+
+namespace atmor::net {
+
+struct DaemonOptions {
+    std::string bind_address = "127.0.0.1";
+    /// 0 binds an ephemeral port; read the actual one back via port().
+    std::uint16_t port = 0;
+    /// Worker threads running ServeEngine::serve. The engine fans sweeps and
+    /// batches out on the global pool itself, so a handful of workers keeps
+    /// a machine busy.
+    int workers = 2;
+    /// Admitted-but-unstarted requests the daemon will hold before answering
+    /// Overloaded (backpressure, never a silent drop).
+    std::size_t max_queue_depth = 64;
+    /// Per-tenant token-bucket rate (requests/second); 0 disables tenant
+    /// admission control entirely.
+    double tenant_rate = 0.0;
+    /// Bucket capacity: the burst a tenant may spend ahead of its rate.
+    double tenant_burst = 8.0;
+    /// Per-frame payload budget (a peer announcing more is rejected with a
+    /// typed oversized error).
+    std::uint64_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// Monotonic counters (snapshot; the live fields are relaxed atomics). The
+/// accounting identity under drain is the observable contract:
+/// requests_admitted == responses_sent once wait() returns, and
+/// overloaded_* + protocol_errors count every request that was answered
+/// without reaching the engine.
+struct DaemonStats {
+    long connections_accepted = 0;
+    long requests_admitted = 0;   ///< handed to the worker queue
+    long responses_sent = 0;      ///< engine answers queued to the socket
+    long overloaded_queue = 0;    ///< typed Overloaded: queue depth
+    long overloaded_tenant = 0;   ///< typed Overloaded: tenant over rate
+    long protocol_errors = 0;     ///< typed protocol/decode error responses
+    long drained_requests = 0;    ///< requests served after stop was requested
+};
+
+class Daemon {
+public:
+    Daemon(std::shared_ptr<rom::ServeEngine> engine, DaemonOptions opt = {});
+    ~Daemon();
+
+    Daemon(const Daemon&) = delete;
+    Daemon& operator=(const Daemon&) = delete;
+
+    /// Bind, listen, and spawn the IO + worker threads. Throws
+    /// ProtocolError{socket_failed} when the bind fails.
+    void start();
+
+    /// The bound port (after start(); the ephemeral-port answer).
+    [[nodiscard]] std::uint16_t port() const { return port_; }
+
+    /// Async-signal-safe stop request: flips the atomic flag and pokes the
+    /// wake pipe. Safe to call from a SIGTERM handler, from any thread, and
+    /// more than once.
+    void request_stop();
+
+    /// Block until the drain completes and every thread joined.
+    void wait();
+
+    /// request_stop() + wait().
+    void stop();
+
+    [[nodiscard]] DaemonStats stats() const;
+
+    [[nodiscard]] const std::shared_ptr<rom::ServeEngine>& engine() const { return engine_; }
+    [[nodiscard]] const DaemonOptions& options() const { return opt_; }
+
+private:
+    struct Impl;
+
+    void io_loop();
+    void worker_loop();
+
+    std::shared_ptr<rom::ServeEngine> engine_;
+    DaemonOptions opt_;
+    std::uint16_t port_ = 0;
+    std::unique_ptr<Impl> impl_;
+    std::thread io_thread_;
+    std::vector<std::thread> workers_;
+    std::atomic<bool> started_{false};
+    std::atomic<bool> joined_{false};
+};
+
+}  // namespace atmor::net

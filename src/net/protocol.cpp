@@ -1,0 +1,116 @@
+#include "net/protocol.hpp"
+
+#include <cstring>
+
+#include "rom/reduced_model.hpp"
+
+namespace atmor::net {
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'T', 'M', 'O', 'R', 'N', 'E', 'T'};
+
+[[noreturn]] void fail(ProtocolErrorKind kind, const std::string& what) {
+    throw ProtocolError(kind, "protocol: " + what + " (" + to_string(kind) + ")");
+}
+
+void append_raw(std::string& out, const void* data, std::size_t n) {
+    out.append(static_cast<const char*>(data), n);
+}
+
+template <typename T>
+T read_raw(const std::string& buf, std::size_t offset) {
+    T v;
+    std::memcpy(&v, buf.data() + offset, sizeof(T));
+    return v;
+}
+
+}  // namespace
+
+const char* to_string(ProtocolErrorKind kind) {
+    switch (kind) {
+        case ProtocolErrorKind::socket_failed: return "socket_failed";
+        case ProtocolErrorKind::truncated: return "truncated";
+        case ProtocolErrorKind::bad_magic: return "bad_magic";
+        case ProtocolErrorKind::version_mismatch: return "version_mismatch";
+        case ProtocolErrorKind::checksum_mismatch: return "checksum_mismatch";
+        case ProtocolErrorKind::oversized: return "oversized";
+        case ProtocolErrorKind::corrupt: return "corrupt";
+    }
+    return "unknown";
+}
+
+std::string frame_message(FrameKind kind, const std::string& payload) {
+    std::string out;
+    out.reserve(kFrameHeaderBytes + payload.size() + kFrameChecksumBytes);
+    append_raw(out, kMagic, sizeof(kMagic));
+    const std::uint32_t version = kProtocolVersion;
+    append_raw(out, &version, sizeof(version));
+    const std::uint8_t k = static_cast<std::uint8_t>(kind);
+    append_raw(out, &k, sizeof(k));
+    const std::uint64_t size = payload.size();
+    append_raw(out, &size, sizeof(size));
+    out += payload;
+    const std::uint64_t checksum = rom::fnv1a(payload.data(), payload.size());
+    append_raw(out, &checksum, sizeof(checksum));
+    return out;
+}
+
+std::size_t try_unframe(const std::string& buffer, FrameKind* kind_out,
+                        std::string* payload_out, std::uint64_t max_frame_bytes) {
+    // Header checks run as soon as their bytes are present: a peer speaking
+    // the wrong protocol is rejected after 8 bytes, not after it happens to
+    // deliver a full frame's worth of garbage.
+    if (buffer.size() >= sizeof(kMagic) &&
+        std::memcmp(buffer.data(), kMagic, sizeof(kMagic)) != 0)
+        fail(ProtocolErrorKind::bad_magic, "frame does not start with ATMORNET");
+    if (buffer.size() >= 12) {
+        const std::uint32_t version = read_raw<std::uint32_t>(buffer, 8);
+        if (version != kProtocolVersion)
+            fail(ProtocolErrorKind::version_mismatch,
+                 "peer speaks protocol version " + std::to_string(version) +
+                     ", this build speaks " + std::to_string(kProtocolVersion));
+    }
+    if (buffer.size() < kFrameHeaderBytes) return 0;
+
+    const std::uint8_t kind = read_raw<std::uint8_t>(buffer, 12);
+    if (kind > static_cast<std::uint8_t>(FrameKind::response))
+        fail(ProtocolErrorKind::corrupt, "unknown frame kind " + std::to_string(kind));
+    const std::uint64_t payload_size = read_raw<std::uint64_t>(buffer, 13);
+    if (payload_size > max_frame_bytes)
+        fail(ProtocolErrorKind::oversized,
+             "frame announces " + std::to_string(payload_size) + " payload bytes, budget is " +
+                 std::to_string(max_frame_bytes));
+
+    const std::size_t total = kFrameHeaderBytes + static_cast<std::size_t>(payload_size) +
+                              kFrameChecksumBytes;
+    if (buffer.size() < total) return 0;
+
+    const std::uint64_t stored = read_raw<std::uint64_t>(
+        buffer, kFrameHeaderBytes + static_cast<std::size_t>(payload_size));
+    const std::uint64_t computed =
+        rom::fnv1a(buffer.data() + kFrameHeaderBytes, static_cast<std::size_t>(payload_size));
+    if (stored != computed)
+        fail(ProtocolErrorKind::checksum_mismatch, "frame payload failed its checksum");
+
+    *kind_out = static_cast<FrameKind>(kind);
+    payload_out->assign(buffer, kFrameHeaderBytes, static_cast<std::size_t>(payload_size));
+    return total;
+}
+
+std::string unframe_message(const std::string& bytes, FrameKind* kind_out,
+                            std::uint64_t max_frame_bytes) {
+    FrameKind kind = FrameKind::request;
+    std::string payload;
+    const std::size_t consumed = try_unframe(bytes, &kind, &payload, max_frame_bytes);
+    if (consumed == 0)
+        fail(ProtocolErrorKind::truncated,
+             "buffer holds " + std::to_string(bytes.size()) + " bytes of an incomplete frame");
+    if (consumed != bytes.size())
+        fail(ProtocolErrorKind::corrupt,
+             std::to_string(bytes.size() - consumed) + " trailing bytes after the frame");
+    *kind_out = kind;
+    return payload;
+}
+
+}  // namespace atmor::net

@@ -83,6 +83,18 @@ void Writer::matrix(const la::Matrix& m) {
                       sizeof(double));
 }
 
+void Writer::zmatrix(const la::ZMatrix& m) {
+    i32(m.rows());
+    i32(m.cols());
+    raw(m.data(), static_cast<std::size_t>(m.rows()) * static_cast<std::size_t>(m.cols()) *
+                      sizeof(la::Complex));
+}
+
+void Writer::vec(const la::Vec& v) {
+    u64(v.size());
+    raw(v.data(), v.size() * sizeof(double));
+}
+
 void Writer::csr(const sparse::CsrMatrix& m) {
     i32(m.rows());
     i32(m.cols());
@@ -285,6 +297,25 @@ la::Matrix Reader::matrix() {
     la::Matrix m(rows, cols);
     raw(m.data(), n * sizeof(double));
     return m;
+}
+
+la::ZMatrix Reader::zmatrix() {
+    const std::int32_t rows = i32();
+    const std::int32_t cols = i32();
+    if (rows < 0 || cols < 0) fail(IoErrorKind::corrupt, "negative matrix dimension");
+    const std::size_t n =
+        count(static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols),
+              sizeof(la::Complex));
+    la::ZMatrix m(rows, cols);
+    raw(m.data(), n * sizeof(la::Complex));
+    return m;
+}
+
+la::Vec Reader::vec() {
+    const std::size_t n = count(u64(), sizeof(double));
+    la::Vec v(n);
+    raw(v.data(), n * sizeof(double));
+    return v;
 }
 
 sparse::CsrMatrix Reader::csr() {

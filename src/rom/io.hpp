@@ -22,6 +22,7 @@
 #include "sparse/csr.hpp"
 #include "sparse/tensor3.hpp"
 #include "sparse/tensor4.hpp"
+#include "util/error_codes.hpp"
 #include "volterra/qldae.hpp"
 
 namespace atmor::rom {
@@ -94,6 +95,21 @@ enum class IoErrorKind {
 
 const char* to_string(IoErrorKind kind);
 
+/// The stable numeric code (util/error_codes.hpp) for an IoErrorKind, so a
+/// wire ServeResponse reports artifact damage exactly like the in-process
+/// exception does.
+[[nodiscard]] constexpr util::ErrorCode error_code(IoErrorKind kind) {
+    switch (kind) {
+        case IoErrorKind::open_failed: return util::ErrorCode::io_open_failed;
+        case IoErrorKind::truncated: return util::ErrorCode::io_truncated;
+        case IoErrorKind::bad_magic: return util::ErrorCode::io_bad_magic;
+        case IoErrorKind::version_mismatch: return util::ErrorCode::io_version_mismatch;
+        case IoErrorKind::checksum_mismatch: return util::ErrorCode::io_checksum_mismatch;
+        case IoErrorKind::corrupt: return util::ErrorCode::io_corrupt;
+    }
+    return util::ErrorCode::io_corrupt;
+}
+
 class IoError : public std::runtime_error {
 public:
     IoError(IoErrorKind kind, const std::string& what)
@@ -116,6 +132,8 @@ public:
     void str(const std::string& s);
     void complex(la::Complex z);
     void matrix(const la::Matrix& m);
+    void zmatrix(const la::ZMatrix& m);
+    void vec(const la::Vec& v);
     void csr(const sparse::CsrMatrix& m);
     void tensor3(const sparse::SparseTensor3& t);
     void tensor4(const sparse::SparseTensor4& t);
@@ -157,6 +175,8 @@ public:
     std::string str();
     la::Complex complex();
     la::Matrix matrix();
+    la::ZMatrix zmatrix();
+    la::Vec vec();
     sparse::CsrMatrix csr();
     sparse::SparseTensor3 tensor3();
     sparse::SparseTensor4 tensor4();

@@ -1,0 +1,310 @@
+// The unified serving API: ONE typed request/response vocabulary shared by
+// in-process callers (rom::ServeEngine::serve and its legacy wrappers) and
+// the wire (net::Daemon / net::ServeClient). The redesign this file carries:
+// ServeEngine's four ad-hoc entrypoints each re-threaded a
+// (key, Registry::Builder) pair -- a shape that cannot cross a socket
+// because a builder lambda does not serialize. Here model resolution is a
+// ModelRef (registry key, artifact path, or inline build spec, all
+// daemon-resolvable; the in-process builder survives as a non-wire field so
+// the legacy wrappers stay bit-identical), waveforms are typed WaveformSpec
+// parameter records instead of closures, and every answer is a
+// ServeResponse carrying payload + ErrorCertificate + a typed error with a
+// stable numeric code (util/error_codes.hpp).
+//
+// Wire encoding reuses the rom::io Writer/Reader primitives, so doubles are
+// raw 8-byte and a round-trip is BIT-EXACT: a daemon answer is byte-for-byte
+// the in-process answer (pinned by test_serve_protocol / test_serve_daemon).
+// encode_response zeroes the serving-local timing fields (solve_seconds) so
+// an encoded response is a pure function of the payload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "ode/transient.hpp"
+#include "pmor/param_space.hpp"
+#include "rom/family.hpp"
+#include "rom/family_artifact.hpp"
+#include "rom/registry.hpp"
+#include "util/error_codes.hpp"
+
+namespace atmor::rom {
+
+/// The accuracy contract a model was built under, surfaced per query: what
+/// band the a-posteriori estimate covers, the tolerance targeted, and the
+/// certified estimate itself (all from Provenance; zeros mean the model was
+/// built by a fixed-order front-end and carries no certificate).
+struct ErrorCertificate {
+    std::string method;           ///< "adaptive" | "atmor" | "linear" | "norm"
+    double tol = 0.0;             ///< build-time accuracy target (0 = none)
+    double band_min = 0.0;        ///< certified band [rad/s]
+    double band_max = 0.0;
+    double estimated_error = 0.0; ///< a-posteriori max relative band error
+    int expansion_points = 0;
+    int order = 0;
+    /// True when the model carries a build-time error estimate at all.
+    [[nodiscard]] bool certified() const { return estimated_error > 0.0; }
+};
+
+/// How a parametric query should be answered and what the rejection path is.
+struct ParametricOptions {
+    /// Certification tolerance; 0 uses the family's own tol.
+    double tol = 0.0;
+    /// Blend the outputs of the cell's best AND runner-up member (inverse-
+    /// distance weights) when both certify; the certificate is then the max
+    /// of the two cross errors (a convex combination of two tol-accurate
+    /// responses stays tol-accurate).
+    bool blend = false;
+    /// The rejection path: build a dedicated model for the query point when
+    /// no member certifies it (resolved through the registry, so repeated
+    /// uncovered queries at one point build once). Without it an uncovered
+    /// query is a typed PreconditionError.
+    std::function<ReducedModel(const pmor::Point&)> fallback_build;
+    /// Registry key for the fallback model at a point. Defaults to a key
+    /// composed from the family id, the point and the EFFECTIVE tolerance,
+    /// so queries demanding different accuracies never share a cached
+    /// fallback. Supply pmor::member_key(design, adaptive, p) here to make
+    /// on-demand builds coalesce with family-member artifacts of the same
+    /// accuracy.
+    std::function<std::string(const pmor::Point&)> fallback_key;
+};
+
+struct ParametricAnswer {
+    /// Output-mapped H1 over the query grid (blended when `blended_with`
+    /// is set).
+    std::vector<la::ZMatrix> response;
+    /// The per-query accuracy contract: for member-served answers the
+    /// estimated_error is the OFFLINE-CERTIFIED cross error of the covering
+    /// training cell (>= the member's own build certificate); for fallback
+    /// answers it is the freshly built model's provenance certificate.
+    ErrorCertificate certificate;
+    int member = -1;        ///< serving member index (-1 on fallback)
+    int blended_with = -1;  ///< runner-up member blended in (-1: none)
+    double blend_weight = 1.0;  ///< weight of `member` in the blend
+    bool fallback = false;  ///< true when no member certified the query
+};
+
+/// Thrown (and reported as ErrorCode::serve_unresolved) when a ModelRef or
+/// family reference names nothing the serving side can resolve -- distinct
+/// from a generic precondition so a wire client can tell "bad key" from
+/// "bad request shape".
+class UnresolvedError : public util::PreconditionError {
+public:
+    using util::PreconditionError::PreconditionError;
+};
+
+/// A serializable build recipe, resolved daemon-side through the resolver
+/// the host registered (ServeEngine::set_spec_resolver). `recipe` names a
+/// catalog entry, `params` its numeric arguments -- the serving library
+/// never interprets them, so hosts can expose exactly the builds they are
+/// willing to run for remote callers.
+struct BuildSpec {
+    std::string recipe;
+    std::vector<double> params;
+
+    /// Stable registry key for the build ("spec:recipe(p1,p2,...)",
+    /// shortest-round-trip doubles), so identical specs coalesce in the
+    /// single-flight registry.
+    [[nodiscard]] std::string key() const;
+};
+
+/// How a request names its model. Replaces the caller-supplied
+/// Registry::Builder threading of the legacy entrypoints: the three tagged
+/// alternatives all cross the wire; the optional in-process `builder` (set
+/// by ModelRef::in_process, used by the legacy wrappers) never does.
+struct ModelRef {
+    enum class Kind : std::uint8_t {
+        registry_key = 0,   ///< must already be resolvable by the registry
+        artifact_path = 1,  ///< .atmor-rom file loaded (and cached) server-side
+        build_spec = 2,     ///< built server-side through the spec resolver
+    };
+
+    Kind kind = Kind::registry_key;
+    std::string key;   ///< registry key (registry_key kind)
+    std::string path;  ///< artifact path (artifact_path kind)
+    BuildSpec spec;    ///< build recipe (build_spec kind)
+    /// In-process escape hatch carrying the legacy builder lambda. NEVER
+    /// serialized: encode_request rejects a ref that has one (a wire request
+    /// cannot ship code).
+    Registry::Builder builder;
+
+    [[nodiscard]] static ModelRef by_key(std::string key);
+    [[nodiscard]] static ModelRef from_artifact(std::string path);
+    [[nodiscard]] static ModelRef from_spec(BuildSpec spec);
+    /// The legacy (key, Builder) pair as a ModelRef (in-process only).
+    [[nodiscard]] static ModelRef in_process(std::string key, Registry::Builder build);
+
+    /// The registry/cache key this ref resolves under (kind-prefixed for the
+    /// non-key kinds so distinct reference styles never alias).
+    [[nodiscard]] std::string cache_key() const;
+};
+
+/// A typed, serializable input waveform: the parameter records behind the
+/// circuits::*_input factories, instantiable on either side of the wire.
+struct WaveformSpec {
+    enum class Kind : std::uint8_t { zero = 0, step = 1, pulse = 2, sine = 3, surge = 4 };
+
+    Kind kind = Kind::zero;
+    int arity = 1;             ///< output vector length (zero kind); 1 otherwise
+    double amplitude = 0.0;
+    double t_on = 0.0;         ///< step/pulse switch-on time
+    double rise = 0.0;         ///< pulse rise span
+    double t_off = 0.0;        ///< pulse fall start
+    double fall = 0.0;         ///< pulse fall span
+    double frequency_hz = 0.0; ///< sine frequency
+    double tau_rise = 0.0;     ///< surge time constants
+    double tau_decay = 0.0;
+
+    [[nodiscard]] static WaveformSpec zero(int arity = 1);
+    [[nodiscard]] static WaveformSpec step(double amplitude, double t_on = 0.0);
+    [[nodiscard]] static WaveformSpec pulse(double amplitude, double t_on, double rise,
+                                            double t_off, double fall);
+    [[nodiscard]] static WaveformSpec sine(double amplitude, double frequency_hz);
+    [[nodiscard]] static WaveformSpec surge(double amplitude, double tau_rise,
+                                            double tau_decay);
+
+    /// The waveform as an ode::InputFn (same closed forms as the
+    /// circuits::*_input factories). Typed PreconditionError on inconsistent
+    /// parameters (e.g. a pulse whose hold ends before its rise).
+    [[nodiscard]] ode::InputFn instantiate() const;
+};
+
+/// The serializable subset of ode::TransientOptions (everything but the
+/// caller-supplied backend, which the engine overrides with its own warm
+/// backend anyway -- exactly what the legacy entrypoint always did).
+struct TransientSpec {
+    double t_end = 1.0;
+    double dt = 1e-3;
+    ode::Method method = ode::Method::trapezoidal;
+    int record_stride = 1;
+    double newton_tol = 1e-10;
+    int newton_max_iter = 25;
+    double rkf_tol = 1e-8;
+    double dt_min = 1e-12;
+    double dt_max = 0.0;
+    bool refactor_every_step = false;
+
+    [[nodiscard]] static TransientSpec from_options(const ode::TransientOptions& opt);
+    [[nodiscard]] ode::TransientOptions to_options() const;
+};
+
+enum class RequestKind : std::uint8_t {
+    frequency_sweep = 0,
+    transient_batch = 1,
+    parametric_query = 2,
+    certificate = 3,
+};
+
+const char* to_string(RequestKind kind);
+
+/// Batched frequency response of the referenced model over `grid`.
+struct FrequencySweepRequest {
+    ModelRef model;
+    std::vector<la::Complex> grid;
+};
+
+/// Batched transient scenarios against the referenced model. `inputs` is the
+/// wire form; the non-serialized `raw_inputs` (legacy wrapper path) wins
+/// when non-empty, so arbitrary in-process closures keep working.
+struct TransientBatchRequest {
+    ModelRef model;
+    std::vector<WaveformSpec> inputs;
+    TransientSpec options;
+    std::vector<ode::InputFn> raw_inputs;  ///< in-process only, never serialized
+};
+
+/// Parametric query against a family. Over the wire the family is named by
+/// `family_id` and resolved server-side (hosted catalog, then the registry's
+/// mmap artifact tier); the non-serialized pointers are the legacy
+/// in-process overloads, and `options` carries the in-process fallback
+/// hooks. Wire requests use the HOST-registered fallback (host_family's
+/// defaults), gated by `allow_fallback`.
+struct ParametricQueryRequest {
+    std::string family_id;
+    pmor::Point coords;
+    std::vector<la::Complex> grid;
+    double tol = 0.0;            ///< 0 = family tolerance
+    bool blend = false;
+    bool allow_fallback = true;  ///< false strips the server-side fallback build
+    // -- In-process only (never serialized). --------------------------------
+    const Family* family = nullptr;
+    const FamilyArtifact* artifact = nullptr;
+    ParametricOptions options;
+};
+
+/// The certified error bound of the referenced model.
+struct CertificateRequest {
+    ModelRef model;
+};
+
+/// The tagged request variant: one vocabulary for every serving entrypoint,
+/// in-process and on the wire.
+struct ServeRequest {
+    /// Admission-control identity (net::Daemon token buckets); empty is the
+    /// anonymous tenant.
+    std::string tenant;
+    std::variant<FrequencySweepRequest, TransientBatchRequest, ParametricQueryRequest,
+                 CertificateRequest>
+        body;
+
+    [[nodiscard]] RequestKind kind() const {
+        return static_cast<RequestKind>(body.index());
+    }
+};
+
+/// Typed serving failure: a stable numeric code plus the exception text. A
+/// wire response reports exactly what the in-process exception would.
+struct ServeError {
+    util::ErrorCode code = util::ErrorCode::ok;
+    std::string message;
+
+    [[nodiscard]] bool ok() const { return code == util::ErrorCode::ok; }
+};
+
+/// The uniform answer: payload fields for the request's kind, the model's
+/// ErrorCertificate, and a typed error (code != ok means the payload fields
+/// are empty/default). Transients keep the rich ode::TransientResult so the
+/// legacy wrapper returns it unchanged; encode_response serializes the
+/// deterministic fields and zeroes the wall-time ones.
+struct ServeResponse {
+    RequestKind kind = RequestKind::frequency_sweep;
+    ServeError error;
+    ErrorCertificate certificate;
+    // -- frequency_sweep / parametric_query payload. -------------------------
+    std::vector<la::ZMatrix> response;
+    // -- transient_batch payload. --------------------------------------------
+    std::vector<ode::TransientResult> transients;
+    // -- parametric_query routing record. ------------------------------------
+    int member = -1;
+    int blended_with = -1;
+    double blend_weight = 1.0;
+    bool fallback = false;
+
+    [[nodiscard]] bool ok() const { return error.ok(); }
+};
+
+// ---------------------------------------------------------------------------
+// Wire codec: payload bytes only (no framing -- net/protocol.hpp wraps them
+// in the checksummed length-prefixed envelope). Decoders throw typed
+// IoError{truncated|corrupt} on damaged payloads, mirroring rom::io.
+// ---------------------------------------------------------------------------
+
+/// Serialize a request. The tenant is encoded FIRST so peek_tenant can read
+/// it without decoding the body (admission control runs before any payload
+/// work). Throws PreconditionError when the request carries in-process-only
+/// state (a builder lambda, raw input closures, family pointers).
+std::string encode_request(const ServeRequest& req);
+ServeRequest decode_request(const std::string& payload);
+
+/// The tenant of an encoded request without decoding the body.
+std::string peek_tenant(const std::string& payload);
+
+/// Serialize a response. Wall-time fields (TransientResult::solve_seconds)
+/// encode as zero so the bytes are a deterministic function of the payload.
+std::string encode_response(const ServeResponse& resp);
+ServeResponse decode_response(const std::string& payload);
+
+}  // namespace atmor::rom

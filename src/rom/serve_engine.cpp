@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "rom/io.hpp"
 #include "rom/reduced_model.hpp"
 #include "util/check.hpp"
 #include "util/key_format.hpp"
@@ -286,22 +287,26 @@ std::vector<la::ZMatrix> ServeEngine::coalesced_sweep(ModelState& st,
     return own;
 }
 
+// ---------------------------------------------------------------------------
+// Legacy entrypoints: thin wrappers over the unified dispatch. Each builds
+// the ServeRequest its signature always described and rethrows whatever
+// dispatch throws, so the pre-redesign pins (answers, exception types and
+// messages, counter accounting) hold bit-identical.
+// ---------------------------------------------------------------------------
+
 ErrorCertificate ServeEngine::certificate(const std::string& key,
                                           const Registry::Builder& build) {
-    ErrorCertificate cert = certificate_of(*state_for(key, build)->model);
-    counters_.certificate_queries.fetch_add(1, std::memory_order_relaxed);
-    return cert;
+    ServeRequest req;
+    req.body = CertificateRequest{ModelRef::in_process(key, build)};
+    return dispatch(req).certificate;
 }
 
 std::vector<la::ZMatrix> ServeEngine::frequency_response(const std::string& key,
                                                          const Registry::Builder& build,
                                                          const std::vector<la::Complex>& grid) {
-    ATMOR_REQUIRE(!grid.empty(), "ServeEngine::frequency_response: empty frequency grid");
-    const std::shared_ptr<ModelState> st = state_for(key, build);
-    util::Timer timer;
-    std::vector<la::ZMatrix> out = coalesced_sweep(*st, grid);
-    note_query(timer.seconds(), static_cast<long>(grid.size()), -1);
-    return out;
+    ServeRequest req;
+    req.body = FrequencySweepRequest{ModelRef::in_process(key, build), grid};
+    return std::move(dispatch(req).response);
 }
 
 struct ServeEngine::FamilyView {
@@ -329,29 +334,52 @@ struct ServeEngine::FamilyView {
     }
 };
 
+namespace {
+
+/// The wrapper-shared ParametricQueryRequest shape (in-process pointer form).
+ServeRequest make_parametric_request(const std::string& family_id, const pmor::Point& coords,
+                                     const std::vector<la::Complex>& grid,
+                                     const ParametricOptions& opt) {
+    ServeRequest req;
+    ParametricQueryRequest body;
+    body.family_id = family_id;
+    body.coords = coords;
+    body.grid = grid;
+    body.tol = opt.tol;
+    body.blend = opt.blend;
+    body.options = opt;
+    req.body = std::move(body);
+    return req;
+}
+
+ParametricAnswer to_parametric_answer(ServeResponse&& resp) {
+    ParametricAnswer ans;
+    ans.response = std::move(resp.response);
+    ans.certificate = std::move(resp.certificate);
+    ans.member = resp.member;
+    ans.blended_with = resp.blended_with;
+    ans.blend_weight = resp.blend_weight;
+    ans.fallback = resp.fallback;
+    return ans;
+}
+
+}  // namespace
+
 ParametricAnswer ServeEngine::serve_parametric(const Family& family, const pmor::Point& coords,
                                                const std::vector<la::Complex>& grid,
                                                const ParametricOptions& opt) {
-    const FamilyView view{
-        family.family_id, family.space, family.tol, family.cells,
-        static_cast<int>(family.members.size()),
-        [&family](int i) {
-            // Non-owning alias: the family outlives the query by contract.
-            return std::shared_ptr<const FamilyMember>(
-                std::shared_ptr<const FamilyMember>{},
-                &family.members[static_cast<std::size_t>(i)]);
-        }};
-    return serve_parametric_impl(view, coords, grid, opt);
+    ServeRequest req = make_parametric_request(family.family_id, coords, grid, opt);
+    std::get<ParametricQueryRequest>(req.body).family = &family;
+    return to_parametric_answer(dispatch(req));
 }
 
 ParametricAnswer ServeEngine::serve_parametric(const FamilyArtifact& family,
                                                const pmor::Point& coords,
                                                const std::vector<la::Complex>& grid,
                                                const ParametricOptions& opt) {
-    const FamilyView view{family.family_id(), family.space(),        family.tol(),
-                          family.cells(),     family.member_count(),
-                          [&family](int i) { return family.member(i); }};
-    return serve_parametric_impl(view, coords, grid, opt);
+    ServeRequest req = make_parametric_request(family.family_id(), coords, grid, opt);
+    std::get<ParametricQueryRequest>(req.body).artifact = &family;
+    return to_parametric_answer(dispatch(req));
 }
 
 ParametricAnswer ServeEngine::serve_parametric_impl(const FamilyView& view,
@@ -448,8 +476,21 @@ ParametricAnswer ServeEngine::serve_parametric_impl(const FamilyView& view,
 std::vector<ode::TransientResult> ServeEngine::transient_batch(
     const std::string& key, const Registry::Builder& build,
     const std::vector<ode::InputFn>& inputs, const ode::TransientOptions& opt) {
-    ATMOR_REQUIRE(!inputs.empty(), "ServeEngine::transient_batch: empty waveform batch");
-    const std::shared_ptr<ModelState> st = state_for(key, build);
+    ServeRequest req;
+    TransientBatchRequest body;
+    body.model = ModelRef::in_process(key, build);
+    body.raw_inputs = inputs;
+    // The spec round-trip loses only opt.backend, which this entrypoint
+    // always overrode with the model's serving backend anyway.
+    body.options = TransientSpec::from_options(opt);
+    req.body = std::move(body);
+    return std::move(dispatch(req).transients);
+}
+
+std::vector<ode::TransientResult> ServeEngine::run_transient_batch(
+    ModelState& stref, const std::vector<ode::InputFn>& inputs,
+    const ode::TransientOptions& opt) {
+    ModelState* st = &stref;
     util::Timer timer;
     ode::TransientOptions o = opt;
     o.backend = st->transient_backend;
@@ -485,6 +526,207 @@ std::vector<ode::TransientResult> ServeEngine::transient_batch(
     std::vector<ode::TransientResult> out = ode::simulate_batch(st->model->rom, inputs, o, warm);
     note_query(timer.seconds(), -1, static_cast<long>(inputs.size()));
     return out;
+}
+
+// ---------------------------------------------------------------------------
+// Unified dispatch (the api_redesign core).
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<ServeEngine::ModelState> ServeEngine::resolve(const ModelRef& ref) {
+    switch (ref.kind) {
+        case ModelRef::Kind::registry_key: {
+            if (ref.builder) return state_for(ref.key, ref.builder);
+            // No builder: resolvable only from the registry's memory/disk
+            // tiers. The probe builder turns a full miss into a typed
+            // UnresolvedError instead of a silent rebuild of nothing.
+            const std::string& key = ref.key;
+            return state_for(key, [&key]() -> ReducedModel {
+                throw UnresolvedError("ServeEngine: registry key '" + key +
+                                      "' resolves to no cached model or artifact and the "
+                                      "request carries no build recipe");
+            });
+        }
+        case ModelRef::Kind::artifact_path: {
+            // Cached under "artifact:<path>" so repeated wire queries load
+            // the file once; IoError (missing/damaged artifact) propagates
+            // typed.
+            const std::string& path = ref.path;
+            return state_for(ref.cache_key(), [&path] { return load_model(path); });
+        }
+        case ModelRef::Kind::build_spec: {
+            SpecResolver resolver;
+            {
+                std::lock_guard<std::mutex> lock(catalog_mutex_);
+                resolver = spec_resolver_;
+            }
+            if (!resolver)
+                throw UnresolvedError("ServeEngine: request names build spec '" +
+                                      ref.spec.key() +
+                                      "' but no spec resolver is registered");
+            const BuildSpec& spec = ref.spec;
+            return state_for(ref.cache_key(), [&resolver, &spec] { return resolver(spec); });
+        }
+    }
+    ATMOR_CHECK(false, "ServeEngine::resolve: unknown ModelRef kind");
+    return nullptr;
+}
+
+void ServeEngine::set_spec_resolver(SpecResolver resolver) {
+    std::lock_guard<std::mutex> lock(catalog_mutex_);
+    spec_resolver_ = std::move(resolver);
+}
+
+void ServeEngine::host_family(Family family, ParametricOptions defaults) {
+    std::string id = family.family_id;
+    HostedFamily hf{FamilyArtifact::from_family(std::move(family)), std::move(defaults)};
+    std::lock_guard<std::mutex> lock(catalog_mutex_);
+    hosted_.insert_or_assign(std::move(id), std::move(hf));
+}
+
+void ServeEngine::host_family(FamilyArtifact family, ParametricOptions defaults) {
+    std::string id = family.family_id();
+    HostedFamily hf{std::move(family), std::move(defaults)};
+    std::lock_guard<std::mutex> lock(catalog_mutex_);
+    hosted_.insert_or_assign(std::move(id), std::move(hf));
+}
+
+ServeEngine::HostedFamily ServeEngine::hosted_family(const std::string& family_id) {
+    {
+        std::lock_guard<std::mutex> lock(catalog_mutex_);
+        auto it = hosted_.find(family_id);
+        if (it != hosted_.end()) return it->second;
+    }
+    // Fall through to the registry's family-artifact tier; the mapped
+    // artifact joins the catalog (default options: no server-side fallback)
+    // so the mmap + directory verification happens once per family.
+    try {
+        HostedFamily hf{registry_->open_family(family_id), ParametricOptions{}};
+        std::lock_guard<std::mutex> lock(catalog_mutex_);
+        auto [it, fresh] = hosted_.emplace(family_id, std::move(hf));
+        (void)fresh;  // a racing host_family won: serve what it registered
+        return it->second;
+    } catch (const IoError& err) {
+        if (err.kind() == IoErrorKind::open_failed)
+            throw UnresolvedError("ServeEngine: family '" + family_id +
+                                  "' is neither hosted nor in the registry's artifact "
+                                  "tier");
+        throw;  // a damaged artifact stays a typed io error
+    }
+}
+
+ServeResponse ServeEngine::dispatch(const ServeRequest& req) {
+    ServeResponse resp;
+    resp.kind = req.kind();
+    switch (req.kind()) {
+        case RequestKind::frequency_sweep: {
+            const auto& body = std::get<FrequencySweepRequest>(req.body);
+            ATMOR_REQUIRE(!body.grid.empty(),
+                          "ServeEngine::frequency_response: empty frequency grid");
+            const std::shared_ptr<ModelState> st = resolve(body.model);
+            util::Timer timer;
+            resp.response = coalesced_sweep(*st, body.grid);
+            note_query(timer.seconds(), static_cast<long>(body.grid.size()), -1);
+            resp.certificate = certificate_of(*st->model);
+            break;
+        }
+        case RequestKind::transient_batch: {
+            const auto& body = std::get<TransientBatchRequest>(req.body);
+            // raw_inputs (the in-process closure path) wins; wire requests
+            // carry WaveformSpecs and instantiate here.
+            std::vector<ode::InputFn> inputs = body.raw_inputs;
+            if (inputs.empty()) {
+                inputs.reserve(body.inputs.size());
+                for (const WaveformSpec& spec : body.inputs)
+                    inputs.push_back(spec.instantiate());
+            }
+            ATMOR_REQUIRE(!inputs.empty(),
+                          "ServeEngine::transient_batch: empty waveform batch");
+            const std::shared_ptr<ModelState> st = resolve(body.model);
+            resp.transients = run_transient_batch(*st, inputs, body.options.to_options());
+            resp.certificate = certificate_of(*st->model);
+            break;
+        }
+        case RequestKind::parametric_query: {
+            const auto& body = std::get<ParametricQueryRequest>(req.body);
+            ParametricOptions eff = body.options;
+            eff.tol = body.tol;
+            eff.blend = body.blend;
+            ParametricAnswer ans;
+            if (body.family != nullptr) {
+                const Family& family = *body.family;
+                const FamilyView view{
+                    family.family_id, family.space, family.tol, family.cells,
+                    static_cast<int>(family.members.size()),
+                    [&family](int i) {
+                        // Non-owning alias: the family outlives the query by
+                        // contract.
+                        return std::shared_ptr<const FamilyMember>(
+                            std::shared_ptr<const FamilyMember>{},
+                            &family.members[static_cast<std::size_t>(i)]);
+                    }};
+                ans = serve_parametric_impl(view, body.coords, body.grid, eff);
+            } else if (body.artifact != nullptr) {
+                const FamilyArtifact& family = *body.artifact;
+                const FamilyView view{family.family_id(), family.space(),
+                                      family.tol(),       family.cells(),
+                                      family.member_count(),
+                                      [&family](int i) { return family.member(i); }};
+                ans = serve_parametric_impl(view, body.coords, body.grid, eff);
+            } else {
+                // Wire form: the family is named by id. Hosted defaults
+                // supply what a socket cannot carry -- the fallback hooks
+                // and a default tolerance.
+                HostedFamily hf = hosted_family(body.family_id);
+                if (!eff.fallback_build) eff.fallback_build = hf.defaults.fallback_build;
+                if (!eff.fallback_key) eff.fallback_key = hf.defaults.fallback_key;
+                if (eff.tol <= 0.0) eff.tol = hf.defaults.tol;
+                if (!body.allow_fallback) eff.fallback_build = nullptr;
+                const FamilyArtifact& family = hf.artifact;
+                const FamilyView view{family.family_id(), family.space(),
+                                      family.tol(),       family.cells(),
+                                      family.member_count(),
+                                      [&family](int i) { return family.member(i); }};
+                ans = serve_parametric_impl(view, body.coords, body.grid, eff);
+            }
+            resp.response = std::move(ans.response);
+            resp.certificate = std::move(ans.certificate);
+            resp.member = ans.member;
+            resp.blended_with = ans.blended_with;
+            resp.blend_weight = ans.blend_weight;
+            resp.fallback = ans.fallback;
+            break;
+        }
+        case RequestKind::certificate: {
+            const auto& body = std::get<CertificateRequest>(req.body);
+            resp.certificate = certificate_of(*resolve(body.model)->model);
+            counters_.certificate_queries.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+    }
+    return resp;
+}
+
+ServeResponse ServeEngine::serve(const ServeRequest& req) {
+    const auto fail = [&req](util::ErrorCode code, const char* what) {
+        ServeResponse resp;
+        resp.kind = req.kind();
+        resp.error.code = code;
+        resp.error.message = what;
+        return resp;
+    };
+    // Order matters: UnresolvedError IS-A PreconditionError, IoError and
+    // InternalError are std::runtime_error.
+    try {
+        return dispatch(req);
+    } catch (const UnresolvedError& e) {
+        return fail(util::ErrorCode::serve_unresolved, e.what());
+    } catch (const IoError& e) {
+        return fail(error_code(e.kind()), e.what());
+    } catch (const util::PreconditionError& e) {
+        return fail(util::ErrorCode::precondition, e.what());
+    } catch (const std::exception& e) {
+        return fail(util::ErrorCode::internal, e.what());
+    }
 }
 
 void ServeEngine::note_query(double seconds, long freq_points, long waveforms) {

@@ -47,63 +47,10 @@
 #include "ode/transient.hpp"
 #include "rom/family.hpp"
 #include "rom/registry.hpp"
+#include "rom/serve_api.hpp"
 #include "volterra/transfer.hpp"
 
 namespace atmor::rom {
-
-/// The accuracy contract a model was built under, surfaced per query: what
-/// band the a-posteriori estimate covers, the tolerance targeted, and the
-/// certified estimate itself (all from Provenance; zeros mean the model was
-/// built by a fixed-order front-end and carries no certificate).
-struct ErrorCertificate {
-    std::string method;           ///< "adaptive" | "atmor" | "linear" | "norm"
-    double tol = 0.0;             ///< build-time accuracy target (0 = none)
-    double band_min = 0.0;        ///< certified band [rad/s]
-    double band_max = 0.0;
-    double estimated_error = 0.0; ///< a-posteriori max relative band error
-    int expansion_points = 0;
-    int order = 0;
-    /// True when the model carries a build-time error estimate at all.
-    [[nodiscard]] bool certified() const { return estimated_error > 0.0; }
-};
-
-/// How a parametric query should be answered and what the rejection path is.
-struct ParametricOptions {
-    /// Certification tolerance; 0 uses the family's own tol.
-    double tol = 0.0;
-    /// Blend the outputs of the cell's best AND runner-up member (inverse-
-    /// distance weights) when both certify; the certificate is then the max
-    /// of the two cross errors (a convex combination of two tol-accurate
-    /// responses stays tol-accurate).
-    bool blend = false;
-    /// The rejection path: build a dedicated model for the query point when
-    /// no member certifies it (resolved through the registry, so repeated
-    /// uncovered queries at one point build once). Without it an uncovered
-    /// query is a typed PreconditionError.
-    std::function<ReducedModel(const pmor::Point&)> fallback_build;
-    /// Registry key for the fallback model at a point. Defaults to a key
-    /// composed from the family id, the point and the EFFECTIVE tolerance,
-    /// so queries demanding different accuracies never share a cached
-    /// fallback. Supply pmor::member_key(design, adaptive, p) here to make
-    /// on-demand builds coalesce with family-member artifacts of the same
-    /// accuracy.
-    std::function<std::string(const pmor::Point&)> fallback_key;
-};
-
-struct ParametricAnswer {
-    /// Output-mapped H1 over the query grid (blended when `blended_with`
-    /// is set).
-    std::vector<la::ZMatrix> response;
-    /// The per-query accuracy contract: for member-served answers the
-    /// estimated_error is the OFFLINE-CERTIFIED cross error of the covering
-    /// training cell (>= the member's own build certificate); for fallback
-    /// answers it is the freshly built model's provenance certificate.
-    ErrorCertificate certificate;
-    int member = -1;        ///< serving member index (-1 on fallback)
-    int blended_with = -1;  ///< runner-up member blended in (-1: none)
-    double blend_weight = 1.0;  ///< weight of `member` in the blend
-    bool fallback = false;  ///< true when no member certified the query
-};
 
 struct ServeStats {
     long frequency_queries = 0;   ///< sweep queries answered
@@ -149,7 +96,35 @@ struct ServeOptions {
 
 class ServeEngine {
 public:
+    /// Host-side realization of BuildSpec recipes (rom/serve_api.hpp): the
+    /// catalog of builds the engine is willing to run for requests that name
+    /// a spec instead of a key. Unset means every build_spec ModelRef is an
+    /// UnresolvedError.
+    using SpecResolver = std::function<ReducedModel(const BuildSpec&)>;
+
     explicit ServeEngine(std::shared_ptr<Registry> registry, ServeOptions opt = {});
+
+    /// THE serving entrypoint: dispatch a typed ServeRequest (the same type
+    /// that crosses the wire) and return a ServeResponse that is NEVER a
+    /// thrown exception -- failures come back as the typed error taxonomy of
+    /// util/error_codes.hpp (UnresolvedError -> serve_unresolved, IoError by
+    /// kind, PreconditionError -> precondition, anything else -> internal),
+    /// so the daemon and in-process callers observe identical outcomes. The
+    /// four legacy entrypoints below are thin wrappers over the same
+    /// dispatch (they rethrow instead of wrapping), so their pins hold the
+    /// redesign bit-identical.
+    [[nodiscard]] ServeResponse serve(const ServeRequest& req);
+
+    /// Register the BuildSpec catalog. Thread-safe; replaces any previous
+    /// resolver (requests in flight keep the one they started with).
+    void set_spec_resolver(SpecResolver resolver);
+
+    /// Host a family for wire parametric queries that name it by family_id:
+    /// the hosted catalog is probed before the registry's family-artifact
+    /// tier. `defaults` supplies the server-side fallback hooks (and default
+    /// tolerance) applied to wire requests, which cannot carry closures.
+    void host_family(Family family, ParametricOptions defaults = {});
+    void host_family(FamilyArtifact family, ParametricOptions defaults = {});
 
     /// Resolve a model through the registry (memory / disk / single-flight
     /// build). The returned handle stays valid independent of eviction.
@@ -299,6 +274,27 @@ private:
     [[nodiscard]] std::shared_ptr<ModelState> state_for(const std::string& key,
                                                         const Registry::Builder& build);
 
+    /// THE model-resolution path: every entrypoint (serve() and all legacy
+    /// wrappers) funnels its ModelRef through here, replacing the four
+    /// per-entrypoint (key, Builder) threads. registry_key refs resolve
+    /// through state_for (with the in-process builder when the ref carries
+    /// one, else a probe that throws UnresolvedError on a full miss);
+    /// artifact_path refs load-and-cache under "artifact:<path>"; build_spec
+    /// refs run the registered SpecResolver under the spec's stable key.
+    [[nodiscard]] std::shared_ptr<ModelState> resolve(const ModelRef& ref);
+
+    /// Throwing core behind serve(): dispatch on the request kind, fill the
+    /// response payload, and keep the per-kind counter accounting EXACTLY
+    /// where the legacy entrypoints had it (the wrappers call this, so no
+    /// query is ever double-counted).
+    [[nodiscard]] ServeResponse dispatch(const ServeRequest& req);
+
+    /// The transient serving core (warm-start lookup + batch run + counter
+    /// accounting) against an already-resolved state.
+    [[nodiscard]] std::vector<ode::TransientResult> run_transient_batch(
+        ModelState& st, const std::vector<ode::InputFn>& inputs,
+        const ode::TransientOptions& opt);
+
     /// The coalescing sweep path every output_h1 sweep goes through: become
     /// the model's batch leader (evaluating own + merged grids until the
     /// pending queue drains) or park on the active leader's batch.
@@ -332,12 +328,29 @@ private:
     /// query for an evicted key re-resolves and rebuilds.
     void bound_shard_locked(Shard& shard, const std::string& keep_key);
 
+    /// A family in the hosted catalog: the artifact (possibly an eager
+    /// from_family wrap) plus the server-side ParametricOptions applied to
+    /// wire queries against it.
+    struct HostedFamily {
+        FamilyArtifact artifact;
+        ParametricOptions defaults;
+    };
+
+    /// The hosted family for `family_id`: catalog first, then the registry's
+    /// family-artifact tier (cached in the catalog so the mmap happens
+    /// once). Throws UnresolvedError when neither has it.
+    [[nodiscard]] HostedFamily hosted_family(const std::string& family_id);
+
     std::shared_ptr<Registry> registry_;
     ServeOptions opt_;
     std::size_t shard_capacity_;  ///< per-shard live-state bound
     std::array<Shard, kShardCount> shards_;
     std::atomic<std::uint64_t> state_tick_{0};
     Counters counters_;
+
+    mutable std::mutex catalog_mutex_;  ///< guards the two members below
+    std::unordered_map<std::string, HostedFamily> hosted_;
+    SpecResolver spec_resolver_;
 };
 
 }  // namespace atmor::rom

@@ -1,0 +1,73 @@
+// Stable numeric error codes shared by every typed failure the library can
+// report: in-process exceptions (util::PreconditionError / InternalError),
+// artifact I/O failures (rom::IoError's kind taxonomy), wire-protocol
+// failures (net::ProtocolError's kind taxonomy) and serving-layer
+// rejections (unresolved references, admission-control Overloaded).
+//
+// The point of the shared table is that a wire ServeResponse and an
+// in-process exception report IDENTICALLY: a client seeing code 12
+// (io_checksum_mismatch) over a socket learns exactly what a library caller
+// learns from catching IoError{checksum_mismatch}. Codes are part of the
+// serving wire contract (README "Serving daemon" table) and therefore
+// STABLE: never renumber an existing entry, only append.
+#pragma once
+
+#include <cstdint>
+
+namespace atmor::util {
+
+enum class ErrorCode : std::int32_t {
+    ok = 0,
+
+    // -- In-process exception taxonomy (util/check.hpp). --------------------
+    precondition = 1,  ///< caller violated a documented precondition
+    internal = 2,      ///< library invariant failed (bug / numerical breakdown)
+
+    // -- Artifact I/O (rom::IoErrorKind, same order). ------------------------
+    io_open_failed = 10,
+    io_truncated = 11,
+    io_bad_magic = 12,
+    io_version_mismatch = 13,
+    io_checksum_mismatch = 14,
+    io_corrupt = 15,
+
+    // -- Wire protocol (net::ProtocolErrorKind, same order). -----------------
+    proto_socket_failed = 20,
+    proto_truncated = 21,
+    proto_bad_magic = 22,
+    proto_version_mismatch = 23,
+    proto_checksum_mismatch = 24,
+    proto_oversized = 25,
+    proto_corrupt = 26,
+
+    // -- Serving layer (rom::ServeEngine / net::Daemon). ---------------------
+    serve_unresolved = 40,  ///< ModelRef / family reference names nothing resolvable
+    serve_overloaded = 41,  ///< typed admission-control rejection (never a drop)
+};
+
+/// Stable lower-case name for a code (the wire/README spelling).
+inline const char* to_string(ErrorCode code) {
+    switch (code) {
+        case ErrorCode::ok: return "ok";
+        case ErrorCode::precondition: return "precondition";
+        case ErrorCode::internal: return "internal";
+        case ErrorCode::io_open_failed: return "io_open_failed";
+        case ErrorCode::io_truncated: return "io_truncated";
+        case ErrorCode::io_bad_magic: return "io_bad_magic";
+        case ErrorCode::io_version_mismatch: return "io_version_mismatch";
+        case ErrorCode::io_checksum_mismatch: return "io_checksum_mismatch";
+        case ErrorCode::io_corrupt: return "io_corrupt";
+        case ErrorCode::proto_socket_failed: return "proto_socket_failed";
+        case ErrorCode::proto_truncated: return "proto_truncated";
+        case ErrorCode::proto_bad_magic: return "proto_bad_magic";
+        case ErrorCode::proto_version_mismatch: return "proto_version_mismatch";
+        case ErrorCode::proto_checksum_mismatch: return "proto_checksum_mismatch";
+        case ErrorCode::proto_oversized: return "proto_oversized";
+        case ErrorCode::proto_corrupt: return "proto_corrupt";
+        case ErrorCode::serve_unresolved: return "serve_unresolved";
+        case ErrorCode::serve_overloaded: return "serve_overloaded";
+    }
+    return "unknown";
+}
+
+}  // namespace atmor::util
