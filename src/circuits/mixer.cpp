@@ -1,0 +1,73 @@
+#include "circuits/mixer.hpp"
+
+#include "circuits/options_key.hpp"
+#include "sparse/csr.hpp"
+#include "util/check.hpp"
+
+namespace atmor::circuits {
+
+int mixer_order(const MixerOptions& opt) {
+    return opt.rf_sections + opt.lo_sections + opt.if_sections;
+}
+
+volterra::Qldae mixer(const MixerOptions& opt) {
+    ATMOR_REQUIRE(opt.rf_sections >= 2 && opt.lo_sections >= 2 && opt.if_sections >= 2,
+                  "mixer: each chain needs >= 2 sections");
+    ATMOR_REQUIRE(opt.resistance > 0.0 && opt.capacitance > 0.0 && opt.leak > 0.0,
+                  "mixer: resistance, capacitance and leak must be positive");
+    const int n = mixer_order(opt);
+    const double g = 1.0 / (opt.resistance * opt.capacitance);
+    const double gl = opt.leak / opt.capacitance;
+    const int rf0 = 0;
+    const int lo0 = opt.rf_sections;
+    const int if0 = opt.rf_sections + opt.lo_sections;
+    const int rf_end = lo0 - 1;
+    const int lo_end = if0 - 1;
+    const int if_end = n - 1;
+
+    sparse::CooBuilder g1(n, n);
+    sparse::SparseTensor3 g2(n, n, n);
+    sparse::CooBuilder b_in(n, 2);
+    sparse::CooBuilder c_out(1, n);
+
+    // Leaky RC chain: series resistors between consecutive nodes plus a leak
+    // to ground per node (strictly stable, so the feed-forward cascade is).
+    const auto stamp_chain = [&](int first, int count) {
+        for (int k = 0; k < count - 1; ++k) {
+            const int i = first + k;
+            g1.add(i, i, -g);
+            g1.add(i, i + 1, g);
+            g1.add(i + 1, i + 1, -g);
+            g1.add(i + 1, i, g);
+        }
+        for (int k = 0; k < count; ++k) g1.add(first + k, first + k, -gl);
+    };
+    stamp_chain(rf0, opt.rf_sections);
+    stamp_chain(lo0, opt.lo_sections);
+    stamp_chain(if0, opt.if_sections);
+
+    // The mixing core: i = gm1 v_rf + gm2 v_rf v_lo into the IF chain head.
+    // The product is split across the two Kronecker slots so the stamped G2
+    // is symmetric in its trailing indices.
+    g1.add(if0, rf_end, opt.gm1 / opt.capacitance);
+    g2.add(if0, rf_end, lo_end, 0.5 * opt.gm2 / opt.capacitance);
+    g2.add(if0, lo_end, rf_end, 0.5 * opt.gm2 / opt.capacitance);
+
+    // Current drives into the chain heads; observed last IF node voltage.
+    b_in.add(rf0, 0, 1.0 / opt.capacitance);
+    b_in.add(lo0, 1, 1.0 / opt.capacitance);
+    c_out.add(0, if_end, 1.0);
+
+    return volterra::Qldae(sparse::CsrMatrix(g1), std::move(g2), sparse::SparseTensor4(), {},
+                           sparse::CsrMatrix(b_in), sparse::CsrMatrix(c_out));
+}
+
+std::string MixerOptions::key() const {
+    using detail::key_num;
+    return "mixer[rf=" + key_num(rf_sections) + ",lo=" + key_num(lo_sections) +
+           ",if=" + key_num(if_sections) + ",r=" + key_num(resistance) +
+           ",c=" + key_num(capacitance) + ",leak=" + key_num(leak) +
+           ",gm1=" + key_num(gm1) + ",gm2=" + key_num(gm2) + "]";
+}
+
+}  // namespace atmor::circuits

@@ -1,0 +1,44 @@
+// Down-conversion mixer (the strong-quadratic scenario family): two RC input
+// chains -- an RF port and an LO port -- feeding a product transconductor
+// i = gm1 v_rf + gm2 v_rf v_lo into an IF output filter chain. The mixing
+// product is a pure CROSS-state quadratic (a G2 entry coupling two different
+// states), unlike the self-square v^2 couplings of the RF receiver and the
+// lifted diode chains, so it exercises the off-diagonal G2 tensor paths in
+// volterra/ (H2(s1, s2) at s1 != s2 is where the intermodulation products
+// live) and produces the dense-ish quadratic blocks that stress the q8/q16
+// lossy tiers in rom/family_codec.
+//
+// Topology (feed-forward, so the cascade inherits stability from the leaky
+// RC chains): input 0 -> RF chain, input 1 -> LO chain, product of the two
+// chain tails -> IF chain -> observed output voltage.
+#pragma once
+
+#include <string>
+
+#include "volterra/qldae.hpp"
+
+namespace atmor::circuits {
+
+struct MixerOptions {
+    int rf_sections = 4;       ///< RF input chain length
+    int lo_sections = 4;       ///< LO input chain length
+    int if_sections = 4;       ///< IF output filter length
+    double resistance = 1.0;   ///< series resistance per section
+    double capacitance = 1.0;  ///< grounded capacitance per node
+    double leak = 0.05;        ///< per-node conductance to ground
+    double gm1 = 0.05;         ///< linear RF feedthrough into the IF chain
+    double gm2 = 0.8;          ///< product transconductance (the mixing strength)
+
+    /// Stable parameter key (every field, declaration order).
+    [[nodiscard]] std::string key() const;
+};
+
+/// Total state count: rf + lo + if sections (states are node voltages).
+int mixer_order(const MixerOptions& opt);
+
+/// Build the mixer QLDAE directly (no lifting needed: the nonlinearity IS
+/// quadratic). Inputs: 0 = RF current drive, 1 = LO current drive. Output:
+/// last IF node voltage.
+volterra::Qldae mixer(const MixerOptions& opt);
+
+}  // namespace atmor::circuits

@@ -1,0 +1,81 @@
+#include "circuits/power_grid.hpp"
+
+#include <algorithm>
+
+#include "circuits/options_key.hpp"
+#include "sparse/csr.hpp"
+#include "util/check.hpp"
+
+namespace atmor::circuits {
+
+using la::Matrix;
+using la::Vec;
+
+int power_grid_nodes(const PowerGridOptions& opt) { return opt.rows * opt.cols; }
+
+ExpNodalSystem power_grid(const PowerGridOptions& opt) {
+    ATMOR_REQUIRE(opt.rows >= 2 && opt.cols >= 2, "power_grid: need a >= 2x2 mesh");
+    ATMOR_REQUIRE(opt.pitch_resistance > 0.0 && opt.decap > 0.0,
+                  "power_grid: pitch resistance and decap must be positive");
+    ATMOR_REQUIRE(opt.load_conductance > 0.0,
+                  "power_grid: need a load to ground (singular mesh otherwise)");
+    ATMOR_REQUIRE(opt.clamps >= 0 && opt.clamps <= std::min(opt.rows, opt.cols),
+                  "power_grid: clamp count exceeds the mesh diagonal");
+    const int n = power_grid_nodes(opt);
+    const double g = 1.0 / opt.pitch_resistance;
+    const auto node = [&](int r, int c) { return r * opt.cols + c; };
+
+    // 5-point-stencil conductance Laplacian plus the distributed load.
+    sparse::CooBuilder a(n, n);
+    for (int r = 0; r < opt.rows; ++r) {
+        for (int c = 0; c < opt.cols; ++c) {
+            const int k = node(r, c);
+            if (c + 1 < opt.cols) {
+                const int j = node(r, c + 1);
+                a.add(k, k, -g);
+                a.add(k, j, g);
+                a.add(j, j, -g);
+                a.add(j, k, g);
+            }
+            if (r + 1 < opt.rows) {
+                const int j = node(r + 1, c);
+                a.add(k, k, -g);
+                a.add(k, j, g);
+                a.add(j, j, -g);
+                a.add(j, k, g);
+            }
+            a.add(k, k, -opt.load_conductance);
+        }
+    }
+
+    // Supply-noise current into the (0, 0) via.
+    Matrix b(n, 1);
+    b(0, 0) = 1.0;
+
+    // Observed IR drop at the far corner.
+    Matrix c_out(1, n);
+    c_out(0, node(opt.rows - 1, opt.cols - 1)) = 1.0;
+
+    // ESD clamps spread along the mesh diagonal (grounded exponential
+    // elements, exactly the NLTL diode lifting).
+    std::vector<ExpElement> clamps;
+    clamps.reserve(static_cast<std::size_t>(opt.clamps));
+    for (int k = 1; k <= opt.clamps; ++k) {
+        const int r = k * opt.rows / (opt.clamps + 1);
+        const int c = k * opt.cols / (opt.clamps + 1);
+        clamps.push_back({node(r, c), -1, opt.clamp_alpha, opt.clamp_is});
+    }
+
+    return ExpNodalSystem(Vec(static_cast<std::size_t>(n), opt.decap),
+                          sparse::CsrMatrix(a), b, c_out, std::move(clamps));
+}
+
+std::string PowerGridOptions::key() const {
+    using detail::key_num;
+    return "power_grid[rows=" + key_num(rows) + ",cols=" + key_num(cols) +
+           ",rp=" + key_num(pitch_resistance) + ",c=" + key_num(decap) +
+           ",gl=" + key_num(load_conductance) + ",clamps=" + key_num(clamps) +
+           ",alpha=" + key_num(clamp_alpha) + ",is=" + key_num(clamp_is) + "]";
+}
+
+}  // namespace atmor::circuits

@@ -47,6 +47,35 @@ ode::InputFn surge_input(double amplitude, double tau_rise, double tau_decay) {
     };
 }
 
+ode::InputFn multi_tone_input(std::vector<double> amplitudes, std::vector<double> freqs_hz,
+                              std::vector<double> phases) {
+    ATMOR_REQUIRE(!amplitudes.empty(), "multi_tone_input: need at least one tone");
+    ATMOR_REQUIRE(freqs_hz.size() == amplitudes.size(),
+                  "multi_tone_input: amplitudes and freqs_hz length mismatch");
+    ATMOR_REQUIRE(phases.empty() || phases.size() == amplitudes.size(),
+                  "multi_tone_input: phases length mismatch");
+    if (phases.empty()) phases.assign(amplitudes.size(), 0.0);
+    std::vector<double> omegas(freqs_hz.size());
+    for (std::size_t k = 0; k < freqs_hz.size(); ++k) omegas[k] = 2.0 * M_PI * freqs_hz[k];
+    return [amps = std::move(amplitudes), omegas = std::move(omegas),
+            phases = std::move(phases)](double t) {
+        double v = 0.0;
+        for (std::size_t k = 0; k < amps.size(); ++k)
+            v += amps[k] * std::sin(omegas[k] * t + phases[k]);
+        return Vec{v};
+    };
+}
+
+ode::InputFn am_input(double amplitude, double carrier_hz, double mod_hz, double depth) {
+    ATMOR_REQUIRE(depth >= 0.0 && depth <= 1.0, "am_input: depth must be in [0, 1]");
+    ATMOR_REQUIRE(carrier_hz > 0.0, "am_input: carrier frequency must be positive");
+    const double wc = 2.0 * M_PI * carrier_hz;
+    const double wm = 2.0 * M_PI * mod_hz;
+    return [=](double t) {
+        return Vec{amplitude * (1.0 + depth * std::sin(wm * t)) * std::sin(wc * t)};
+    };
+}
+
 ode::InputFn combine_inputs(std::vector<ode::InputFn> components) {
     ATMOR_REQUIRE(!components.empty(), "combine_inputs: empty component list");
     return [comps = std::move(components)](double t) {

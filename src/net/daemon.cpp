@@ -42,6 +42,22 @@ std::string error_frame(rom::RequestKind kind, util::ErrorCode code, const std::
     return frame_message(FrameKind::response, rom::encode_response(resp));
 }
 
+/// Best-effort request kind from the tenant+kind payload prefix, so error
+/// responses for a payload damaged mid-body still carry the kind the client
+/// actually sent. Falls back to frequency_sweep when even the prefix is
+/// unreadable.
+rom::RequestKind peek_kind(const std::string& payload) {
+    try {
+        rom::Reader r(payload);
+        (void)r.str();  // tenant comes first
+        const std::uint8_t k = r.u8();
+        if (k <= static_cast<std::uint8_t>(rom::RequestKind::parametric_batch))
+            return static_cast<rom::RequestKind>(k);
+    } catch (const rom::IoError&) {
+    }
+    return rom::RequestKind::frequency_sweep;
+}
+
 }  // namespace
 
 struct Daemon::Impl {
@@ -236,11 +252,11 @@ void Daemon::worker_loop() {
             // Damaged payload behind a valid frame: typed error response,
             // the connection survives.
             im.protocol_errors.fetch_add(1, std::memory_order_relaxed);
-            frame = error_frame(rom::RequestKind::frequency_sweep, rom::error_code(e.kind()),
+            frame = error_frame(peek_kind(item.payload), rom::error_code(e.kind()),
                                 e.what());
         } catch (const std::exception& e) {
             im.protocol_errors.fetch_add(1, std::memory_order_relaxed);
-            frame = error_frame(rom::RequestKind::frequency_sweep,
+            frame = error_frame(peek_kind(item.payload),
                                 util::ErrorCode::internal, e.what());
         }
         {
@@ -281,7 +297,7 @@ void Daemon::io_loop() {
             rom::Reader r(payload);
             tenant = r.str();
             const std::uint8_t k = r.u8();
-            if (k <= static_cast<std::uint8_t>(rom::RequestKind::certificate))
+            if (k <= static_cast<std::uint8_t>(rom::RequestKind::parametric_batch))
                 kind = static_cast<rom::RequestKind>(k);
         } catch (const rom::IoError& e) {
             im.protocol_errors.fetch_add(1, std::memory_order_relaxed);

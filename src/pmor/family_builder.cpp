@@ -31,8 +31,12 @@ void validate(const FamilyDesign& design, const FamilyBuildOptions& opt) {
                   "FamilyBuilder: member tolerance " << opt.adaptive.tol
                                                      << " looser than family tol " << opt.tol);
     ATMOR_REQUIRE(opt.max_members >= 1, "FamilyBuilder: need max_members >= 1");
-    ATMOR_REQUIRE(opt.training_grid_per_dim >= 2,
-                  "FamilyBuilder: need training_grid_per_dim >= 2");
+    if (opt.sampling == TrainingSampling::factorial_grid)
+        ATMOR_REQUIRE(opt.training_grid_per_dim >= 2,
+                      "FamilyBuilder: need training_grid_per_dim >= 2");
+    else
+        ATMOR_REQUIRE(opt.sparse_grid_level >= 1,
+                      "FamilyBuilder: need sparse_grid_level >= 1");
     for (const Point& p : opt.initial_points)
         design.space.require_inside(p, "FamilyBuilder: initial point");
 }
@@ -64,7 +68,10 @@ FamilyBuildResult FamilyBuilder::build() {
     FamilyBuildResult result;
     FamilyBuildStats& stats = result.stats;
 
-    const std::vector<Point> candidates = design_.space.grid(opt_.training_grid_per_dim);
+    const std::vector<Point> candidates =
+        opt_.sampling == TrainingSampling::sparse_grid
+            ? design_.space.sparse_grid(opt_.sparse_grid_level)
+            : design_.space.grid(opt_.training_grid_per_dim);
     stats.candidates = static_cast<int>(candidates.size());
     const std::vector<la::Complex> band = mor::band_grid(opt_.adaptive);
     const bool second_order =
@@ -131,7 +138,10 @@ FamilyBuildResult FamilyBuilder::build() {
     family.family_id = design_.family_id;
     family.space = design_.space;
     family.tol = opt_.tol;
-    family.training_grid_per_dim = opt_.training_grid_per_dim;
+    // Informational only (serving reads the cells' explicit coords); a
+    // sparse-grid family has no single per-axis resolution, recorded as 0.
+    family.training_grid_per_dim =
+        opt_.sampling == TrainingSampling::factorial_grid ? opt_.training_grid_per_dim : 0;
 
     // Per-candidate best/runner-up member errors, updated incrementally: a
     // new member only adds its own column of estimates.

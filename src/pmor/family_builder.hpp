@@ -45,6 +45,20 @@
 
 namespace atmor::pmor {
 
+/// How the training candidates (= the coverage table's cells) sample the box.
+enum class TrainingSampling {
+    /// ParamSpace::grid(training_grid_per_dim): per_dim^d cells. The right
+    /// default through ~3 axes; past that the candidate count (and the
+    /// estimator sweep per member insertion) explodes exponentially.
+    factorial_grid,
+    /// ParamSpace::sparse_grid(sparse_grid_level): the Smolyak union of
+    /// nested midpoint-refinement increments. Candidate count grows
+    /// polynomially with dims, which is what lets 4-6 axis designs converge
+    /// without a factorial training budget (bench_scenarios records the
+    /// counts side by side).
+    sparse_grid,
+};
+
 struct FamilyBuildOptions {
     /// Certified cross-error target over the training grid (and the
     /// certificate bound served online). Must be >= adaptive.tol: a member
@@ -53,8 +67,15 @@ struct FamilyBuildOptions {
     /// Member budget (the parameter-space analogue of AdaptiveOptions::
     /// max_points).
     int max_members = 8;
-    /// Training-grid resolution per axis (the coverage table's cells).
+    /// Candidate sampling scheme; the per-resolution knob below that applies
+    /// is validated, the other ignored.
+    TrainingSampling sampling = TrainingSampling::factorial_grid;
+    /// Training-grid resolution per axis (factorial_grid only).
     int training_grid_per_dim = 5;
+    /// Smolyak level (sparse_grid only); level L covers every axis to the
+    /// 2^L + 1 point 1-D hierarchy along the axes while bounding the total
+    /// level budget across axes.
+    int sparse_grid_level = 2;
     /// Bound on simultaneously resident per-candidate estimators. Each one
     /// holds its training point's full-order system plus a band's worth of
     /// cached factorisations, so keeping all of them alive scales peak

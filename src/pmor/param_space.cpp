@@ -1,14 +1,21 @@
 #include "pmor/param_space.hpp"
 
 #include <algorithm>
+#include <functional>
+
+#include "util/rng.hpp"
 
 namespace atmor::pmor {
 
 namespace {
 
-/// Per-axis normalized coordinate in [0, 1].
+/// Per-axis normalized coordinate in [0, 1]. contains() admits points a
+/// relative slack below min, so v must clamp into [min, max] first: a log
+/// axis with a tiny min would otherwise hand std::log a value <= 0 and leak
+/// NaN unit coordinates into every downstream distance.
 double to_unit(const ParamDescriptor& d, double v) {
     if (d.max == d.min) return 0.0;  // degenerate axis: everything maps to 0
+    v = std::clamp(v, d.min, d.max);
     if (d.scale == Scale::log) return (std::log(v) - std::log(d.min)) /
                                       (std::log(d.max) - std::log(d.min));
     return (v - d.min) / (d.max - d.min);
@@ -119,8 +126,95 @@ std::vector<Point> ParamSpace::grid(int per_dim) const {
 
 std::vector<Point> ParamSpace::offset_grid(int per_dim) const {
     return product_grid(per_dim, "ParamSpace::offset_grid", [per_dim](int i) {
+        // per_dim == 1 would land on 0.5 == grid(1)'s center, making a
+        // 1-sample hold-out set certify against a training point. 0.25 keeps
+        // the documented guarantee: distinct from grid(1) {0.5} and strictly
+        // between grid(2)'s nodes {0, 1}.
+        if (per_dim == 1) return 0.25;
         return (static_cast<double>(i) + 0.5) / static_cast<double>(per_dim);
     });
+}
+
+namespace {
+
+/// The NEW 1-D unit-interval points a nested midpoint-refinement hierarchy
+/// gains at `level` (disjoint across levels, union over levels 0..L is the
+/// uniform grid of 2^L + 1 points).
+std::vector<double> level_increment(int level) {
+    if (level == 0) return {0.5};
+    if (level == 1) return {0.0, 1.0};
+    std::vector<double> pts;
+    const int denom = 1 << level;
+    pts.reserve(static_cast<std::size_t>(denom / 2));
+    for (int num = 1; num < denom; num += 2)
+        pts.push_back(static_cast<double>(num) / static_cast<double>(denom));
+    return pts;
+}
+
+}  // namespace
+
+std::vector<Point> ParamSpace::sparse_grid(int level) const {
+    ATMOR_REQUIRE(level >= 1 && level <= 20, "ParamSpace::sparse_grid: need 1 <= level <= 20");
+    ATMOR_REQUIRE(!empty(), "ParamSpace::sparse_grid: empty parameter space");
+    const int d = dims();
+    std::vector<Point> pts;
+    std::vector<int> levels(static_cast<std::size_t>(d), 0);
+    std::vector<double> unit(static_cast<std::size_t>(d), 0.0);
+
+    // Emit the tensor product of each axis's level increment (odometer,
+    // last axis fastest, matching product_grid's ordering convention).
+    const auto emit_block = [&] {
+        std::vector<std::vector<double>> axis_pts(static_cast<std::size_t>(d));
+        std::size_t total = 1;
+        for (int a = 0; a < d; ++a) {
+            axis_pts[static_cast<std::size_t>(a)] =
+                level_increment(levels[static_cast<std::size_t>(a)]);
+            total *= axis_pts[static_cast<std::size_t>(a)].size();
+        }
+        ATMOR_REQUIRE(pts.size() + total <= (std::size_t(1) << 24),
+                      "ParamSpace::sparse_grid: grid is too large");
+        std::vector<std::size_t> idx(static_cast<std::size_t>(d), 0);
+        for (std::size_t k = 0; k < total; ++k) {
+            for (int a = 0; a < d; ++a)
+                unit[static_cast<std::size_t>(a)] =
+                    axis_pts[static_cast<std::size_t>(a)][idx[static_cast<std::size_t>(a)]];
+            pts.push_back(denormalize(unit));
+            for (int a = d - 1; a >= 0; --a) {
+                if (++idx[static_cast<std::size_t>(a)] <
+                    axis_pts[static_cast<std::size_t>(a)].size())
+                    break;
+                idx[static_cast<std::size_t>(a)] = 0;
+            }
+        }
+    };
+
+    // Enumerate level multi-indices with sum <= level, lexicographically.
+    const std::function<void(int, int)> rec = [&](int axis, int remaining) {
+        if (axis == d) {
+            emit_block();
+            return;
+        }
+        for (int l = 0; l <= remaining; ++l) {
+            levels[static_cast<std::size_t>(axis)] = l;
+            rec(axis + 1, remaining - l);
+        }
+    };
+    rec(0, level);
+    return pts;
+}
+
+std::vector<Point> ParamSpace::monte_carlo(int n, std::uint64_t seed) const {
+    ATMOR_REQUIRE(n >= 1, "ParamSpace::monte_carlo: need n >= 1");
+    ATMOR_REQUIRE(!empty(), "ParamSpace::monte_carlo: empty parameter space");
+    util::Rng rng(seed);
+    std::vector<Point> pts;
+    pts.reserve(static_cast<std::size_t>(n));
+    std::vector<double> unit(static_cast<std::size_t>(dims()), 0.0);
+    for (int k = 0; k < n; ++k) {
+        for (std::size_t d = 0; d < unit.size(); ++d) unit[d] = rng.uniform();
+        pts.push_back(denormalize(unit));
+    }
+    return pts;
 }
 
 std::string ParamSpace::key(const Point& p) const {

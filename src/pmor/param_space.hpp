@@ -89,8 +89,25 @@ public:
     /// Grid shifted by half a cell into the box interior: per_dim samples
     /// per axis strictly between the grid(per_dim + 1) nodes. The standard
     /// held-out set for coverage validation (never coincides with training
-    /// nodes of any resolution <= per_dim + 1).
+    /// nodes of any resolution <= per_dim + 1; per_dim == 1 samples the
+    /// quarter point, distinct from grid(1)'s center).
     [[nodiscard]] std::vector<Point> offset_grid(int per_dim) const;
+
+    /// Smolyak-style sparse training grid for higher-dimensional boxes:
+    /// the union, over level multi-indices (l_1..l_d) with sum <= level, of
+    /// tensor products of NESTED 1-D midpoint-refinement increments
+    /// (level 0 contributes {0.5}, level 1 adds the endpoints {0, 1}, level
+    /// l >= 2 adds the odd multiples of 2^-l). Point count grows
+    /// polynomially with dims instead of grid()'s per_dim^d, which is what
+    /// lets 4-6 axis FamilyBuilder designs converge without a factorial
+    /// training budget. Points are unique by construction (the increments
+    /// are disjoint) and deterministically ordered.
+    [[nodiscard]] std::vector<Point> sparse_grid(int level) const;
+
+    /// Deterministic Monte-Carlo sample: n points uniform in NORMALIZED
+    /// coordinates (log axes sample log-uniformly), from an explicit seed so
+    /// process-variation sweeps reproduce bit-identically.
+    [[nodiscard]] std::vector<Point> monte_carlo(int n, std::uint64_t seed) const;
 
     /// Stable key fragment "name1=v1,name2=v2" (shortest-round-trip doubles,
     /// same contract as circuits::*Options::key()).

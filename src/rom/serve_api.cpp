@@ -119,6 +119,28 @@ WaveformSpec WaveformSpec::surge(double amplitude, double tau_rise, double tau_d
     return w;
 }
 
+WaveformSpec WaveformSpec::multi_tone(std::vector<double> amplitudes,
+                                      std::vector<double> freqs_hz,
+                                      std::vector<double> phases) {
+    WaveformSpec w;
+    w.kind = Kind::multi_tone;
+    w.tone_amplitudes = std::move(amplitudes);
+    w.tones_hz = std::move(freqs_hz);
+    w.tone_phases = std::move(phases);
+    return w;
+}
+
+WaveformSpec WaveformSpec::am(double amplitude, double carrier_hz, double mod_hz,
+                              double depth) {
+    WaveformSpec w;
+    w.kind = Kind::am;
+    w.amplitude = amplitude;
+    w.frequency_hz = carrier_hz;
+    w.mod_hz = mod_hz;
+    w.mod_depth = depth;
+    return w;
+}
+
 ode::InputFn WaveformSpec::instantiate() const {
     using la::Vec;
     switch (kind) {
@@ -161,6 +183,39 @@ ode::InputFn WaveformSpec::instantiate() const {
             return [scale, tr, td](double t) {
                 if (t <= 0.0) return Vec{0.0};
                 return Vec{scale * (std::exp(-t / td) - std::exp(-t / tr))};
+            };
+        }
+        case Kind::multi_tone: {
+            ATMOR_REQUIRE(!tone_amplitudes.empty(),
+                          "WaveformSpec: multi_tone needs at least one tone");
+            ATMOR_REQUIRE(tones_hz.size() == tone_amplitudes.size(),
+                          "WaveformSpec: multi_tone amplitude/frequency length mismatch");
+            ATMOR_REQUIRE(tone_phases.empty() ||
+                              tone_phases.size() == tone_amplitudes.size(),
+                          "WaveformSpec: multi_tone phase length mismatch");
+            std::vector<double> omegas(tones_hz.size());
+            for (std::size_t k = 0; k < tones_hz.size(); ++k)
+                omegas[k] = 2.0 * M_PI * tones_hz[k];
+            std::vector<double> phases = tone_phases;
+            if (phases.empty()) phases.assign(tone_amplitudes.size(), 0.0);
+            return [amps = tone_amplitudes, omegas = std::move(omegas),
+                    phases = std::move(phases)](double t) {
+                double v = 0.0;
+                for (std::size_t k = 0; k < amps.size(); ++k)
+                    v += amps[k] * std::sin(omegas[k] * t + phases[k]);
+                return Vec{v};
+            };
+        }
+        case Kind::am: {
+            ATMOR_REQUIRE(mod_depth >= 0.0 && mod_depth <= 1.0,
+                          "WaveformSpec: am depth must be in [0, 1]");
+            ATMOR_REQUIRE(frequency_hz > 0.0,
+                          "WaveformSpec: am carrier frequency must be positive");
+            const double a = amplitude, depth = mod_depth;
+            const double wc = 2.0 * M_PI * frequency_hz;
+            const double wm = 2.0 * M_PI * mod_hz;
+            return [a, depth, wc, wm](double t) {
+                return Vec{a * (1.0 + depth * std::sin(wm * t)) * std::sin(wc * t)};
             };
         }
     }
@@ -208,6 +263,7 @@ const char* to_string(RequestKind kind) {
         case RequestKind::transient_batch: return "transient_batch";
         case RequestKind::parametric_query: return "parametric_query";
         case RequestKind::certificate: return "certificate";
+        case RequestKind::parametric_batch: return "parametric_batch";
     }
     return "unknown";
 }
@@ -253,12 +309,22 @@ void write_waveform(Writer& w, const WaveformSpec& spec) {
     w.f64(spec.frequency_hz);
     w.f64(spec.tau_rise);
     w.f64(spec.tau_decay);
+    // Kind-gated extensions keep the original kinds' byte layout untouched.
+    if (spec.kind == WaveformSpec::Kind::multi_tone) {
+        w.vec(spec.tone_amplitudes);
+        w.vec(spec.tones_hz);
+        w.vec(spec.tone_phases);
+    }
+    if (spec.kind == WaveformSpec::Kind::am) {
+        w.f64(spec.mod_hz);
+        w.f64(spec.mod_depth);
+    }
 }
 
 WaveformSpec read_waveform(Reader& r) {
     WaveformSpec spec;
     const std::uint8_t kind = r.u8();
-    if (kind > static_cast<std::uint8_t>(WaveformSpec::Kind::surge))
+    if (kind > static_cast<std::uint8_t>(WaveformSpec::Kind::am))
         fail_corrupt("unknown WaveformSpec kind");
     spec.kind = static_cast<WaveformSpec::Kind>(kind);
     spec.arity = r.i32();
@@ -270,6 +336,15 @@ WaveformSpec read_waveform(Reader& r) {
     spec.frequency_hz = r.f64();
     spec.tau_rise = r.f64();
     spec.tau_decay = r.f64();
+    if (spec.kind == WaveformSpec::Kind::multi_tone) {
+        spec.tone_amplitudes = r.vec();
+        spec.tones_hz = r.vec();
+        spec.tone_phases = r.vec();
+    }
+    if (spec.kind == WaveformSpec::Kind::am) {
+        spec.mod_hz = r.f64();
+        spec.mod_depth = r.f64();
+    }
     return spec;
 }
 
@@ -416,6 +491,23 @@ std::string encode_request(const ServeRequest& req) {
             write_model_ref(w, body.model);
             break;
         }
+        case RequestKind::parametric_batch: {
+            const auto& body = std::get<ParametricBatchRequest>(req.body);
+            ATMOR_REQUIRE(body.family == nullptr && body.artifact == nullptr,
+                          "encode_request: ParametricBatchRequest carries in-process "
+                          "family pointers; name the family by family_id");
+            ATMOR_REQUIRE(!body.options.fallback_build && !body.options.fallback_key,
+                          "encode_request: in-process fallback hooks cannot cross the "
+                          "wire; the host's registered fallback applies");
+            w.str(body.family_id);
+            w.u64(body.coords.size());
+            for (const pmor::Point& p : body.coords) w.vec(p);
+            write_zgrid(w, body.grid);
+            w.f64(body.tol);
+            w.u8(body.blend ? 1 : 0);
+            w.u8(body.allow_fallback ? 1 : 0);
+            break;
+        }
     }
     return w.bytes();
 }
@@ -460,6 +552,19 @@ ServeRequest decode_request(const std::string& payload) {
             req.body = std::move(body);
             break;
         }
+        case static_cast<std::uint8_t>(RequestKind::parametric_batch): {
+            ParametricBatchRequest body;
+            body.family_id = r.str();
+            const std::uint64_t n = r.u64();
+            body.coords.reserve(static_cast<std::size_t>(n));
+            for (std::uint64_t i = 0; i < n; ++i) body.coords.push_back(r.vec());
+            body.grid = read_zgrid(r);
+            body.tol = r.f64();
+            body.blend = r.u8() != 0;
+            body.allow_fallback = r.u8() != 0;
+            req.body = std::move(body);
+            break;
+        }
         default: fail_corrupt("unknown ServeRequest kind");
     }
     if (!r.at_end()) fail_corrupt("trailing bytes after ServeRequest");
@@ -489,6 +594,11 @@ std::string encode_response(const ServeResponse& resp) {
     w.i32(resp.blended_with);
     w.f64(resp.blend_weight);
     w.u8(resp.fallback ? 1 : 0);
+    w.u64(resp.batch_member.size());
+    for (const int m : resp.batch_member) w.i32(m);
+    w.vec(resp.batch_error);
+    w.u64(resp.batch_fallback.size());
+    for (const std::uint8_t f : resp.batch_fallback) w.u8(f);
     return w.bytes();
 }
 
@@ -496,7 +606,7 @@ ServeResponse decode_response(const std::string& payload) {
     Reader r(payload);
     ServeResponse resp;
     const std::uint8_t kind = r.u8();
-    if (kind > static_cast<std::uint8_t>(RequestKind::certificate))
+    if (kind > static_cast<std::uint8_t>(RequestKind::parametric_batch))
         fail_corrupt("unknown ServeResponse kind");
     resp.kind = static_cast<RequestKind>(kind);
     resp.error.code = static_cast<util::ErrorCode>(r.i32());
@@ -513,6 +623,13 @@ ServeResponse decode_response(const std::string& payload) {
     resp.blended_with = r.i32();
     resp.blend_weight = r.f64();
     resp.fallback = r.u8() != 0;
+    const std::uint64_t nbm = r.u64();
+    resp.batch_member.reserve(static_cast<std::size_t>(nbm));
+    for (std::uint64_t i = 0; i < nbm; ++i) resp.batch_member.push_back(r.i32());
+    resp.batch_error = r.vec();
+    const std::uint64_t nbf = r.u64();
+    resp.batch_fallback.reserve(static_cast<std::size_t>(nbf));
+    for (std::uint64_t i = 0; i < nbf; ++i) resp.batch_fallback.push_back(r.u8());
     if (!r.at_end()) fail_corrupt("trailing bytes after ServeResponse");
     return resp;
 }

@@ -145,18 +145,33 @@ struct ModelRef {
 /// A typed, serializable input waveform: the parameter records behind the
 /// circuits::*_input factories, instantiable on either side of the wire.
 struct WaveformSpec {
-    enum class Kind : std::uint8_t { zero = 0, step = 1, pulse = 2, sine = 3, surge = 4 };
+    enum class Kind : std::uint8_t {
+        zero = 0,
+        step = 1,
+        pulse = 2,
+        sine = 3,
+        surge = 4,
+        multi_tone = 5,  ///< sum of sin tones (intermodulation drives)
+        am = 6,          ///< amplitude-modulated carrier (envelope drives)
+    };
 
     Kind kind = Kind::zero;
     int arity = 1;             ///< output vector length (zero kind); 1 otherwise
-    double amplitude = 0.0;
+    double amplitude = 0.0;    ///< also the am carrier amplitude
     double t_on = 0.0;         ///< step/pulse switch-on time
     double rise = 0.0;         ///< pulse rise span
     double t_off = 0.0;        ///< pulse fall start
     double fall = 0.0;         ///< pulse fall span
-    double frequency_hz = 0.0; ///< sine frequency
+    double frequency_hz = 0.0; ///< sine frequency; am carrier frequency
     double tau_rise = 0.0;     ///< surge time constants
     double tau_decay = 0.0;
+    double mod_hz = 0.0;       ///< am modulation frequency
+    double mod_depth = 0.0;    ///< am modulation depth in [0, 1]
+    /// multi_tone: per-tone amplitude / frequency / phase, shared length.
+    /// tone_phases may stay empty (all zero).
+    std::vector<double> tone_amplitudes;
+    std::vector<double> tones_hz;
+    std::vector<double> tone_phases;
 
     [[nodiscard]] static WaveformSpec zero(int arity = 1);
     [[nodiscard]] static WaveformSpec step(double amplitude, double t_on = 0.0);
@@ -165,6 +180,11 @@ struct WaveformSpec {
     [[nodiscard]] static WaveformSpec sine(double amplitude, double frequency_hz);
     [[nodiscard]] static WaveformSpec surge(double amplitude, double tau_rise,
                                             double tau_decay);
+    [[nodiscard]] static WaveformSpec multi_tone(std::vector<double> amplitudes,
+                                                 std::vector<double> freqs_hz,
+                                                 std::vector<double> phases = {});
+    [[nodiscard]] static WaveformSpec am(double amplitude, double carrier_hz, double mod_hz,
+                                         double depth);
 
     /// The waveform as an ode::InputFn (same closed forms as the
     /// circuits::*_input factories). Typed PreconditionError on inconsistent
@@ -196,6 +216,7 @@ enum class RequestKind : std::uint8_t {
     transient_batch = 1,
     parametric_query = 2,
     certificate = 3,
+    parametric_batch = 4,
 };
 
 const char* to_string(RequestKind kind);
@@ -240,6 +261,28 @@ struct CertificateRequest {
     ModelRef model;
 };
 
+/// Many parameter points against ONE family in one round trip -- the
+/// Monte-Carlo process-variation shape, where a yield sweep asks for
+/// hundreds of perturbed instances of the same design. The family resolves
+/// ONCE (hosted catalog / artifact mmap / in-process pointer) and every
+/// point routes through the shared coverage table, so per-point cost is the
+/// member sweep alone. The response concatenates per-point sweeps in
+/// request order (point p's grid occupies response[p*grid.size() ..]) and
+/// records per-point routing in the batch_* vectors; the top-level
+/// certificate is the WORST point's.
+struct ParametricBatchRequest {
+    std::string family_id;
+    std::vector<pmor::Point> coords;
+    std::vector<la::Complex> grid;
+    double tol = 0.0;            ///< 0 = family tolerance
+    bool blend = false;
+    bool allow_fallback = true;  ///< false strips the server-side fallback build
+    // -- In-process only (never serialized). --------------------------------
+    const Family* family = nullptr;
+    const FamilyArtifact* artifact = nullptr;
+    ParametricOptions options;
+};
+
 /// The tagged request variant: one vocabulary for every serving entrypoint,
 /// in-process and on the wire.
 struct ServeRequest {
@@ -247,7 +290,7 @@ struct ServeRequest {
     /// anonymous tenant.
     std::string tenant;
     std::variant<FrequencySweepRequest, TransientBatchRequest, ParametricQueryRequest,
-                 CertificateRequest>
+                 CertificateRequest, ParametricBatchRequest>
         body;
 
     [[nodiscard]] RequestKind kind() const {
@@ -282,6 +325,12 @@ struct ServeResponse {
     int blended_with = -1;
     double blend_weight = 1.0;
     bool fallback = false;
+    // -- parametric_batch per-point routing record (parallel arrays, one
+    //    entry per requested point; batch_error[p] is point p's certified
+    //    estimated error). ----------------------------------------------------
+    std::vector<int> batch_member;
+    std::vector<double> batch_error;
+    std::vector<std::uint8_t> batch_fallback;
 
     [[nodiscard]] bool ok() const { return error.ok(); }
 };

@@ -382,6 +382,83 @@ ParametricAnswer ServeEngine::serve_parametric(const FamilyArtifact& family,
     return to_parametric_answer(dispatch(req));
 }
 
+namespace {
+
+ServeRequest make_batch_request(const std::string& family_id,
+                                const std::vector<pmor::Point>& coords,
+                                const std::vector<la::Complex>& grid,
+                                const ParametricOptions& opt) {
+    ServeRequest req;
+    ParametricBatchRequest body;
+    body.family_id = family_id;
+    body.coords = coords;
+    body.grid = grid;
+    body.tol = opt.tol;
+    body.blend = opt.blend;
+    body.options = opt;
+    req.body = std::move(body);
+    return req;
+}
+
+}  // namespace
+
+ServeResponse ServeEngine::serve_parametric_batch(const Family& family,
+                                                  const std::vector<pmor::Point>& coords,
+                                                  const std::vector<la::Complex>& grid,
+                                                  const ParametricOptions& opt) {
+    ServeRequest req = make_batch_request(family.family_id, coords, grid, opt);
+    std::get<ParametricBatchRequest>(req.body).family = &family;
+    return dispatch(req);
+}
+
+ServeResponse ServeEngine::serve_parametric_batch(const FamilyArtifact& family,
+                                                  const std::vector<pmor::Point>& coords,
+                                                  const std::vector<la::Complex>& grid,
+                                                  const ParametricOptions& opt) {
+    ServeRequest req = make_batch_request(family.family_id(), coords, grid, opt);
+    std::get<ParametricBatchRequest>(req.body).artifact = &family;
+    return dispatch(req);
+}
+
+void ServeEngine::with_family_view(const Family* family, const FamilyArtifact* artifact,
+                                   const std::string& family_id, bool allow_fallback,
+                                   ParametricOptions& eff,
+                                   const std::function<void(const FamilyView&)>& fn) {
+    if (family != nullptr) {
+        const FamilyView view{
+            family->family_id, family->space, family->tol, family->cells,
+            static_cast<int>(family->members.size()),
+            [family](int i) {
+                // Non-owning alias: the family outlives the query by
+                // contract.
+                return std::shared_ptr<const FamilyMember>(
+                    std::shared_ptr<const FamilyMember>{},
+                    &family->members[static_cast<std::size_t>(i)]);
+            }};
+        fn(view);
+    } else if (artifact != nullptr) {
+        const FamilyView view{artifact->family_id(), artifact->space(),
+                              artifact->tol(),       artifact->cells(),
+                              artifact->member_count(),
+                              [artifact](int i) { return artifact->member(i); }};
+        fn(view);
+    } else {
+        // Wire form: the family is named by id. Hosted defaults supply what
+        // a socket cannot carry -- the fallback hooks and a default
+        // tolerance.
+        HostedFamily hf = hosted_family(family_id);
+        if (!eff.fallback_build) eff.fallback_build = hf.defaults.fallback_build;
+        if (!eff.fallback_key) eff.fallback_key = hf.defaults.fallback_key;
+        if (eff.tol <= 0.0) eff.tol = hf.defaults.tol;
+        if (!allow_fallback) eff.fallback_build = nullptr;
+        const FamilyArtifact& fam = hf.artifact;
+        const FamilyView view{fam.family_id(), fam.space(),        fam.tol(), fam.cells(),
+                              fam.member_count(),
+                              [&fam](int i) { return fam.member(i); }};
+        fn(view);
+    }
+}
+
 ParametricAnswer ServeEngine::serve_parametric_impl(const FamilyView& view,
                                                     const pmor::Point& coords,
                                                     const std::vector<la::Complex>& grid,
@@ -652,48 +729,49 @@ ServeResponse ServeEngine::dispatch(const ServeRequest& req) {
             eff.tol = body.tol;
             eff.blend = body.blend;
             ParametricAnswer ans;
-            if (body.family != nullptr) {
-                const Family& family = *body.family;
-                const FamilyView view{
-                    family.family_id, family.space, family.tol, family.cells,
-                    static_cast<int>(family.members.size()),
-                    [&family](int i) {
-                        // Non-owning alias: the family outlives the query by
-                        // contract.
-                        return std::shared_ptr<const FamilyMember>(
-                            std::shared_ptr<const FamilyMember>{},
-                            &family.members[static_cast<std::size_t>(i)]);
-                    }};
-                ans = serve_parametric_impl(view, body.coords, body.grid, eff);
-            } else if (body.artifact != nullptr) {
-                const FamilyArtifact& family = *body.artifact;
-                const FamilyView view{family.family_id(), family.space(),
-                                      family.tol(),       family.cells(),
-                                      family.member_count(),
-                                      [&family](int i) { return family.member(i); }};
-                ans = serve_parametric_impl(view, body.coords, body.grid, eff);
-            } else {
-                // Wire form: the family is named by id. Hosted defaults
-                // supply what a socket cannot carry -- the fallback hooks
-                // and a default tolerance.
-                HostedFamily hf = hosted_family(body.family_id);
-                if (!eff.fallback_build) eff.fallback_build = hf.defaults.fallback_build;
-                if (!eff.fallback_key) eff.fallback_key = hf.defaults.fallback_key;
-                if (eff.tol <= 0.0) eff.tol = hf.defaults.tol;
-                if (!body.allow_fallback) eff.fallback_build = nullptr;
-                const FamilyArtifact& family = hf.artifact;
-                const FamilyView view{family.family_id(), family.space(),
-                                      family.tol(),       family.cells(),
-                                      family.member_count(),
-                                      [&family](int i) { return family.member(i); }};
-                ans = serve_parametric_impl(view, body.coords, body.grid, eff);
-            }
+            with_family_view(body.family, body.artifact, body.family_id, body.allow_fallback,
+                             eff, [&](const FamilyView& view) {
+                                 ans = serve_parametric_impl(view, body.coords, body.grid, eff);
+                             });
             resp.response = std::move(ans.response);
             resp.certificate = std::move(ans.certificate);
             resp.member = ans.member;
             resp.blended_with = ans.blended_with;
             resp.blend_weight = ans.blend_weight;
             resp.fallback = ans.fallback;
+            break;
+        }
+        case RequestKind::parametric_batch: {
+            const auto& body = std::get<ParametricBatchRequest>(req.body);
+            ATMOR_REQUIRE(!body.coords.empty(),
+                          "ServeEngine::parametric_batch: empty point batch");
+            ParametricOptions eff = body.options;
+            eff.tol = body.tol;
+            eff.blend = body.blend;
+            with_family_view(
+                body.family, body.artifact, body.family_id, body.allow_fallback, eff,
+                [&](const FamilyView& view) {
+                    resp.response.reserve(body.coords.size() * body.grid.size());
+                    resp.batch_member.reserve(body.coords.size());
+                    resp.batch_error.reserve(body.coords.size());
+                    resp.batch_fallback.reserve(body.coords.size());
+                    double worst = -1.0;
+                    for (const pmor::Point& p : body.coords) {
+                        ParametricAnswer ans = serve_parametric_impl(view, p, body.grid, eff);
+                        for (la::ZMatrix& m : ans.response)
+                            resp.response.push_back(std::move(m));
+                        resp.batch_member.push_back(ans.member);
+                        resp.batch_error.push_back(ans.certificate.estimated_error);
+                        resp.batch_fallback.push_back(ans.fallback ? 1 : 0);
+                        // The batch certificate is the WORST point's: a
+                        // client checking one certificate against tol gets
+                        // the conservative answer for the whole batch.
+                        if (ans.certificate.estimated_error > worst) {
+                            worst = ans.certificate.estimated_error;
+                            resp.certificate = std::move(ans.certificate);
+                        }
+                    }
+                });
             break;
         }
         case RequestKind::certificate: {

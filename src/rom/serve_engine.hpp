@@ -176,6 +176,22 @@ public:
                                                     const std::vector<la::Complex>& grid,
                                                     const ParametricOptions& opt = {});
 
+    /// Batched parametric serving (the Monte-Carlo process-variation shape):
+    /// every point of `coords` against one family in one call, resolving the
+    /// family once and routing each point through the shared coverage table.
+    /// Answers land in ServeResponse batch form -- concatenated per-point
+    /// sweeps plus the batch_member/batch_error/batch_fallback parallel
+    /// arrays, certificate = the worst point's. Per-point routing is
+    /// IDENTICAL to looping serve_parametric (pinned by test_scenarios).
+    [[nodiscard]] ServeResponse serve_parametric_batch(const Family& family,
+                                                       const std::vector<pmor::Point>& coords,
+                                                       const std::vector<la::Complex>& grid,
+                                                       const ParametricOptions& opt = {});
+    [[nodiscard]] ServeResponse serve_parametric_batch(const FamilyArtifact& family,
+                                                       const std::vector<pmor::Point>& coords,
+                                                       const std::vector<la::Complex>& grid,
+                                                       const ParametricOptions& opt = {});
+
     /// Per-field consistent snapshot: every counter is one relaxed atomic
     /// load (never torn, monotonic across calls); the solver block
     /// aggregates each shard's live and evicted backend counters under that
@@ -311,6 +327,18 @@ private:
                                                          const pmor::Point& coords,
                                                          const std::vector<la::Complex>& grid,
                                                          const ParametricOptions& opt);
+
+    /// Resolve the three request forms (in-process Family pointer, in-process
+    /// artifact pointer, wire family_id through the hosted catalog) to a
+    /// FamilyView and run `fn` against it. The wire form folds the host's
+    /// registered defaults into `eff` and strips the fallback when the
+    /// request disallowed it; the in-process forms use `eff` as passed.
+    /// Shared by the single-point and batch dispatch cases so routing can
+    /// never drift between them.
+    void with_family_view(const Family* family, const FamilyArtifact* artifact,
+                          const std::string& family_id, bool allow_fallback,
+                          ParametricOptions& eff,
+                          const std::function<void(const FamilyView&)>& fn);
 
     /// Serving state for a family member (already-built artifact, no
     /// registry resolution); keyed by family id + member index + basis hash

@@ -137,6 +137,17 @@ std::vector<ZMatrix> TransferEvaluator::output_h2_diagonal_sweep(
         });
 }
 
+std::vector<ZMatrix> TransferEvaluator::output_h2_mixed_sweep(
+    const std::vector<Complex>& grid_a, const std::vector<Complex>& grid_b) const {
+    const long nb = static_cast<long>(grid_b.size());
+    return util::ThreadPool::global().parallel_map<ZMatrix>(
+        0, static_cast<long>(grid_a.size()) * nb, [&](long flat) {
+            const Complex sa = grid_a[static_cast<std::size_t>(flat / nb)];
+            const Complex sb = grid_b[static_cast<std::size_t>(flat % nb)];
+            return output_h2(sa, sb);
+        });
+}
+
 ZMatrix TransferEvaluator::output_h2(Complex s1, Complex s2) const {
     return map_output(sys_.c(), h2(s1, s2));
 }
@@ -174,6 +185,62 @@ std::vector<HarmonicPrediction> predict_harmonics_sweep(const TransferEvaluator&
         0, static_cast<long>(omegas.size()), [&](long p) {
             return predict_harmonics(te, omegas[static_cast<std::size_t>(p)], amplitude, input,
                                      output);
+        });
+}
+
+TwoToneIntermod predict_intermod(const TransferEvaluator& te, const Tone& a, const Tone& b,
+                                 int output) {
+    const int m = te.system().inputs();
+    ATMOR_REQUIRE(a.input >= 0 && a.input < m && b.input >= 0 && b.input < m,
+                  "predict_intermod: bad input index");
+    ATMOR_REQUIRE(output >= 0 && output < te.system().outputs(),
+                  "predict_intermod: bad output index");
+    ATMOR_REQUIRE(a.omega > 0.0 && b.omega > 0.0,
+                  "predict_intermod: tone frequencies must be positive");
+
+    // Exponential components of A sin(wt + phi): coefficient A e^{j phi}/(2j)
+    // at +jw, its conjugate at -jw.
+    const Complex ca = a.amplitude * std::exp(Complex(0.0, a.phase)) / Complex(0.0, 2.0);
+    const Complex cb = b.amplitude * std::exp(Complex(0.0, b.phase)) / Complex(0.0, 2.0);
+    const Complex ja(0.0, a.omega), jb(0.0, b.omega);
+    const int pair_ab = a.input * m + b.input;
+    const int triple_aab = (a.input * m + a.input) * m + b.input;
+    const int triple_bba = (b.input * m + b.input) * m + a.input;
+
+    // A product whose net frequency came out negative is reported at the
+    // positive mirror: the coefficient of e^{+j|w|t} is the conjugate.
+    const auto at_positive = [](double omega, Complex coeff) {
+        return omega >= 0.0 ? coeff : std::conj(coeff);
+    };
+
+    TwoToneIntermod p;
+    p.fundamental_a = ca * te.output_h1(ja)(output, a.input);
+    p.fundamental_b = cb * te.output_h1(jb)(output, b.input);
+    // Ordered component pairs (a+, b+) and (b+, a+) are equal by H2's
+    // (input, s) exchange symmetry: evaluate one, double it.
+    p.sum = 2.0 * ca * cb * te.output_h2(ja, jb)(output, pair_ab);
+    p.diff = at_positive(a.omega - b.omega,
+                         2.0 * ca * std::conj(cb) * te.output_h2(ja, -jb)(output, pair_ab));
+    // Rectification: (a+, a-) and (b+, b-) pairs, each in both orders.
+    p.dc = 2.0 * ca * std::conj(ca) *
+               te.output_h2(ja, -ja)(output, a.input * m + a.input) +
+           2.0 * cb * std::conj(cb) * te.output_h2(jb, -jb)(output, b.input * m + b.input);
+    // IM3 at 2wa - wb: the 3 orderings of {a+, a+, b-} are equal by H3's
+    // simultaneous permutation symmetry.
+    p.im3_low = at_positive(2.0 * a.omega - b.omega,
+                            3.0 * ca * ca * std::conj(cb) *
+                                te.output_h3(ja, ja, -jb)(output, triple_aab));
+    p.im3_high = at_positive(2.0 * b.omega - a.omega,
+                             3.0 * cb * cb * std::conj(ca) *
+                                 te.output_h3(jb, jb, -ja)(output, triple_bba));
+    return p;
+}
+
+std::vector<TwoToneIntermod> predict_intermod_sweep(const TransferEvaluator& te, const Tone& a,
+                                                    const std::vector<Tone>& bs, int output) {
+    return util::ThreadPool::global().parallel_map<TwoToneIntermod>(
+        0, static_cast<long>(bs.size()), [&](long p) {
+            return predict_intermod(te, a, bs[static_cast<std::size_t>(p)], output);
         });
 }
 

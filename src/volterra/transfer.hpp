@@ -51,6 +51,12 @@ public:
     /// Diagonal H2 sweep: H2(s, s) at each grid point.
     [[nodiscard]] std::vector<la::ZMatrix> output_h2_diagonal_sweep(
         const std::vector<la::Complex>& grid) const;
+    /// Mixed (off-diagonal) H2 sweep over the full grid_a x grid_b product:
+    /// output_h2(grid_a[p], grid_b[q]) at flat index p * grid_b.size() + q
+    /// (row-major, a-index major), parallelised across all pairs. The
+    /// intermodulation map multi-tone excitation analysis reads.
+    [[nodiscard]] std::vector<la::ZMatrix> output_h2_mixed_sweep(
+        const std::vector<la::Complex>& grid_a, const std::vector<la::Complex>& grid_b) const;
 
     [[nodiscard]] const Qldae& system() const { return sys_; }
     [[nodiscard]] const std::shared_ptr<la::SolverBackend>& backend() const {
@@ -86,5 +92,44 @@ std::vector<HarmonicPrediction> predict_harmonics_sweep(const TransferEvaluator&
                                                         const std::vector<double>& omegas,
                                                         double amplitude, int input = 0,
                                                         int output = 0);
+
+/// One tone of a multi-tone drive u_input(t) = amplitude * sin(omega t +
+/// phase) -- the SIN convention of circuits::multi_tone_input and
+/// rom::WaveformSpec::multi_tone, so predictions validate directly against
+/// transient steady states.
+struct Tone {
+    double omega = 0.0;
+    double amplitude = 0.0;
+    double phase = 0.0;
+    int input = 0;
+};
+
+/// Steady-state two-tone intermodulation prediction: the complex
+/// coefficients of e^{j omega t} in the output at each product frequency,
+/// truncated at third order in the Volterra series. A real product at
+/// omega > 0 has amplitude 2 |coeff| (the conjugate partner at -omega adds
+/// the other half); a dc term has amplitude |coeff|.
+struct TwoToneIntermod {
+    la::Complex fundamental_a;  ///< at omega_a (first order; compression omitted)
+    la::Complex fundamental_b;  ///< at omega_b
+    la::Complex sum;            ///< at omega_a + omega_b, 2nd order
+    la::Complex diff;           ///< at |omega_a - omega_b|, 2nd order
+    la::Complex dc;             ///< rectification offset, 2nd order
+    la::Complex im3_low;        ///< at |2 omega_a - omega_b|, 3rd order
+    la::Complex im3_high;       ///< at |2 omega_b - omega_a|, 3rd order
+};
+
+/// Predict the two-tone products through H1 / H2(s1, s2) / H3 harmonic
+/// probing. The tones may drive DIFFERENT inputs (a mixer's RF x LO product
+/// is the sum/diff term with a on one port and b on the other).
+TwoToneIntermod predict_intermod(const TransferEvaluator& te, const Tone& a, const Tone& b,
+                                 int output = 0);
+
+/// Intermodulation sweep: tone a fixed, tone b swept over `bs`,
+/// parallelised across the sweep on the global thread pool. Results land in
+/// sweep order and match the pointwise predictions exactly.
+std::vector<TwoToneIntermod> predict_intermod_sweep(const TransferEvaluator& te, const Tone& a,
+                                                    const std::vector<Tone>& bs,
+                                                    int output = 0);
 
 }  // namespace atmor::volterra

@@ -24,7 +24,9 @@
 #include <string>
 #include <vector>
 
+#include "circuits/mixer.hpp"
 #include "circuits/nltl.hpp"
+#include "circuits/power_grid.hpp"
 #include "circuits/rf_receiver.hpp"
 #include "circuits/waveforms.hpp"
 #include "core/atmor.hpp"
@@ -187,6 +189,55 @@ TEST(Golden, Fig4RfReceiverTrace) {
     const ode::InputFn input = circuits::combine_inputs(
         {circuits::sine_input(0.2, 0.05), circuits::sine_input(0.06, 0.12)});
     run_golden_case("fig4_rf_receiver.txt", copt.key(), full, reduced, input, topt, 5e-6);
+}
+
+TEST(Golden, PowerGridIrDropTrace) {
+    // The power-delivery mesh at ctest scale (10x10 mesh; the n >= 5000
+    // regime is bench_scenarios territory): a supply-noise current pulse
+    // into the corner via, observing the far-corner IR drop through the ESD
+    // clamp nonlinearity.
+    circuits::PowerGridOptions copt;
+    copt.rows = 10;
+    copt.cols = 10;
+    const volterra::Qldae full = circuits::power_grid(copt).to_qldae();
+
+    core::AtMorOptions mor;
+    mor.k1 = 6;
+    mor.k2 = 3;
+    mor.expansion_points = {la::Complex(1.0, 0.0)};
+    const core::MorResult reduced = core::reduce_associated(full, mor);
+
+    ode::TransientOptions topt;
+    topt.t_end = 8.0;
+    topt.dt = 2e-3;
+    topt.method = ode::Method::trapezoidal;
+    topt.record_stride = 80;
+    run_golden_case("power_grid_ir_drop.txt", copt.key(), full, reduced,
+                    circuits::pulse_input(0.4, 0.5, 0.5, 4.0, 0.5), topt, 5e-6);
+}
+
+TEST(Golden, MixerTwoToneTrace) {
+    // The mixer under a genuinely multi-tone drive: a two-tone RF port
+    // against a single-tone LO, so the pinned trace carries the wa +- wb
+    // mixing products the family exists for.
+    circuits::MixerOptions copt;
+    const volterra::Qldae full = circuits::mixer(copt);
+
+    core::AtMorOptions mor;
+    mor.k1 = 5;
+    mor.k2 = 3;
+    mor.expansion_points = {la::Complex(1.0, 0.0)};
+    const core::MorResult reduced = core::reduce_associated(full, mor);
+
+    ode::TransientOptions topt;
+    topt.t_end = 12.0;
+    topt.dt = 2e-3;
+    topt.method = ode::Method::trapezoidal;
+    topt.record_stride = 100;
+    const ode::InputFn input = circuits::combine_inputs(
+        {circuits::multi_tone_input({0.12, 0.08}, {0.18, 0.3}, {0.0, 0.7}),
+         circuits::sine_input(0.1, 0.13)});
+    run_golden_case("mixer_two_tone.txt", copt.key(), full, reduced, input, topt, 5e-6);
 }
 
 }  // namespace

@@ -100,6 +100,44 @@ TEST(ParamSpace, GridAndOffsetGridNeverCoincide) {
     EXPECT_NEAR(train.back()[1], 10.0, 1e-12);
 }
 
+TEST(ParamSpace, NormalizeIsFiniteOnLogAxesWithTinyMin) {
+    // contains() admits points down to min - slack; with a tiny log-axis min
+    // the slack (relative to max) reaches below zero, and to_unit must not
+    // feed a value <= 0 into std::log. NaN unit coordinates would silently
+    // poison nearest-cell selection in serve_parametric.
+    const pmor::ParamSpace space({{"leak", 1e-300, 1.0, pmor::Scale::log}});
+    for (const double v : {0.0, -5e-13, 1e-300, 1.0}) {
+        const Point p{v};
+        ASSERT_TRUE(space.contains(p)) << "v=" << v;
+        const std::vector<double> unit = space.normalize(p);
+        EXPECT_TRUE(std::isfinite(unit[0])) << "v=" << v << " unit=" << unit[0];
+        EXPECT_GE(unit[0], 0.0);
+        EXPECT_LE(unit[0], 1.0);
+    }
+    // Same guard on linear axes: slack-admitted points clamp to the box.
+    const pmor::ParamSpace lin({{"r", 0.0, 1.0, pmor::Scale::linear}});
+    const std::vector<double> u = lin.normalize({-5e-13});
+    EXPECT_GE(u[0], 0.0);
+    // distance() between slack-admitted and in-box points stays finite.
+    EXPECT_TRUE(std::isfinite(space.distance({0.0}, {1.0})));
+}
+
+TEST(ParamSpace, SingleSampleOffsetGridIsDistinctFromGrid) {
+    // A 1-sample "held-out" grid must not certify against the 1-sample
+    // training grid: both collapsing to the box center makes hold-out
+    // validation vacuous. The offset point must also avoid grid(2)'s nodes
+    // (the documented resolution <= per_dim + 1 guarantee).
+    const pmor::ParamSpace space = two_axis_space();
+    const std::vector<Point> train = space.grid(1);
+    const std::vector<Point> held_out = space.offset_grid(1);
+    ASSERT_EQ(train.size(), 1u);
+    ASSERT_EQ(held_out.size(), 1u);
+    EXPECT_TRUE(space.contains(held_out[0]));
+    EXPECT_GT(space.distance(held_out[0], train[0]), 1e-6);
+    for (const Point& t : space.grid(2))
+        EXPECT_GT(space.distance(held_out[0], t), 1e-6);
+}
+
 TEST(ParamSpace, KeysAreStableAndFaithful) {
     const pmor::ParamSpace space = two_axis_space();
     EXPECT_EQ(space.key({35.0, 1.0}), "alpha=35,freq=1");

@@ -289,6 +289,95 @@ TEST(ServeDaemon, QueueDepthBackpressureRejectsTyped) {
     EXPECT_EQ(s.responses_sent, s.requests_admitted);
 }
 
+TEST(ServeDaemon, InvalidWaveformFieldsAnswerTypedAndConnectionSurvives) {
+    // Every way a wire WaveformSpec can violate instantiate()'s
+    // preconditions must come back as a typed precondition response carrying
+    // the TRANSIENT kind -- never a dead request, a dropped connection, or a
+    // protocol error (the frame and payload are well-formed; the fields are
+    // the client's mistake).
+    auto engine = make_engine();
+    net::Daemon daemon(engine, net::DaemonOptions{});
+    daemon.start();
+
+    const auto bad_pulse = [](double rise, double t_off, double fall) {
+        rom::WaveformSpec w = rom::WaveformSpec::pulse(0.4, 0.5, rise, t_off, fall);
+        return w;
+    };
+    const auto bad_surge = [](double tau_rise, double tau_decay) {
+        return rom::WaveformSpec::surge(0.4, tau_rise, tau_decay);
+    };
+    std::vector<rom::WaveformSpec> invalid;
+    invalid.push_back(bad_pulse(0.0, 2.0, 1.5));    // rise <= 0
+    invalid.push_back(bad_pulse(-1.0, 2.0, 1.5));   // rise < 0
+    invalid.push_back(bad_pulse(0.5, 2.0, 0.0));    // fall <= 0
+    invalid.push_back(bad_pulse(0.5, 2.0, -0.5));   // fall < 0
+    invalid.push_back(bad_pulse(0.5, 0.6, 1.5));    // t_off < t_on + rise
+    invalid.push_back(bad_surge(1.0, 1.0));         // tau_decay == tau_rise
+    invalid.push_back(bad_surge(2.0, 1.0));         // tau_decay < tau_rise
+    invalid.push_back(bad_surge(0.0, 1.0));         // tau_rise <= 0
+    invalid.push_back(rom::WaveformSpec::zero(0));  // zero arity < 1
+
+    net::ServeClient client("127.0.0.1", daemon.port());
+    for (std::size_t i = 0; i < invalid.size(); ++i) {
+        rom::ServeRequest req;
+        req.tenant = "t";
+        rom::TransientBatchRequest tb;
+        tb.model = rom::ModelRef::from_spec(spec(32.0, 1.0));
+        tb.inputs = {invalid[i]};
+        tb.options.t_end = 1.0;
+        tb.options.dt = 1e-2;
+        req.body = tb;
+        const rom::ServeResponse resp = client.call(req);
+        EXPECT_FALSE(resp.ok()) << "case " << i << " was served";
+        EXPECT_EQ(resp.error.code, util::ErrorCode::precondition)
+            << "case " << i << ": " << util::to_string(resp.error.code);
+        EXPECT_EQ(resp.kind, rom::RequestKind::transient_batch) << "case " << i;
+        EXPECT_FALSE(resp.error.message.empty());
+    }
+
+    // The SAME connection still serves a good request afterwards.
+    const rom::ServeResponse good = client.call(request_for(1, "t"));
+    EXPECT_TRUE(good.ok()) << good.error.message;
+
+    daemon.request_stop();
+    daemon.wait();
+    const net::DaemonStats s = daemon.stats();
+    EXPECT_EQ(s.protocol_errors, 0) << "field errors are not protocol errors";
+    EXPECT_EQ(s.requests_admitted, static_cast<long>(invalid.size()) + 1);
+    EXPECT_EQ(s.responses_sent, s.requests_admitted) << "drain identity violated";
+}
+
+TEST(ServeDaemon, DamagedPayloadErrorCarriesTheActualRequestKind) {
+    // A decode failure AFTER the tenant+kind prefix must answer with the
+    // kind the client actually sent: a transient client keying error
+    // handling off the response kind must not see a frequency_sweep error.
+    auto engine = make_engine();
+    net::Daemon daemon(engine, net::DaemonOptions{});
+    daemon.start();
+
+    RawConn conn(daemon.port());
+    // A valid transient_batch request truncated mid-body: the tenant and
+    // kind bytes survive, the body decode throws a typed truncation error.
+    const std::string enc = rom::encode_request(request_for(1, "t"));
+    conn.send_all(net::frame_message(net::FrameKind::request,
+                                     enc.substr(0, enc.size() - 5)));
+    const rom::ServeResponse resp = rom::decode_response(conn.read_response());
+    EXPECT_FALSE(resp.ok());
+    EXPECT_EQ(resp.error.code, util::ErrorCode::io_truncated)
+        << util::to_string(resp.error.code);
+    EXPECT_EQ(resp.kind, rom::RequestKind::transient_batch)
+        << "error response misreports the request kind";
+
+    // The connection survives the damaged payload.
+    conn.send_all(net::frame_message(net::FrameKind::request,
+                                     rom::encode_request(request_for(2, "t"))));
+    EXPECT_TRUE(rom::decode_response(conn.read_response()).ok());
+
+    daemon.request_stop();
+    daemon.wait();
+    EXPECT_EQ(daemon.stats().protocol_errors, 1);
+}
+
 TEST(ServeDaemon, DamagedPayloadAnswersTypedAndConnectionSurvives) {
     auto engine = make_engine();
     net::Daemon daemon(engine, net::DaemonOptions{});

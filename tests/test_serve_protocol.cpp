@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "net/protocol.hpp"
+#include "rom/family.hpp"
 #include "rom/io.hpp"
 #include "rom/serve_api.hpp"
 #include "util/check.hpp"
@@ -43,7 +44,9 @@ rom::ServeRequest transient_request() {
     body.model = rom::ModelRef::from_artifact("/models/plant.atmor");
     body.inputs = {rom::WaveformSpec::zero(2), rom::WaveformSpec::step(0.75, 0.25),
                    rom::WaveformSpec::pulse(0.4, 0.5, 1.0, 2.0, 1.5),
-                   rom::WaveformSpec::sine(0.2, 3.5), rom::WaveformSpec::surge(1.0, 0.5, 2.0)};
+                   rom::WaveformSpec::sine(0.2, 3.5), rom::WaveformSpec::surge(1.0, 0.5, 2.0),
+                   rom::WaveformSpec::multi_tone({0.3, 0.2}, {1.5, 2.25}, {0.1, -0.4}),
+                   rom::WaveformSpec::am(0.5, 3.0, 0.25, 0.8)};
     body.options.t_end = 4.0;
     body.options.dt = 5e-3;
     body.options.method = ode::Method::trapezoidal;
@@ -82,9 +85,23 @@ rom::ServeRequest certificate_request() {
     return req;
 }
 
+rom::ServeRequest batch_request() {
+    rom::ServeRequest req;
+    req.tenant = "tenant-e";
+    rom::ParametricBatchRequest body;
+    body.family_id = "grid_family";
+    body.coords = {{37.5, 1.01}, {12.0, 1.5}, {80.0, 0.99}};
+    for (int j = 0; j < 4; ++j) body.grid.emplace_back(0.0, 0.1 * (j + 1));
+    body.tol = 5e-4;
+    body.blend = false;
+    body.allow_fallback = true;
+    req.body = body;
+    return req;
+}
+
 std::vector<rom::ServeRequest> all_requests() {
     return {frequency_request(), transient_request(), parametric_request(),
-            certificate_request()};
+            certificate_request(), batch_request()};
 }
 
 // ---------------------------------------------------------------------------
@@ -109,12 +126,19 @@ TEST(ServeProtocol, TransientFieldsSurviveTheWire) {
     const rom::ServeRequest back =
         rom::decode_request(rom::encode_request(transient_request()));
     const auto& body = std::get<rom::TransientBatchRequest>(back.body);
-    ASSERT_EQ(body.inputs.size(), 5u);
+    ASSERT_EQ(body.inputs.size(), 7u);
     EXPECT_EQ(body.inputs[0].kind, rom::WaveformSpec::Kind::zero);
     EXPECT_EQ(body.inputs[0].arity, 2);
     EXPECT_EQ(body.inputs[2].kind, rom::WaveformSpec::Kind::pulse);
     EXPECT_EQ(body.inputs[2].rise, 1.0);
     EXPECT_EQ(body.inputs[4].tau_decay, 2.0);
+    EXPECT_EQ(body.inputs[5].kind, rom::WaveformSpec::Kind::multi_tone);
+    EXPECT_EQ(body.inputs[5].tone_amplitudes, (std::vector<double>{0.3, 0.2}));
+    EXPECT_EQ(body.inputs[5].tones_hz, (std::vector<double>{1.5, 2.25}));
+    EXPECT_EQ(body.inputs[5].tone_phases, (std::vector<double>{0.1, -0.4}));
+    EXPECT_EQ(body.inputs[6].kind, rom::WaveformSpec::Kind::am);
+    EXPECT_EQ(body.inputs[6].mod_hz, 0.25);
+    EXPECT_EQ(body.inputs[6].mod_depth, 0.8);
     EXPECT_EQ(body.options.method, ode::Method::trapezoidal);
     EXPECT_EQ(body.options.newton_tol, 1e-11);
     EXPECT_EQ(body.options.newton_max_iter, 17);
@@ -165,6 +189,52 @@ TEST(ServeProtocol, ResponseRoundTripsFullyPopulated) {
     EXPECT_EQ(back.blend_weight, 0.75);
     EXPECT_TRUE(back.fallback);
     EXPECT_EQ(rom::encode_response(back), bytes);
+}
+
+TEST(ServeProtocol, BatchRequestFieldsSurviveTheWire) {
+    const rom::ServeRequest back = rom::decode_request(rom::encode_request(batch_request()));
+    const auto& body = std::get<rom::ParametricBatchRequest>(back.body);
+    EXPECT_EQ(body.family_id, "grid_family");
+    ASSERT_EQ(body.coords.size(), 3u);
+    EXPECT_EQ(body.coords[1], (pmor::Point{12.0, 1.5}));
+    EXPECT_EQ(body.grid.size(), 4u);
+    EXPECT_EQ(body.tol, 5e-4);
+    EXPECT_FALSE(body.blend);
+    EXPECT_TRUE(body.allow_fallback);
+    EXPECT_EQ(body.family, nullptr);
+    EXPECT_EQ(body.artifact, nullptr);
+}
+
+TEST(ServeProtocol, BatchResponseRecordsSurviveTheWire) {
+    rom::ServeResponse resp;
+    resp.kind = rom::RequestKind::parametric_batch;
+    resp.certificate.estimated_error = 3e-4;
+    resp.response.push_back(la::ZMatrix(1, 1));
+    resp.response.push_back(la::ZMatrix(1, 1));
+    resp.batch_member = {0, 2};
+    resp.batch_error = {1e-4, 3e-4};
+    resp.batch_fallback = {0, 1};
+    const std::string bytes = rom::encode_response(resp);
+    const rom::ServeResponse back = rom::decode_response(bytes);
+    EXPECT_EQ(back.kind, rom::RequestKind::parametric_batch);
+    EXPECT_EQ(back.batch_member, resp.batch_member);
+    EXPECT_EQ(back.batch_error, resp.batch_error);
+    EXPECT_EQ(back.batch_fallback, resp.batch_fallback);
+    EXPECT_EQ(rom::encode_response(back), bytes);
+}
+
+TEST(ServeProtocol, BatchEncodeRejectsInProcessOnlyState) {
+    rom::ServeRequest req = batch_request();
+    const rom::Family family;
+    std::get<rom::ParametricBatchRequest>(req.body).family = &family;
+    EXPECT_THROW((void)rom::encode_request(req), util::PreconditionError);
+
+    req = batch_request();
+    std::get<rom::ParametricBatchRequest>(req.body).options.fallback_build =
+        [](const pmor::Point&) -> rom::ReducedModel {
+        throw std::logic_error("never built");
+    };
+    EXPECT_THROW((void)rom::encode_request(req), util::PreconditionError);
 }
 
 TEST(ServeProtocol, ResponseEncodingZeroesWallClock) {

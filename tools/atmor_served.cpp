@@ -147,7 +147,9 @@ int run_smoke(const std::string& endpoint, bool demo_family) {
         rom::TransientBatchRequest tb;
         tb.model = rom::ModelRef::from_spec(demo_spec(1.3));
         tb.inputs = {rom::WaveformSpec::pulse(0.4, 0.5, 1.0, 2.0, 1.5),
-                     rom::WaveformSpec::sine(0.2, 0.25)};
+                     rom::WaveformSpec::sine(0.2, 0.25),
+                     rom::WaveformSpec::multi_tone({0.2, 0.1}, {0.18, 0.3}, {0.0, 0.7}),
+                     rom::WaveformSpec::am(0.3, 2.0, 0.2, 0.6)};
         tb.options.t_end = 5.0;
         tb.options.dt = 1e-2;
         tb.options.record_stride = 50;
@@ -159,6 +161,12 @@ int run_smoke(const std::string& endpoint, bool demo_family) {
             pq.coords = {37.0, 1.01};
             pq.grid = grid;
             req.body = pq;
+            requests.push_back(req);
+            rom::ParametricBatchRequest pb;
+            pb.family_id = "nltl_demo";
+            pb.coords = {{36.0, 1.0}, {38.5, 1.02}, {40.0, 0.99}};
+            pb.grid = grid;
+            req.body = pb;
             requests.push_back(req);
         }
         // Typed-error path: an unresolvable key must come back as
